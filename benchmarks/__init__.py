@@ -1,0 +1,1 @@
+"""Paper-reproduction benchmark harness (one module per table/figure)."""

@@ -1,0 +1,78 @@
+"""Ablation — bi-mode update policy and choice indexing.
+
+Two design choices the paper calls out in Section 2.2:
+
+* **partial update** — only the selected direction bank trains, and the
+  choice predictor is spared when it chose wrongly but the selected
+  counter was right.  The paper: "this partial update policy is
+  particularly effective when the total hardware budget is small."
+  Ablated against training *both* banks (``full_update``).
+* **choice indexed by address** — the choice predictor must capture
+  per-address bias, so it is indexed by the branch address alone.
+  Ablated against indexing it with the gshare hash
+  (``choice_uses_history``), which destroys the bias signal.
+
+Expected shapes: partial update at or below full update, with the gap
+largest at the small end; address-indexed choice strictly better than
+history-indexed choice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import emit_table, load_bench_suite, result_cache
+from repro.sim.runner import evaluate
+
+SIZES = [9, 11, 13]  # direction-bank index bits
+
+
+def _spec(bits, **flags):
+    extra = "".join(f",{k}=1" for k, v in flags.items() if v)
+    return f"bimode:dir={bits},hist={bits},choice={bits}{extra}"
+
+
+def _run():
+    traces = load_bench_suite("cint95")
+    cache = result_cache()
+    table = {}
+    for bits in SIZES:
+        for label, spec in (
+            ("partial (paper)", _spec(bits)),
+            ("full update", _spec(bits, full_update=True)),
+            ("choice uses history", _spec(bits, choice_hist=True)),
+        ):
+            rates = [evaluate(spec, t, cache=cache) for t in traces.values()]
+            table[(bits, label)] = sum(rates) / len(rates)
+    return table
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_update_policy(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    labels = ["partial (paper)", "full update", "choice uses history"]
+    rows = [
+        [f"2x2^{bits}"] + [f"{100 * table[(bits, label)]:.2f}%" for label in labels]
+        for bits in SIZES
+    ]
+    emit_table(
+        "ablation_update_policy",
+        "Ablation — bi-mode update policy (CINT95 average)",
+        ["direction banks"] + labels,
+        rows,
+    )
+
+    for bits in SIZES:
+        partial = table[(bits, "partial (paper)")]
+        full = table[(bits, "full update")]
+        hashed_choice = table[(bits, "choice uses history")]
+        assert partial <= full + 1e-12, bits
+        assert partial < hashed_choice, bits
+
+    # partial-update advantage is largest at the smallest budget
+    gaps = [
+        table[(bits, "full update")] - table[(bits, "partial (paper)")]
+        for bits in SIZES
+    ]
+    assert gaps[0] >= gaps[-1] - 1e-3, gaps

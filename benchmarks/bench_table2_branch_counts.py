@@ -1,0 +1,70 @@
+"""Table 2 — static and dynamic conditional branch counts.
+
+Regenerates the paper's Table 2 rows for all 14 benchmarks, reporting
+the paper's counts next to the scaled synthetic traces' measured counts
+(the substitution scales dynamic counts by ~1/40 and the largest static
+footprints by ``static_scale``; see DESIGN.md §2).
+
+Shape checks: measured static counts track the scaled budgets, and the
+*ordering* of benchmarks by footprint matches the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import emit_table, load_bench_trace
+from repro.traces.stats import compute_stats
+from repro.workloads.profiles import ALL_PROFILES, get_profile
+from repro.workloads.suite import suite_names
+
+
+def _rows():
+    rows = []
+    for suite in ("cint95", "ibs"):
+        for name in suite_names(suite):
+            profile = get_profile(name)
+            trace = load_bench_trace(name)
+            stats = compute_stats(trace)
+            rows.append(
+                [
+                    suite,
+                    name,
+                    profile.paper_static,
+                    profile.paper_dynamic,
+                    profile.static_branches,
+                    stats.static_branches,
+                    stats.dynamic_branches,
+                    f"{100 * stats.taken_rate:.1f}%",
+                    f"{100 * stats.strongly_biased_fraction:.1f}%",
+                ]
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_branch_counts(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    emit_table(
+        "table2_branch_counts",
+        "Table 2 — branch counts (paper vs scaled synthetic traces)",
+        [
+            "suite", "benchmark",
+            "paper static", "paper dynamic",
+            "scaled budget", "measured static", "measured dynamic",
+            "taken", "strongly-biased dyn",
+        ],
+        rows,
+    )
+
+    by_name = {row[1]: row for row in rows}
+    for name, row in by_name.items():
+        budget, measured = row[4], row[5]
+        # the walk must execute nearly the whole static footprint
+        assert measured >= 0.85 * budget, f"{name}: poor static coverage"
+        assert measured <= budget
+
+    # footprint ordering preserved: gcc/real_gcc largest, compress smallest
+    assert by_name["gcc"][5] > by_name["xlisp"][5]
+    assert by_name["real_gcc"][5] > by_name["verilog"][5]
+    assert by_name["compress"][5] < by_name["perl"][5]

@@ -1,0 +1,75 @@
+"""Table 3 — the worked normalized-count example.
+
+Reproduces the paper's Table 3 exactly: four static branches (0x001,
+0x005, 0x100, 0x150) sharing one prediction counter, with the paper's
+dynamic and taken counts, yielding normalized counts 24% (ST), 40%
+(SNT), 16% (WB) and 20% (SNT), with SNT the dominant class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit_table
+from repro.analysis.bias import SNT, analyze_substreams, normalized_counts
+from repro.core.interfaces import DetailedSimulation, SimulationResult
+
+#: (address, dynamic count, taken count) — the paper's Table 3 rows.
+TABLE3_BRANCHES = [
+    (0x001, 12, 11),
+    (0x005, 20, 1),
+    (0x100, 8, 3),
+    (0x150, 10, 1),
+]
+PAPER_ROWS = {
+    0x001: (0.24, "ST"),
+    0x005: (0.40, "SNT"),
+    0x100: (0.16, "WB"),
+    0x150: (0.20, "SNT"),
+}
+
+
+def _build_detailed() -> DetailedSimulation:
+    pcs, outcomes = [], []
+    for address, total, taken in TABLE3_BRANCHES:
+        pcs.extend([address] * total)
+        outcomes.extend([True] * taken + [False] * (total - taken))
+    outcomes = np.array(outcomes)
+    result = SimulationResult("example", "table3", np.zeros(len(pcs), bool), outcomes)
+    return DetailedSimulation(
+        result=result,
+        counter_ids=np.zeros(len(pcs), dtype=np.int64),
+        num_counters=1,
+        pcs=np.array(pcs),
+    )
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_normalized_counts(benchmark):
+    def compute():
+        analysis = analyze_substreams(_build_detailed())
+        return analysis, normalized_counts(analysis, 0)
+
+    analysis, counts = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for address, total, taken in TABLE3_BRANCHES:
+        normalized, cls = counts[address]
+        paper_norm, paper_cls = PAPER_ROWS[address]
+        rows.append(
+            [f"0x{address:03x}", total, taken, cls,
+             f"{100 * normalized:.0f}%", f"{100 * paper_norm:.0f}% ({paper_cls})"]
+        )
+    emit_table(
+        "table3_normalized_counts",
+        "Table 3 — normalized counts at counter c (measured vs paper)",
+        ["branch", "dynamic", "taken", "class", "normalized", "paper"],
+        rows,
+    )
+
+    for address, (paper_norm, paper_cls) in PAPER_ROWS.items():
+        normalized, cls = counts[address]
+        assert cls == paper_cls
+        assert normalized == pytest.approx(paper_norm)
+    assert analysis.counter_dominant[0] == SNT  # "SNT is the dominant class"

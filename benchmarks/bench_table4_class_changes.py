@@ -1,0 +1,60 @@
+"""Table 4 — numbers of changes between bias classes.
+
+The paper compares the history-indexed gshare scheme against bi-mode on
+gcc, counting how often each counter's access stream changes dominance
+role (dominant / non-dominant / WB); bi-mode has fewer changes in every
+column, showing its ST and SNT substreams are less intermingled.
+
+Geometry follows the paper's Section 4 setup scaled to the synthetic
+traces: a gshare with full history against a bi-mode of comparable
+second-level size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import emit_table, load_bench_trace
+from repro.analysis.bias import analyze_substreams
+from repro.analysis.interference import count_class_changes
+from repro.core.registry import make_predictor
+from repro.sim.engine import run_detailed
+
+INDEX_BITS = 12
+SCHEMES = [
+    ("history-indexed", f"gshare:index={INDEX_BITS},hist={INDEX_BITS}"),
+    ("bi-mode", f"bimode:dir={INDEX_BITS - 1},hist={INDEX_BITS - 1},choice={INDEX_BITS - 1}"),
+]
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_class_changes(benchmark):
+    trace = load_bench_trace("gcc")
+
+    def compute():
+        out = {}
+        for label, spec in SCHEMES:
+            detailed = run_detailed(make_predictor(spec), trace)
+            analysis = analyze_substreams(detailed)
+            out[label] = count_class_changes(detailed, analysis)
+        return out
+
+    changes = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = [
+        [label, c.dominant, c.non_dominant, c.wb, c.total]
+        for label, c in changes.items()
+    ]
+    emit_table(
+        "table4_class_changes",
+        f"Table 4 — bias-class changes on gcc ({len(trace)} branches)",
+        ["scheme", "dominant", "non-dominant", "WB", "total"],
+        rows,
+    )
+
+    bimode = changes["bi-mode"]
+    gshare = changes["history-indexed"]
+    # the paper's Table 4: bi-mode has fewer changes overall, and in the
+    # interference-critical non-dominant column
+    assert bimode.total < gshare.total
+    assert bimode.non_dominant < gshare.non_dominant

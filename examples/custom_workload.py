@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Custom workload — build your own synthetic program and stress a predictor.
+
+Shows the workload substrate from the bottom up: hand-built regions with
+specific branch behaviours, a deterministic dispatch schedule, and a
+targeted aliasing experiment — two oppositely-biased hot branches that
+collide in a small gshare table, which is exactly the destructive
+aliasing the bi-mode predictor removes.
+
+Run with::
+
+    python examples/custom_workload.py
+"""
+
+from __future__ import annotations
+
+from repro import BiModePredictor, GSharePredictor, run
+from repro.predictors import AgreePredictor
+from repro.workloads import (
+    BiasedBehavior,
+    BranchSite,
+    CorrelatedBehavior,
+    LoopBehavior,
+    PatternBehavior,
+    Program,
+    Region,
+)
+
+
+def build_program() -> Program:
+    """A tiny program with adversarial aliasing.
+
+    Region A's hot branch at address 0x013 is ~always taken; region B's
+    hot branch at 0x023 is ~always not-taken.  In a 16-entry gshare with
+    no history both map to counter 0x3 — destructive aliasing by
+    construction.  The surrounding loop and correlated branches give the
+    history-based predictors something to chew on as well.
+    """
+    region_a = Region(
+        body=[
+            BranchSite(address=0x013, behavior=BiasedBehavior(0.99)),
+            BranchSite(address=0x014, behavior=CorrelatedBehavior(
+                positions=[0], table=[False, True])),  # copies the previous outcome
+        ],
+        loop=BranchSite(address=0x017, behavior=LoopBehavior(trip_count=4)),
+    )
+    region_b = Region(
+        body=[
+            BranchSite(address=0x023, behavior=BiasedBehavior(0.01)),
+            BranchSite(address=0x024, behavior=PatternBehavior([True, True, False])),
+        ],
+    )
+    # strict alternation A, B, A, B ... maximizes the interference
+    return Program(
+        regions=[region_a, region_b],
+        schedule=[[1], [0]],
+        jump_prob=0.0,
+        name="adversarial-aliasing",
+    )
+
+
+def main() -> int:
+    program = build_program()
+    trace = program.run(length=60_000, seed=1)
+    print(f"workload: {trace.name}: {len(trace)} branches, "
+          f"{trace.num_static} static, taken rate {100 * trace.taken_rate:.1f}%\n")
+
+    predictors = [
+        GSharePredictor(index_bits=4, history_bits=0),   # 16-counter bimodal-ish
+        GSharePredictor(index_bits=4, history_bits=4),   # 16-counter gshare
+        AgreePredictor(index_bits=4, history_bits=4, bias_index_bits=8),
+        BiModePredictor(direction_index_bits=3, history_bits=3, choice_index_bits=6),
+    ]
+    print(f"{'predictor':<40} {'size':>7}  misprediction")
+    for predictor in predictors:
+        result = run(predictor, trace)
+        print(
+            f"{predictor.name:<40} {predictor.size_bytes():>6.1f}B"
+            f"  {100 * result.misprediction_rate:6.2f}%"
+        )
+
+    print(
+        "\nNote how the two ~deterministic branches at 0x013/0x023 wreck the"
+        "\nplain tables (they share counter 0x3), while the choice predictor"
+        "\nof bi-mode — and agree's bias bits — separate them."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Full report — regenerate a compact reproduction report in one run.
+
+Produces ``results/REPORT.md``: the headline Figure-2 sweep, the
+Figure-5/6 bias areas, the Figure-7 class breakdown and the Table-4
+interference counts, all at a configurable (default: reduced) scale so
+the whole thing finishes in about a minute cold and seconds warm.
+
+This is the "show me everything" entry point; for the full-scale
+assertion-checked versions run ``pytest benchmarks/ --benchmark-only``.
+
+Run with::
+
+    python examples/full_report.py [--scale 0.25] [--out results/REPORT.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.analysis.bias import analyze_substreams, counter_bias_table
+from repro.analysis.breakdown import misprediction_breakdown
+from repro.analysis.interference import count_class_changes
+from repro.analysis.sweep import paper_sweep
+from repro.core.registry import make_predictor
+from repro.sim.engine import run_detailed
+from repro.sim.runner import ResultCache
+from repro.workloads.profiles import get_profile
+from repro.workloads.suite import load_suite, suite_names
+
+
+def markdown_table(headers, rows) -> str:
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "---|" * len(headers))
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="trace length scale vs benchmark defaults")
+    parser.add_argument("--out", default="results/REPORT.md")
+    args = parser.parse_args()
+
+    sections = ["# Bi-mode reproduction report\n"]
+
+    # -- Figure 2 (CINT95, reduced) -----------------------------------------
+    lengths = {
+        name: max(30_000, int(get_profile(name).default_length * args.scale))
+        for name in suite_names("cint95")
+    }
+    print("loading CINT95 traces...")
+    traces = {
+        name: __import__("repro.workloads.suite", fromlist=["load_benchmark"])
+        .load_benchmark(name, length=length)
+        for name, length in lengths.items()
+    }
+    print("sweeping sizes (cached after first run)...")
+    series = paper_sweep(traces, kb_points=[0.25, 1.0, 4.0, 16.0], cache=ResultCache())
+    rows = [
+        [label] + [f"{100 * p.average:.2f}%" for p in sweep.points]
+        for label, sweep in series.items()
+    ]
+    sections.append("## Figure 2 — CINT95 average misprediction vs size\n")
+    sections.append(markdown_table(
+        ["scheme", "0.25KB", "1KB", "4KB", "16KB"], rows) + "\n")
+
+    # -- Figures 5/6 + Table 4 on gcc ----------------------------------------
+    print("bias analysis on gcc...")
+    gcc = traces["gcc"]
+    bias_rows = []
+    t4_rows = []
+    breakdown_rows = []
+    for label, spec in (
+        ("history-indexed gshare", "gshare:index=8,hist=8"),
+        ("address-indexed gshare", "gshare:index=8,hist=2"),
+        ("bi-mode", "bimode:dir=7,hist=7,choice=7"),
+    ):
+        detailed = run_detailed(make_predictor(spec), gcc)
+        analysis = analyze_substreams(detailed)
+        table = counter_bias_table(analysis)
+        bias_rows.append([
+            label,
+            f"{100 * table[:, 0].mean():.1f}%",
+            f"{100 * table[:, 1].mean():.1f}%",
+            f"{100 * table[:, 2].mean():.1f}%",
+        ])
+        changes = count_class_changes(detailed, analysis)
+        t4_rows.append([label, changes.dominant, changes.non_dominant,
+                        changes.wb, changes.total])
+        b = misprediction_breakdown(analysis)
+        breakdown_rows.append([
+            label, f"{100 * b.snt:.2f}%", f"{100 * b.st:.2f}%",
+            f"{100 * b.wb:.2f}%", f"{100 * b.overall:.2f}%",
+        ])
+
+    sections.append("## Figures 5/6 — per-counter bias areas (gcc, 256 counters)\n")
+    sections.append(markdown_table(
+        ["scheme", "dominant", "non-dominant", "WB"], bias_rows) + "\n")
+    sections.append("## Figure 7 — misprediction by bias class (gcc)\n")
+    sections.append(markdown_table(
+        ["scheme", "SNT", "ST", "WB", "overall"], breakdown_rows) + "\n")
+    sections.append("## Table 4 — bias-class interference changes (gcc)\n")
+    sections.append(markdown_table(
+        ["scheme", "dominant", "non-dominant", "WB", "total"], t4_rows) + "\n")
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text("\n".join(sections))
+    print(f"\nwrote {out}")
+    print("\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Size sweep — regenerate a Figure-2-style chart from the library API.
+
+Sweeps gshare.1PHT, gshare.best and bi-mode across the paper's
+0.25–32 KB cost axis on a benchmark suite and prints the misprediction
+table plus an ASCII chart.  This is the programmatic version of the
+``benchmarks/bench_fig2_average_sweep.py`` harness, trimmed for
+interactive use (fewer sizes by default, cached results).
+
+Run with::
+
+    python examples/size_sweep.py [cint95|ibs] [--sizes 0.25 1 4 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.report import ascii_chart, ascii_table
+from repro.analysis.sweep import paper_sweep
+from repro.sim.runner import ResultCache
+from repro.workloads.suite import load_suite, suite_names
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("suite", nargs="?", default="cint95", choices=("cint95", "ibs"))
+    parser.add_argument(
+        "--sizes", type=float, nargs="+", default=[0.25, 1.0, 4.0, 16.0],
+        help="size points in KB",
+    )
+    parser.add_argument(
+        "--length", type=int, default=150_000, help="trace length per benchmark"
+    )
+    args = parser.parse_args()
+
+    print(f"loading {args.suite} traces ({args.length} branches each)...")
+    traces = load_suite(suite_names(args.suite), length=args.length)
+
+    print("sweeping (cached after the first run)...")
+    series = paper_sweep(traces, kb_points=args.sizes, cache=ResultCache())
+
+    headers = ["scheme"] + [f"{kb:g}KB" for kb in args.sizes]
+    rows = []
+    chart = {}
+    for label, sweep in series.items():
+        rows.append([label] + [f"{100 * p.average:.2f}%" for p in sweep.points])
+        chart[label] = [(p.size_kb, p.average) for p in sweep.points]
+    print()
+    print(ascii_table(headers, rows, title=f"{args.suite.upper()} average misprediction"))
+    print()
+    print(ascii_chart(chart, title="misprediction vs size (bi-mode at true 1.5x cost)"))
+    print()
+    print("gshare.best picks:", [p.spec for p in series["gshare.best"].points])
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

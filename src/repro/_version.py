@@ -1,0 +1,3 @@
+"""Package version (kept importable without dependencies)."""
+
+__version__ = "1.0.0"

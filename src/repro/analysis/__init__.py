@@ -1,0 +1,74 @@
+"""Section-4 analysis framework: bias classes, breakdowns, sweeps, reports."""
+
+from repro.analysis.aliasing import (
+    AliasingStats,
+    SharingDecomposition,
+    aliasing_stats,
+    sharing_decomposition,
+)
+from repro.analysis.bias import (
+    BIAS_THRESHOLD,
+    CLASS_NAMES,
+    SNT,
+    ST,
+    WB,
+    SubstreamAnalysis,
+    analyze_substreams,
+    classify_rate,
+    counter_bias_table,
+    normalized_counts,
+)
+from repro.analysis.breakdown import MispredictionBreakdown, misprediction_breakdown
+from repro.analysis.interference import ClassChangeCounts, count_class_changes
+from repro.analysis.report import ascii_chart, ascii_table, format_rate, write_csv
+from repro.analysis.stability import (
+    SeedSpread,
+    compare_across_seeds,
+    seed_spread,
+)
+from repro.analysis.sweep import (
+    SweepPoint,
+    SweepSeries,
+    best_gshare_at_size,
+    bimode_spec,
+    gshare_1pht_spec,
+    gshare_spec,
+    paper_sweep,
+    sweep_series,
+)
+
+__all__ = [
+    "AliasingStats",
+    "BIAS_THRESHOLD",
+    "CLASS_NAMES",
+    "ClassChangeCounts",
+    "MispredictionBreakdown",
+    "SNT",
+    "ST",
+    "SubstreamAnalysis",
+    "SweepPoint",
+    "SeedSpread",
+    "SweepSeries",
+    "WB",
+    "SharingDecomposition",
+    "aliasing_stats",
+    "analyze_substreams",
+    "ascii_chart",
+    "ascii_table",
+    "best_gshare_at_size",
+    "bimode_spec",
+    "classify_rate",
+    "count_class_changes",
+    "counter_bias_table",
+    "format_rate",
+    "gshare_1pht_spec",
+    "gshare_spec",
+    "misprediction_breakdown",
+    "normalized_counts",
+    "paper_sweep",
+    "sharing_decomposition",
+    "compare_across_seeds",
+    "seed_spread",
+    "sweep_series",
+    "write_csv",
+]

@@ -1,0 +1,64 @@
+"""Misprediction breakdown by bias class (paper Section 4.3, Figures 7–8).
+
+Every misprediction is attributed to the bias class (SNT / ST / WB) of
+the substream it belongs to; the three contributions are reported as
+percentages of all dynamic branches, so they sum to the scheme's overall
+misprediction rate.  The paper reads these bars to show that:
+
+* few-history gshare has the least strong-class error but large WB
+  error (it fails to split weakly-biased branches into biased
+  substreams);
+* long-history gshare shrinks WB error but inflates ST/SNT error via
+  destructive aliasing;
+* bi-mode keeps the reduced WB error *and* reduces the strong-class
+  error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.bias import SNT, ST, WB, SubstreamAnalysis
+
+__all__ = ["MispredictionBreakdown", "misprediction_breakdown"]
+
+
+@dataclass(frozen=True)
+class MispredictionBreakdown:
+    """Misprediction contributions as fractions of all dynamic branches."""
+
+    snt: float
+    st: float
+    wb: float
+    total_branches: int
+
+    @property
+    def overall(self) -> float:
+        """Total misprediction rate (= sum of the three classes)."""
+        return self.snt + self.st + self.wb
+
+    def as_dict(self) -> dict:
+        return {"SNT": self.snt, "ST": self.st, "WB": self.wb}
+
+    def __str__(self) -> str:
+        return (
+            f"SNT {100 * self.snt:.2f}%  ST {100 * self.st:.2f}%  "
+            f"WB {100 * self.wb:.2f}%  (overall {100 * self.overall:.2f}%)"
+        )
+
+
+def misprediction_breakdown(analysis: SubstreamAnalysis) -> MispredictionBreakdown:
+    """Attribute each misprediction to its substream's bias class."""
+    total = int(analysis.stream_total.sum())
+    if total == 0:
+        return MispredictionBreakdown(snt=0.0, st=0.0, wb=0.0, total_branches=0)
+    misses = analysis.stream_mispredicted.astype(np.float64)
+    by_class = {
+        cls: float(misses[analysis.stream_class == cls].sum()) / total
+        for cls in (SNT, ST, WB)
+    }
+    return MispredictionBreakdown(
+        snt=by_class[SNT], st=by_class[ST], wb=by_class[WB], total_branches=total
+    )

@@ -1,0 +1,122 @@
+"""Plain-text reporting: ASCII tables, ASCII line charts, CSV export.
+
+The benchmark harness regenerates the paper's tables and figures as
+text — tables print rows matching the paper's, figures print both a
+rate-per-size table and a rough ASCII chart so curve shapes (who is
+lower, where curves cross) are visible in a terminal or CI log.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+__all__ = ["ascii_table", "ascii_chart", "write_csv", "format_rate"]
+
+
+def format_rate(rate: float) -> str:
+    """Misprediction rate as the paper prints it (percent, 2 decimals)."""
+    return f"{100.0 * rate:.2f}%"
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render a fixed-width table.
+
+    Cells are stringified; numeric columns right-align.
+    """
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_chart(
+    series: Dict[str, List[tuple]],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    log_x: bool = True,
+) -> str:
+    """Plot ``label -> [(x, y), ...]`` curves as ASCII.
+
+    ``log_x=True`` matches the paper's log2 size axis.  Each series gets
+    a distinct marker; the legend maps markers to labels.
+    """
+    markers = "o*x+#@%&"
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return title or "(empty chart)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+
+    def tx(x: float) -> float:
+        return math.log2(x) if log_x else x
+
+    x_lo, x_hi = min(tx(x) for x in xs), max(tx(x) for x in xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (label, pts) in zip(markers, series.items()):
+        for x, y in pts:
+            col = round((tx(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y_hi - y) / (y_hi - y_lo) * (height - 1))
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_value = y_hi - (y_hi - y_lo) * i / (height - 1)
+        lines.append(f"{100 * y_value:6.2f}% |" + "".join(row))
+    axis_label = "size (KB, log scale)" if log_x else "x"
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(
+        " " * 9
+        + f"{2 ** x_lo if log_x else x_lo:g}"
+        + " " * max(1, width - 12)
+        + f"{2 ** x_hi if log_x else x_hi:g}  {axis_label}"
+    )
+    legend = "   ".join(
+        f"{marker}={label}" for marker, label in zip(markers, series.keys())
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def write_csv(path, headers: Sequence[str], rows: Sequence[Sequence]) -> Path:
+    """Write rows to CSV (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        writer.writerows(rows)
+    return path

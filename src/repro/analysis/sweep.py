@@ -1,0 +1,175 @@
+"""Predictor size sweeps and the gshare.best search (paper Section 3).
+
+Figures 2–4 plot misprediction against predictor cost for three curves:
+
+* ``gshare.1PHT`` — gshare with history length = index length;
+* ``gshare.best`` — for each size, the (history length, address length)
+  pair minimizing the misprediction rate *averaged over the whole
+  benchmark suite* (Section 3.1: "the configuration that yields the
+  best accuracy for the average of all the benchmarks studied");
+* ``bi-mode`` — direction banks at half the gshare size plus an
+  equal-size choice predictor (total cost 1.5x the next smaller
+  gshare, Section 3.3).
+
+:func:`paper_sweep` computes all three series for a suite of traces,
+memoizing every (spec, trace) cell through the
+:class:`~repro.sim.runner.ResultCache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.hardware import PAPER_SIZE_POINTS_KB, HardwareBudget
+from repro.core.registry import make_predictor
+from repro.sim.runner import ResultCache, evaluate
+from repro.traces.record import BranchTrace
+
+__all__ = [
+    "SweepPoint",
+    "SweepSeries",
+    "gshare_1pht_spec",
+    "gshare_spec",
+    "bimode_spec",
+    "best_gshare_at_size",
+    "sweep_series",
+    "paper_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point on a misprediction-vs-size curve."""
+
+    spec: str
+    size_bytes: float
+    per_benchmark: Dict[str, float]
+
+    @property
+    def size_kb(self) -> float:
+        return self.size_bytes / 1024.0
+
+    @property
+    def average(self) -> float:
+        """Arithmetic mean misprediction over the suite (the paper's
+        `*-AVERAGE` curves)."""
+        if not self.per_benchmark:
+            return 0.0
+        return sum(self.per_benchmark.values()) / len(self.per_benchmark)
+
+
+@dataclass
+class SweepSeries:
+    """A labelled curve: points in ascending size order."""
+
+    label: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def sizes_kb(self) -> List[float]:
+        return [p.size_kb for p in self.points]
+
+    def averages(self) -> List[float]:
+        return [p.average for p in self.points]
+
+    def benchmark_rates(self, benchmark: str) -> List[float]:
+        return [p.per_benchmark[benchmark] for p in self.points]
+
+
+def gshare_spec(index_bits: int, history_bits: int) -> str:
+    return f"gshare:index={index_bits},hist={history_bits}"
+
+
+def gshare_1pht_spec(kbytes: float) -> str:
+    """Single-PHT gshare consuming ``kbytes`` KB of counters."""
+    index_bits = HardwareBudget(kbytes).index_bits
+    return gshare_spec(index_bits, index_bits)
+
+
+def bimode_spec(kbytes: float) -> str:
+    """Bi-mode whose direction banks consume ``kbytes`` KB (choice adds 50 %)."""
+    index_bits = HardwareBudget(kbytes).index_bits
+    if index_bits < 1:
+        raise ValueError(f"{kbytes} KB cannot be split into two direction banks")
+    bank_bits = index_bits - 1
+    return f"bimode:dir={bank_bits},hist={bank_bits},choice={bank_bits}"
+
+
+def _suite_average(
+    spec: str, traces: Dict[str, BranchTrace], cache: Optional[ResultCache]
+) -> Tuple[float, Dict[str, float]]:
+    rates = {name: evaluate(spec, trace, cache=cache) for name, trace in traces.items()}
+    return sum(rates.values()) / len(rates), rates
+
+
+def best_gshare_at_size(
+    kbytes: float,
+    traces: Dict[str, BranchTrace],
+    cache: Optional[ResultCache] = None,
+    history_candidates: Optional[Sequence[int]] = None,
+) -> Tuple[str, Dict[str, float]]:
+    """Exhaustive history-length search for gshare at one size.
+
+    Tries every history length in ``history_candidates`` (default: all
+    of ``0..index_bits``) and returns the spec minimizing the suite
+    average, with its per-benchmark rates.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    index_bits = HardwareBudget(kbytes).index_bits
+    if history_candidates is None:
+        history_candidates = range(index_bits + 1)
+    best_spec = None
+    best_avg = float("inf")
+    best_rates: Dict[str, float] = {}
+    for history_bits in history_candidates:
+        if not 0 <= history_bits <= index_bits:
+            continue
+        spec = gshare_spec(index_bits, history_bits)
+        avg, rates = _suite_average(spec, traces, cache)
+        if avg < best_avg:
+            best_spec, best_avg, best_rates = spec, avg, rates
+    assert best_spec is not None
+    return best_spec, best_rates
+
+
+def sweep_series(
+    label: str,
+    specs_by_size: Iterable[Tuple[str, Dict[str, float]]],
+) -> SweepSeries:
+    """Assemble a series from (spec, per-benchmark rates) pairs."""
+    series = SweepSeries(label=label)
+    for spec, rates in specs_by_size:
+        size_bytes = make_predictor(spec).size_bytes()
+        series.points.append(
+            SweepPoint(spec=spec, size_bytes=size_bytes, per_benchmark=rates)
+        )
+    series.points.sort(key=lambda p: p.size_bytes)
+    return series
+
+
+def paper_sweep(
+    traces: Dict[str, BranchTrace],
+    kb_points: Sequence[float] = PAPER_SIZE_POINTS_KB,
+    cache: Optional[ResultCache] = None,
+) -> Dict[str, SweepSeries]:
+    """The three curves of Figures 2–4 for one benchmark suite.
+
+    Returns ``{"gshare.1PHT": ..., "gshare.best": ..., "bi-mode": ...}``.
+    The bi-mode series uses direction banks sized to each KB point, so
+    its actual cost (reported per point) is 1.5x the label size.
+    """
+    one_pht = []
+    best = []
+    bimode = []
+    for kbytes in kb_points:
+        spec = gshare_1pht_spec(kbytes)
+        one_pht.append((spec, _suite_average(spec, traces, cache)[1]))
+        best.append(best_gshare_at_size(kbytes, traces, cache=cache))
+        bspec = bimode_spec(kbytes)
+        bimode.append((bspec, _suite_average(bspec, traces, cache)[1]))
+    return {
+        "gshare.1PHT": sweep_series("gshare.1PHT", one_pht),
+        "gshare.best": sweep_series("gshare.best", best),
+        "bi-mode": sweep_series("bi-mode", bimode),
+    }

@@ -1,0 +1,319 @@
+"""Command-line interface.
+
+``repro-bimode`` (or ``python -m repro``) regenerates the paper's
+experiments from the terminal::
+
+    repro-bimode list                      # available predictors & benchmarks
+    repro-bimode stats                     # Table 2
+    repro-bimode run gshare:index=12 gcc   # one (predictor, benchmark) cell
+    repro-bimode figure2 --suite cint95    # Figures 2-4 sweeps
+    repro-bimode bias bimode:dir=7 gcc     # Figures 5-6 bias breakdowns
+    repro-bimode breakdown gcc             # Figures 7-8 class breakdowns
+    repro-bimode table4 gcc                # Table 4 interference counts
+    repro-bimode compare gcc gshare:index=12 bimode:dir=11
+    repro-bimode aliasing gshare:index=10,hist=10 gcc
+
+Each command prints ASCII tables/charts and optionally writes CSV via
+``--csv``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.bias import analyze_substreams, counter_bias_table
+from repro.analysis.breakdown import misprediction_breakdown
+from repro.analysis.interference import count_class_changes
+from repro.analysis.report import ascii_chart, ascii_table, format_rate, write_csv
+from repro.analysis.sweep import paper_sweep
+from repro.core.hardware import PAPER_SIZE_POINTS_KB
+from repro.core.registry import available_schemes, make_predictor
+from repro.sim.engine import run, run_detailed
+from repro.sim.runner import ResultCache
+from repro.traces.stats import compute_stats
+from repro.workloads.suite import load_benchmark, load_suite, suite_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bimode",
+        description="Reproduction of 'The Bi-Mode Branch Predictor' (MICRO-30, 1997)",
+    )
+    parser.add_argument(
+        "--length", type=int, default=None, help="override trace length (branches)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument("--csv", default=None, help="also write results to this CSV")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list predictor schemes and benchmarks")
+
+    stats = sub.add_parser("stats", help="Table 2: branch counts per benchmark")
+    stats.add_argument("--suite", choices=("cint95", "ibs", "all"), default="all")
+
+    runp = sub.add_parser("run", help="simulate one predictor on one benchmark")
+    runp.add_argument("spec", help="predictor spec, e.g. bimode:dir=10,hist=10")
+    runp.add_argument("benchmark", help="benchmark name, e.g. gcc")
+
+    fig2 = sub.add_parser("figure2", help="misprediction vs size sweep (Figs 2-4)")
+    fig2.add_argument("--suite", choices=("cint95", "ibs"), default="cint95")
+    fig2.add_argument("--benchmark", default=None, help="single-benchmark curves")
+    fig2.add_argument(
+        "--sizes",
+        type=float,
+        nargs="*",
+        default=list(PAPER_SIZE_POINTS_KB),
+        help="size points in KB",
+    )
+
+    bias = sub.add_parser("bias", help="per-counter bias breakdown (Figs 5-6)")
+    bias.add_argument("spec", help="predictor spec (must support detailed simulation)")
+    bias.add_argument("benchmark")
+
+    brk = sub.add_parser("breakdown", help="misprediction by bias class (Figs 7-8)")
+    brk.add_argument("benchmark")
+    brk.add_argument(
+        "--sizes", type=int, nargs="*", default=[8, 10, 15],
+        help="log2 second-level counter counts",
+    )
+
+    t4 = sub.add_parser("table4", help="bias-class interference counts (Table 4)")
+    t4.add_argument("benchmark")
+    t4.add_argument("--index-bits", type=int, default=12)
+
+    cmp_ = sub.add_parser("compare", help="compare several predictor specs on one benchmark")
+    cmp_.add_argument("benchmark")
+    cmp_.add_argument("specs", nargs="+", help="predictor specs to compare")
+
+    al = sub.add_parser("aliasing", help="harmless vs destructive aliasing statistics")
+    al.add_argument("spec", help="predictor spec (must support detailed simulation)")
+    al.add_argument("benchmark")
+    return parser
+
+
+def _cmd_list(args) -> int:
+    print("predictor schemes:")
+    for scheme in available_schemes():
+        print(f"  {scheme}")
+    print("\nbenchmarks:")
+    for suite in ("cint95", "ibs"):
+        print(f"  {suite}: {', '.join(suite_names(suite))}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    rows = []
+    for name in suite_names(args.suite):
+        trace = load_benchmark(name, length=args.length, seed=args.seed)
+        stats = compute_stats(trace)
+        rows.append(
+            [
+                name,
+                stats.static_branches,
+                stats.dynamic_branches,
+                f"{100 * stats.taken_rate:.1f}%",
+                f"{100 * stats.strongly_biased_fraction:.1f}%",
+            ]
+        )
+    headers = ["benchmark", "static", "dynamic", "taken", "strongly-biased dyn."]
+    print(ascii_table(headers, rows, title="Table 2 (measured, scaled traces)"))
+    if args.csv:
+        write_csv(args.csv, headers, rows)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    trace = load_benchmark(args.benchmark, length=args.length, seed=args.seed)
+    predictor = make_predictor(args.spec)
+    result = run(predictor, trace)
+    print(f"predictor : {predictor.name}")
+    print(f"size      : {predictor.size_bytes():.0f} bytes of counters")
+    print(f"benchmark : {trace.name} ({len(trace)} branches)")
+    print(f"mispredict: {format_rate(result.misprediction_rate)}")
+    return 0
+
+
+def _cmd_figure2(args) -> int:
+    if args.benchmark:
+        traces = {
+            args.benchmark: load_benchmark(
+                args.benchmark, length=args.length, seed=args.seed
+            )
+        }
+        title = args.benchmark
+    else:
+        traces = load_suite(suite_names(args.suite), length=args.length, seed=args.seed)
+        title = f"{args.suite.upper()}-AVERAGE"
+    cache = ResultCache()
+    series = paper_sweep(traces, kb_points=args.sizes, cache=cache)
+
+    headers = ["scheme"] + [f"{kb:g}KB" for kb in args.sizes]
+    rows = []
+    chart = {}
+    for label, sweep in series.items():
+        rows.append([label] + [format_rate(p.average) for p in sweep.points])
+        chart[label] = [(p.size_kb, p.average) for p in sweep.points]
+    print(ascii_table(headers, rows, title=f"Misprediction rates — {title}"))
+    print()
+    print(ascii_chart(chart, title=f"Figure 2 style chart — {title}"))
+    if args.csv:
+        csv_rows = [
+            [label, p.size_kb, p.spec, p.average]
+            for label, sweep in series.items()
+            for p in sweep.points
+        ]
+        write_csv(args.csv, ["scheme", "size_kb", "spec", "avg_rate"], csv_rows)
+    return 0
+
+
+def _cmd_bias(args) -> int:
+    trace = load_benchmark(args.benchmark, length=args.length, seed=args.seed)
+    predictor = make_predictor(args.spec)
+    detailed = run_detailed(predictor, trace)
+    analysis = analyze_substreams(detailed)
+    table = counter_bias_table(analysis)
+    dominant = table[:, 0].mean()
+    non_dominant = table[:, 1].mean()
+    wb = table[:, 2].mean()
+    print(f"predictor: {predictor.name}  benchmark: {trace.name}")
+    print(f"counters accessed: {len(table)} / {detailed.num_counters}")
+    print(
+        ascii_table(
+            ["area", "mean share"],
+            [
+                ["dominant", f"{100 * dominant:.1f}%"],
+                ["non-dominant", f"{100 * non_dominant:.1f}%"],
+                ["WB", f"{100 * wb:.1f}%"],
+            ],
+            title="Figure 5/6 style bias areas (mean over counters)",
+        )
+    )
+    if args.csv:
+        write_csv(
+            args.csv,
+            ["dominant", "non_dominant", "wb"],
+            [list(map(float, row)) for row in table],
+        )
+    return 0
+
+
+def _cmd_breakdown(args) -> int:
+    trace = load_benchmark(args.benchmark, length=args.length, seed=args.seed)
+    rows = []
+    for bits in args.sizes:
+        for label, spec in (
+            (f"gshare({max(2, bits - 6)})", f"gshare:index={bits},hist={max(2, bits - 6)}"),
+            (f"gshare({bits})", f"gshare:index={bits},hist={bits}"),
+            ("bi-mode", f"bimode:dir={bits - 1},hist={bits - 1},choice={bits - 2 if bits >= 2 else 0}"),
+        ):
+            predictor = make_predictor(spec)
+            detailed = run_detailed(predictor, trace)
+            breakdown = misprediction_breakdown(analyze_substreams(detailed))
+            rows.append(
+                [
+                    f"2^{bits}",
+                    label,
+                    f"{100 * breakdown.snt:.2f}%",
+                    f"{100 * breakdown.st:.2f}%",
+                    f"{100 * breakdown.wb:.2f}%",
+                    f"{100 * breakdown.overall:.2f}%",
+                ]
+            )
+    headers = ["counters", "scheme", "SNT", "ST", "WB", "overall"]
+    print(
+        ascii_table(
+            headers, rows, title=f"Figure 7/8 style breakdown — {trace.name}"
+        )
+    )
+    if args.csv:
+        write_csv(args.csv, headers, rows)
+    return 0
+
+
+def _cmd_table4(args) -> int:
+    trace = load_benchmark(args.benchmark, length=args.length, seed=args.seed)
+    bits = args.index_bits
+    rows = []
+    for label, spec in (
+        ("history-indexed", f"gshare:index={bits},hist={bits}"),
+        ("bi-mode", f"bimode:dir={bits - 1},hist={bits - 1},choice={bits - 1}"),
+    ):
+        predictor = make_predictor(spec)
+        detailed = run_detailed(predictor, trace)
+        analysis = analyze_substreams(detailed)
+        changes = count_class_changes(detailed, analysis)
+        rows.append([label, changes.dominant, changes.non_dominant, changes.wb])
+    headers = ["scheme", "dominant", "non-dominant", "WB"]
+    print(ascii_table(headers, rows, title=f"Table 4 style counts — {trace.name}"))
+    if args.csv:
+        write_csv(args.csv, headers, rows)
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    trace = load_benchmark(args.benchmark, length=args.length, seed=args.seed)
+    rows = []
+    for spec in args.specs:
+        predictor = make_predictor(spec)
+        result = run(predictor, trace)
+        rows.append(
+            [
+                predictor.name,
+                f"{predictor.size_bytes() / 1024:.3g}KB",
+                format_rate(result.misprediction_rate),
+            ]
+        )
+    headers = ["predictor", "size", "misprediction"]
+    print(ascii_table(headers, rows, title=f"{trace.name} ({len(trace)} branches)"))
+    if args.csv:
+        write_csv(args.csv, headers, rows)
+    return 0
+
+
+def _cmd_aliasing(args) -> int:
+    from repro.analysis.aliasing import aliasing_stats, sharing_decomposition
+
+    trace = load_benchmark(args.benchmark, length=args.length, seed=args.seed)
+    predictor = make_predictor(args.spec)
+    detailed = run_detailed(predictor, trace)
+    analysis = analyze_substreams(detailed)
+    stats = aliasing_stats(analysis)
+    decomposition = sharing_decomposition(analysis)
+    print(f"predictor: {predictor.name}  benchmark: {trace.name}")
+    rows = [
+        ["counters used", stats.counters_used],
+        ["aliased counters", stats.aliased_counters],
+        ["destructive counters", stats.destructive_counters],
+        ["aliased accesses", f"{100 * stats.aliased_access_fraction:.1f}%"],
+        ["destructive accesses", f"{100 * stats.destructive_access_fraction:.1f}%"],
+        ["harmless accesses", f"{100 * stats.harmless_access_fraction:.1f}%"],
+        ["capacity share", f"{100 * decomposition.capacity_share:.1f}%"],
+        ["conflict share", f"{100 * decomposition.conflict_share:.1f}%"],
+    ]
+    print(ascii_table(["metric", "value"], rows))
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "stats": _cmd_stats,
+    "run": _cmd_run,
+    "figure2": _cmd_figure2,
+    "bias": _cmd_bias,
+    "breakdown": _cmd_breakdown,
+    "table4": _cmd_table4,
+    "compare": _cmd_compare,
+    "aliasing": _cmd_aliasing,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,286 @@
+"""Predictor checkpointing.
+
+Long-trace studies want to pause and resume: simulate a chunk, save the
+predictor's architectural state, continue later (or fork the state to
+compare update policies from a common warm point).  This module
+serializes any registered predictor to a JSON-friendly dict and back.
+
+The format is explicit per scheme — no pickling, no attribute-walking
+magic — so checkpoints are inspectable, diffable, and safe to load.
+Every dict carries the predictor's ``spec-name`` and the package
+version; :func:`restore_state` validates the name so a checkpoint can
+only be restored into an identically-configured predictor.
+
+Round-trip guarantee (tested property): for every predictor,
+``simulate(first); save; restore into fresh; simulate(second)`` equals
+the uninterrupted ``simulate(first + second)``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro._version import __version__
+from repro.core.bimode import BiModePredictor
+from repro.core.interfaces import BranchPredictor
+from repro.predictors.agree import AgreePredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.filtered import BiasFilterPredictor
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.gskew import GSkewPredictor
+from repro.predictors.perceptron import PerceptronPredictor
+from repro.predictors.static_ import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BTFNTPredictor,
+)
+from repro.predictors.tournament import TournamentPredictor
+from repro.predictors.trimode import TriModePredictor
+from repro.predictors.twolevel import TwoLevelPredictor
+from repro.predictors.yags import YagsPredictor
+
+__all__ = ["predictor_state", "restore_state", "save_checkpoint", "load_checkpoint"]
+
+
+# -- per-scheme state extractors -------------------------------------------------
+
+
+def _state_gshare(p: GSharePredictor) -> dict:
+    return {"table": list(p.table.states), "ghr": p.ghr.value}
+
+
+def _load_gshare(p: GSharePredictor, s: dict) -> None:
+    p.table.fill(s["table"])
+    p.ghr.value = int(s["ghr"]) & p.ghr.mask
+
+
+def _state_bimodal(p: BimodalPredictor) -> dict:
+    return {"table": list(p.table.states)}
+
+
+def _load_bimodal(p: BimodalPredictor, s: dict) -> None:
+    p.table.fill(s["table"])
+
+
+def _state_bimode(p: BiModePredictor) -> dict:
+    return {
+        "taken_bank": list(p.taken_bank.states),
+        "not_taken_bank": list(p.not_taken_bank.states),
+        "choice": list(p.choice.states),
+        "ghr": p.ghr.value,
+    }
+
+
+def _load_bimode(p: BiModePredictor, s: dict) -> None:
+    p.taken_bank.fill(s["taken_bank"])
+    p.not_taken_bank.fill(s["not_taken_bank"])
+    p.choice.fill(s["choice"])
+    p.ghr.value = int(s["ghr"]) & p.ghr.mask
+
+
+def _state_trimode(p: TriModePredictor) -> dict:
+    return {
+        "banks": [list(bank.states) for bank in p.banks],
+        "choice": list(p.choice.states),
+        "ghr": p.ghr.value,
+    }
+
+
+def _load_trimode(p: TriModePredictor, s: dict) -> None:
+    for bank, states in zip(p.banks, s["banks"]):
+        bank.fill(states)
+    p.choice.fill(s["choice"])
+    p.ghr.value = int(s["ghr"]) & p.ghr.mask
+
+
+def _state_twolevel(p: TwoLevelPredictor) -> dict:
+    state = {"table": list(p.table.states)}
+    if p.per_address:
+        state["bht"] = list(p.bht.registers)
+    else:
+        state["ghr"] = p.ghr.value
+    return state
+
+
+def _load_twolevel(p: TwoLevelPredictor, s: dict) -> None:
+    p.table.fill(s["table"])
+    if p.per_address:
+        registers = [int(r) for r in s["bht"]]
+        if len(registers) != len(p.bht.registers):
+            raise ValueError("BHT size mismatch")
+        p.bht.registers = registers
+    else:
+        p.ghr.value = int(s["ghr"]) & p.ghr.mask
+
+
+def _state_agree(p: AgreePredictor) -> dict:
+    return {
+        "table": list(p.table.states),
+        "ghr": p.ghr.value,
+        "bias_bits": [int(b) for b in p.bias_bits],
+        "bias_valid": [int(b) for b in p.bias_valid],
+    }
+
+
+def _load_agree(p: AgreePredictor, s: dict) -> None:
+    p.table.fill(s["table"])
+    p.ghr.value = int(s["ghr"]) & p.ghr.mask
+    if len(s["bias_bits"]) != len(p.bias_bits):
+        raise ValueError("bias table size mismatch")
+    p.bias_bits = [bool(b) for b in s["bias_bits"]]
+    p.bias_valid = [bool(b) for b in s["bias_valid"]]
+
+
+def _state_gskew(p: GSkewPredictor) -> dict:
+    return {"banks": [list(b.states) for b in p.banks], "ghr": p.ghr.value}
+
+
+def _load_gskew(p: GSkewPredictor, s: dict) -> None:
+    for bank, states in zip(p.banks, s["banks"]):
+        bank.fill(states)
+    p.ghr.value = int(s["ghr"]) & p.ghr.mask
+
+
+def _state_yags(p: YagsPredictor) -> dict:
+    return {
+        "choice": list(p.choice.states),
+        "ghr": p.ghr.value,
+        "taken_cache": {
+            "tags": list(p.taken_cache.tags),
+            "counters": list(p.taken_cache.counters),
+        },
+        "not_taken_cache": {
+            "tags": list(p.not_taken_cache.tags),
+            "counters": list(p.not_taken_cache.counters),
+        },
+    }
+
+
+def _load_yags(p: YagsPredictor, s: dict) -> None:
+    p.choice.fill(s["choice"])
+    p.ghr.value = int(s["ghr"]) & p.ghr.mask
+    for cache, payload in (
+        (p.taken_cache, s["taken_cache"]),
+        (p.not_taken_cache, s["not_taken_cache"]),
+    ):
+        if len(payload["tags"]) != len(cache.tags):
+            raise ValueError("cache size mismatch")
+        cache.tags = [int(t) for t in payload["tags"]]
+        cache.counters = [int(c) for c in payload["counters"]]
+
+
+def _state_tournament(p: TournamentPredictor) -> dict:
+    return {
+        "meta": list(p.meta.states),
+        "component_a": predictor_state(p.component_a),
+        "component_b": predictor_state(p.component_b),
+    }
+
+
+def _load_tournament(p: TournamentPredictor, s: dict) -> None:
+    p.meta.fill(s["meta"])
+    restore_state(p.component_a, s["component_a"])
+    restore_state(p.component_b, s["component_b"])
+
+
+def _state_biasfilter(p: BiasFilterPredictor) -> dict:
+    return {
+        "directions": [int(d) for d in p.directions],
+        "runs": list(p.runs),
+        "sub": predictor_state(p.sub_predictor),
+    }
+
+
+def _load_biasfilter(p: BiasFilterPredictor, s: dict) -> None:
+    if len(s["runs"]) != len(p.runs):
+        raise ValueError("filter size mismatch")
+    p.directions = [bool(d) for d in s["directions"]]
+    p.runs = [int(r) for r in s["runs"]]
+    restore_state(p.sub_predictor, s["sub"])
+
+
+def _state_perceptron(p: PerceptronPredictor) -> dict:
+    return {"weights": [list(row) for row in p.weights], "ghr": p.ghr.value}
+
+
+def _load_perceptron(p: PerceptronPredictor, s: dict) -> None:
+    rows = [[int(w) for w in row] for row in s["weights"]]
+    if len(rows) != len(p.weights) or any(
+        len(row) != p.history_bits + 1 for row in rows
+    ):
+        raise ValueError("weight table shape mismatch")
+    p.weights = rows
+    p.ghr.value = int(s["ghr"]) & p.ghr.mask
+
+
+def _state_static(p) -> dict:
+    return {}
+
+
+def _load_static(p, s: dict) -> None:
+    pass
+
+
+_HANDLERS: Dict[type, tuple] = {
+    GSharePredictor: (_state_gshare, _load_gshare),
+    BimodalPredictor: (_state_bimodal, _load_bimodal),
+    BiModePredictor: (_state_bimode, _load_bimode),
+    TriModePredictor: (_state_trimode, _load_trimode),
+    TwoLevelPredictor: (_state_twolevel, _load_twolevel),
+    AgreePredictor: (_state_agree, _load_agree),
+    GSkewPredictor: (_state_gskew, _load_gskew),
+    YagsPredictor: (_state_yags, _load_yags),
+    TournamentPredictor: (_state_tournament, _load_tournament),
+    BiasFilterPredictor: (_state_biasfilter, _load_biasfilter),
+    PerceptronPredictor: (_state_perceptron, _load_perceptron),
+    AlwaysTakenPredictor: (_state_static, _load_static),
+    AlwaysNotTakenPredictor: (_state_static, _load_static),
+    BTFNTPredictor: (_state_static, _load_static),
+}
+
+
+def _handler(predictor: BranchPredictor) -> tuple:
+    for klass in type(predictor).__mro__:
+        if klass in _HANDLERS:
+            return _HANDLERS[klass]
+    raise TypeError(f"no checkpoint handler for {type(predictor).__name__}")
+
+
+def predictor_state(predictor: BranchPredictor) -> dict:
+    """Architectural state of ``predictor`` as a JSON-friendly dict."""
+    extract, _ = _handler(predictor)
+    return {
+        "name": predictor.name,
+        "version": __version__,
+        "state": extract(predictor),
+    }
+
+
+def restore_state(predictor: BranchPredictor, checkpoint: dict) -> None:
+    """Load a :func:`predictor_state` dict into ``predictor``.
+
+    The target must have the same configuration (matched by its
+    ``name``); mismatches raise ``ValueError``.
+    """
+    if checkpoint.get("name") != predictor.name:
+        raise ValueError(
+            f"checkpoint is for {checkpoint.get('name')!r}, "
+            f"target is {predictor.name!r}"
+        )
+    _, load = _handler(predictor)
+    load(predictor, checkpoint["state"])
+
+
+def save_checkpoint(predictor: BranchPredictor, path) -> Path:
+    """Write the predictor's state to ``path`` as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(predictor_state(predictor)))
+    return path
+
+
+def load_checkpoint(predictor: BranchPredictor, path) -> None:
+    """Restore state written by :func:`save_checkpoint`."""
+    restore_state(predictor, json.loads(Path(path).read_text()))

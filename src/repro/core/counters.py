@@ -1,0 +1,230 @@
+"""Saturating-counter primitives.
+
+The paper's predictors are built entirely from 2-bit saturating up-down
+counters (Smith counters).  A counter holds a state in ``[0, 3]``:
+
+====== ===================== ==========
+state  meaning               prediction
+====== ===================== ==========
+0      strongly not-taken    not taken
+1      weakly not-taken      not taken
+2      weakly taken          taken
+3      strongly taken        taken
+====== ===================== ==========
+
+A *taken* outcome increments the state (saturating at 3), a *not-taken*
+outcome decrements it (saturating at 0).  The prediction is the counter's
+sign bit, i.e. ``state >= 2``.
+
+Two classes are provided:
+
+* :class:`SaturatingCounter` — a single counter, convenient for unit
+  tests and for explaining the automaton.
+* :class:`CounterTable` — an array of counters backed by a Python list
+  of small ints, the storage used by every table-based predictor.  The
+  list representation (rather than a numpy array) is deliberate: the
+  per-branch simulation loops index it with Python ints, where list
+  access is several times faster than numpy scalar access.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+__all__ = [
+    "WEAKLY_NOT_TAKEN",
+    "WEAKLY_TAKEN",
+    "STRONGLY_NOT_TAKEN",
+    "STRONGLY_TAKEN",
+    "SaturatingCounter",
+    "CounterTable",
+]
+
+STRONGLY_NOT_TAKEN = 0
+WEAKLY_NOT_TAKEN = 1
+WEAKLY_TAKEN = 2
+STRONGLY_TAKEN = 3
+
+_STATE_NAMES = {
+    STRONGLY_NOT_TAKEN: "strongly-not-taken",
+    WEAKLY_NOT_TAKEN: "weakly-not-taken",
+    WEAKLY_TAKEN: "weakly-taken",
+    STRONGLY_TAKEN: "strongly-taken",
+}
+
+
+class SaturatingCounter:
+    """A single n-bit saturating up-down counter.
+
+    Parameters
+    ----------
+    bits:
+        Width of the counter.  The paper uses 2-bit counters throughout;
+        other widths are supported for ablation studies.
+    init:
+        Initial state, in ``[0, 2**bits - 1]``.
+
+    Examples
+    --------
+    >>> c = SaturatingCounter(init=WEAKLY_TAKEN)
+    >>> c.prediction
+    True
+    >>> c.update(False); c.update(False)
+    >>> c.state, c.prediction
+    (0, False)
+    >>> c.update(False)           # saturates at 0
+    >>> c.state
+    0
+    """
+
+    __slots__ = ("bits", "_max", "_threshold", "state")
+
+    def __init__(self, bits: int = 2, init: int = WEAKLY_TAKEN):
+        if bits < 1:
+            raise ValueError(f"counter width must be >= 1 bit, got {bits}")
+        self.bits = bits
+        self._max = (1 << bits) - 1
+        self._threshold = 1 << (bits - 1)
+        if not 0 <= init <= self._max:
+            raise ValueError(f"initial state {init} out of range [0, {self._max}]")
+        self.state = init
+
+    @property
+    def prediction(self) -> bool:
+        """Predicted direction: ``True`` means taken."""
+        return self.state >= self._threshold
+
+    def update(self, taken: bool) -> None:
+        """Train the counter with the resolved branch outcome."""
+        if taken:
+            if self.state < self._max:
+                self.state += 1
+        elif self.state > 0:
+            self.state -= 1
+
+    def predict_and_update(self, taken: bool) -> bool:
+        """Return the prediction for this access, then train."""
+        prediction = self.prediction
+        self.update(taken)
+        return prediction
+
+    @property
+    def is_saturated(self) -> bool:
+        return self.state in (0, self._max)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = _STATE_NAMES.get(self.state, str(self.state)) if self.bits == 2 else str(self.state)
+        return f"SaturatingCounter(bits={self.bits}, state={name})"
+
+
+class CounterTable:
+    """A table of 2-bit (by default) saturating counters.
+
+    This is the PHT building block.  Storage is a plain Python list so
+    the hot simulation loops can read and write entries at native list
+    speed; :meth:`as_array` exposes a numpy copy for analysis code.
+
+    Parameters
+    ----------
+    index_bits:
+        The table holds ``2**index_bits`` counters.
+    bits:
+        Counter width (2 in the paper).
+    init:
+        Initial state for every counter.  The paper initializes gshare
+        tables and the bi-mode choice predictor to weakly-taken, the
+        bi-mode taken bank to weakly-taken and the not-taken bank to
+        weakly-not-taken.
+    """
+
+    __slots__ = ("index_bits", "bits", "init", "size", "_max", "_threshold", "states")
+
+    def __init__(self, index_bits: int, bits: int = 2, init: int = WEAKLY_TAKEN):
+        if index_bits < 0:
+            raise ValueError(f"index_bits must be >= 0, got {index_bits}")
+        if index_bits > 24:
+            raise ValueError(
+                f"index_bits={index_bits} would allocate {1 << index_bits} counters; "
+                "refusing (likely a mis-parsed size)"
+            )
+        if bits < 1:
+            raise ValueError(f"counter width must be >= 1 bit, got {bits}")
+        self._max = (1 << bits) - 1
+        self._threshold = 1 << (bits - 1)
+        if not 0 <= init <= self._max:
+            raise ValueError(f"initial state {init} out of range [0, {self._max}]")
+        self.index_bits = index_bits
+        self.bits = bits
+        self.init = init
+        self.size = 1 << index_bits
+        self.states: List[int] = [init] * self.size
+
+    # -- single-access interface -------------------------------------------------
+
+    def predict(self, index: int) -> bool:
+        """Predicted direction of the counter at ``index``."""
+        return self.states[index] >= self._threshold
+
+    def update(self, index: int, taken: bool) -> None:
+        """Train the counter at ``index`` with the branch outcome."""
+        state = self.states[index]
+        if taken:
+            if state < self._max:
+                self.states[index] = state + 1
+        elif state > 0:
+            self.states[index] = state - 1
+
+    def predict_and_update(self, index: int, taken: bool) -> bool:
+        """Predict at ``index`` then train with ``taken``; returns the prediction."""
+        state = self.states[index]
+        if taken:
+            if state < self._max:
+                self.states[index] = state + 1
+        elif state > 0:
+            self.states[index] = state - 1
+        return state >= self._threshold
+
+    # -- bulk / analysis interface -----------------------------------------------
+
+    def reset(self, init: int | None = None) -> None:
+        """Restore every counter to its initial (or a new ``init``) state."""
+        if init is not None:
+            if not 0 <= init <= self._max:
+                raise ValueError(f"init {init} out of range [0, {self._max}]")
+            self.init = init
+        self.states = [self.init] * self.size
+
+    def fill(self, states: Iterable[int]) -> None:
+        """Overwrite the table with explicit states (for tests and checkpoints)."""
+        new = [int(s) for s in states]
+        if len(new) != self.size:
+            raise ValueError(f"expected {self.size} states, got {len(new)}")
+        for s in new:
+            if not 0 <= s <= self._max:
+                raise ValueError(f"state {s} out of range [0, {self._max}]")
+        self.states = new
+
+    def as_array(self) -> np.ndarray:
+        """Return a numpy copy of the counter states."""
+        return np.asarray(self.states, dtype=np.uint8)
+
+    @property
+    def threshold(self) -> int:
+        """Smallest state predicting taken (the sign-bit boundary)."""
+        return self._threshold
+
+    @property
+    def max_state(self) -> int:
+        return self._max
+
+    def size_bits(self) -> int:
+        """Hardware cost of the table in bits of counter storage."""
+        return self.size * self.bits
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CounterTable(index_bits={self.index_bits}, bits={self.bits}, init={self.init})"

@@ -1,0 +1,94 @@
+"""Hardware cost accounting.
+
+The paper measures predictor cost as "the number of bytes used in the
+2-bit counters" (Section 3.3) and plots misprediction against that cost
+(0.25 KB – 32 KB).  First-level history storage (the per-address history
+registers of PAx schemes) is accounted separately so cost comparisons
+can be made either way.
+
+:class:`HardwareBudget` converts between the paper's size axis (KB of
+counters) and table geometries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "bits_to_bytes",
+    "counters_to_bytes",
+    "bytes_to_counters",
+    "kb",
+    "HardwareBudget",
+    "PAPER_SIZE_POINTS_KB",
+]
+
+#: The x-axis of Figures 2–4: total predictor size in KB of 2-bit counters.
+PAPER_SIZE_POINTS_KB = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+def bits_to_bytes(bits: int) -> float:
+    """Exact storage size in bytes for ``bits`` bits of state."""
+    if bits < 0:
+        raise ValueError(f"bits must be >= 0, got {bits}")
+    return bits / 8.0
+
+
+def counters_to_bytes(num_counters: int, counter_bits: int = 2) -> float:
+    """Bytes of counter storage for ``num_counters`` counters."""
+    if num_counters < 0:
+        raise ValueError(f"num_counters must be >= 0, got {num_counters}")
+    return bits_to_bytes(num_counters * counter_bits)
+
+
+def bytes_to_counters(nbytes: float, counter_bits: int = 2) -> int:
+    """How many counters fit in ``nbytes`` bytes (must divide exactly)."""
+    bits = nbytes * 8
+    counters = bits / counter_bits
+    if counters != int(counters):
+        raise ValueError(f"{nbytes} bytes is not a whole number of {counter_bits}-bit counters")
+    return int(counters)
+
+
+def kb(nbytes: float) -> float:
+    """Bytes to kilobytes (the paper's 1 KB = 1024 B)."""
+    return nbytes / 1024.0
+
+
+@dataclass(frozen=True)
+class HardwareBudget:
+    """A predictor size point on the paper's cost axis.
+
+    Attributes
+    ----------
+    kbytes:
+        Total budget in KB of 2-bit counters.
+    """
+
+    kbytes: float
+
+    @property
+    def nbytes(self) -> float:
+        return self.kbytes * 1024.0
+
+    @property
+    def counters(self) -> int:
+        """Total number of 2-bit counters the budget buys."""
+        return bytes_to_counters(self.nbytes)
+
+    @property
+    def index_bits(self) -> int:
+        """log2(counters) for a single table consuming the whole budget.
+
+        Raises if the budget is not a power-of-two number of counters
+        (table geometries need power-of-two sizes).
+        """
+        n = self.counters
+        if n <= 0 or n & (n - 1):
+            raise ValueError(f"{self.kbytes} KB is not a power-of-two counter budget")
+        return n.bit_length() - 1
+
+    def __str__(self) -> str:
+        if self.kbytes >= 1 and float(self.kbytes).is_integer():
+            return f"{int(self.kbytes)}KB"
+        return f"{self.kbytes}KB"

@@ -1,0 +1,188 @@
+"""The predictor interface.
+
+Every predictor in this package implements :class:`BranchPredictor`:
+
+* the **step interface** (:meth:`predict` / :meth:`update` /
+  :meth:`predict_and_update`), the reference semantics, convenient for
+  unit tests and for composing predictors;
+* the **batch interface** (:meth:`simulate`), which runs a whole
+  :class:`~repro.traces.record.BranchTrace` and returns the per-branch
+  predictions.  The default implementation loops over the step
+  interface; concrete predictors override it with an optimized loop.
+  The two must agree — the test suite checks this equivalence
+  property for every predictor.
+
+For the Section-4 analysis, predictors that expose which second-level
+counter produced each prediction additionally implement
+:meth:`simulate_detailed`, returning a :class:`DetailedSimulation` that
+records the (globally unique) counter id used for every access.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.traces.record import BranchTrace
+
+__all__ = ["BranchPredictor", "DetailedSimulation", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of running one predictor over one trace."""
+
+    predictor_name: str
+    trace_name: str
+    predictions: np.ndarray  # bool, per dynamic branch
+    outcomes: np.ndarray  # bool, per dynamic branch
+
+    def __post_init__(self) -> None:
+        self.predictions = np.asarray(self.predictions, dtype=bool)
+        self.outcomes = np.asarray(self.outcomes, dtype=bool)
+        if self.predictions.shape != self.outcomes.shape:
+            raise ValueError("predictions and outcomes must have the same shape")
+
+    @property
+    def mispredicted(self) -> np.ndarray:
+        return self.predictions != self.outcomes
+
+    @property
+    def num_branches(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def num_mispredictions(self) -> int:
+        return int(self.mispredicted.sum())
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Fraction of dynamic branches mispredicted (the paper's y-axis)."""
+        if not self.num_branches:
+            return 0.0
+        return self.num_mispredictions / self.num_branches
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0 - self.misprediction_rate
+
+
+@dataclass
+class DetailedSimulation:
+    """Per-access record of a simulation, for the Section-4 analysis.
+
+    Attributes
+    ----------
+    counter_ids:
+        For every dynamic branch, the globally-unique id of the
+        second-level direction counter that supplied the prediction.
+        For single-table schemes this is the table index; for bi-mode it
+        is ``bank * bank_size + index`` so the two banks' counters are
+        distinct "prediction counters" (as in Figure 6, which plots all
+        256 direction counters of a 2x128 configuration).
+    num_counters:
+        Total number of distinct direction-counter ids.
+    """
+
+    result: SimulationResult
+    counter_ids: np.ndarray
+    num_counters: int
+    pcs: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.counter_ids = np.asarray(self.counter_ids, dtype=np.int64)
+        if len(self.counter_ids) != self.result.num_branches:
+            raise ValueError("counter_ids length must match the number of branches")
+        if len(self.counter_ids) and (
+            self.counter_ids.min() < 0 or self.counter_ids.max() >= self.num_counters
+        ):
+            raise ValueError("counter ids out of range")
+        if self.pcs is not None:
+            self.pcs = np.asarray(self.pcs, dtype=np.int64)
+            if len(self.pcs) != self.result.num_branches:
+                raise ValueError("pcs length must match the number of branches")
+
+
+class BranchPredictor(abc.ABC):
+    """Abstract dynamic branch predictor.
+
+    Subclasses must implement :meth:`predict`, :meth:`update`,
+    :meth:`reset` and :meth:`size_bits`; they should override
+    :meth:`simulate` with a fast loop and, if they participate in the
+    bias analysis, :meth:`simulate_detailed`.
+    """
+
+    #: Short scheme name, e.g. ``"gshare"``; set by subclasses.
+    scheme = "abstract"
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc`` (``True`` = taken)."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the predictor with the resolved outcome of the branch at ``pc``.
+
+        Must be called exactly once per executed branch, after
+        :meth:`predict`, in program order.
+        """
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict, then train; returns the prediction.  May be overridden
+        by subclasses whose update rule needs the prediction (bi-mode's
+        partial update does not — it needs internal state — so such
+        predictors keep the state between the two calls instead)."""
+        prediction = self.predict(pc)
+        self.update(pc, taken)
+        return prediction
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Restore the power-on state (counters and history registers)."""
+
+    @abc.abstractmethod
+    def size_bits(self) -> int:
+        """Total counter storage in bits (the paper's cost metric)."""
+
+    def size_bytes(self) -> float:
+        return self.size_bits() / 8.0
+
+    @property
+    def name(self) -> str:
+        """Human-readable configuration name; subclasses should override."""
+        return self.scheme
+
+    # -- batch simulation -----------------------------------------------------
+
+    def simulate(self, trace: BranchTrace) -> SimulationResult:
+        """Run the whole trace; returns per-branch predictions.
+
+        The default implementation steps :meth:`predict_and_update`
+        once per branch.  Subclasses override this with vectorized /
+        tight-loop versions; behaviour must be identical.
+        """
+        predictions = np.empty(len(trace), dtype=bool)
+        step = self.predict_and_update
+        for i, (pc, taken) in enumerate(
+            zip(trace.pcs.tolist(), trace.outcomes.tolist())
+        ):
+            predictions[i] = step(pc, taken)
+        return SimulationResult(
+            predictor_name=self.name,
+            trace_name=trace.name,
+            predictions=predictions,
+            outcomes=trace.outcomes,
+        )
+
+    def simulate_detailed(self, trace: BranchTrace) -> DetailedSimulation:
+        """Like :meth:`simulate` but also records the direction counter
+        used per access.  Only implemented by predictors participating
+        in the Section-4 bias analysis."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support detailed simulation"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,55 @@
+"""Baseline and comparator branch predictors.
+
+The paper's primary baseline (gshare, single- and multi-PHT), the
+classic two-level family it generalizes, the static and bimodal floors,
+and the contemporary de-aliasing proposals it cites (agree, gskew) plus
+the follow-on YAGS design and McFarling's tournament combiner.
+"""
+
+from repro.predictors.agree import AgreePredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.filtered import BiasFilterPredictor
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.gskew import GSkewPredictor
+from repro.predictors.perceptron import PerceptronPredictor
+from repro.predictors.static_ import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BTFNTPredictor,
+)
+from repro.predictors.tournament import TournamentPredictor
+from repro.predictors.trimode import TriModePredictor
+from repro.predictors.twolevel import (
+    GAgPredictor,
+    GApPredictor,
+    GAsPredictor,
+    GSelectPredictor,
+    PAgPredictor,
+    PApPredictor,
+    PAsPredictor,
+    TwoLevelPredictor,
+)
+from repro.predictors.yags import YagsPredictor
+
+__all__ = [
+    "AgreePredictor",
+    "AlwaysNotTakenPredictor",
+    "AlwaysTakenPredictor",
+    "BTFNTPredictor",
+    "BiasFilterPredictor",
+    "BimodalPredictor",
+    "GAgPredictor",
+    "GApPredictor",
+    "GAsPredictor",
+    "GSelectPredictor",
+    "GSharePredictor",
+    "GSkewPredictor",
+    "PAgPredictor",
+    "PApPredictor",
+    "PerceptronPredictor",
+    "PAsPredictor",
+    "TournamentPredictor",
+    "TriModePredictor",
+    "TwoLevelPredictor",
+    "YagsPredictor",
+]

@@ -1,0 +1,252 @@
+"""Tri-mode predictor — the paper's future-work direction, realized.
+
+The bi-mode paper's conclusion names two open directions: reduce the
+weakly-biased substreams, or "further separate the weakly-biased
+substreams from the strongly-biased substreams for the counters".  This
+module implements the second as a natural extension of the bi-mode
+structure: a **third direction bank for weakly-biased branches**.
+
+The choice predictor is reused as a three-way classifier at zero extra
+cost: its 2-bit counter state already distinguishes *strong* bias
+(saturated states 0 and 3) from *weak* bias (middle states 1 and 2).
+
+* choice state 3 (strongly taken)      -> taken bank
+* choice state 0 (strongly not-taken)  -> not-taken bank
+* choice states 1-2 (weak)             -> weak bank
+
+The taken/not-taken banks then hold only streams whose per-address bias
+is stable, so they stay even more unidirectional than bi-mode's, while
+the weakly-biased branches — whose history patterns carry the real
+information — get a private bank where they cannot disturb the biased
+majority.
+
+Update policy mirrors bi-mode: only the selected bank trains; the
+choice counter trains with the outcome except when its *classification*
+was contradicted by the outcome while the selected direction counter
+was nevertheless correct.
+
+This is a research extension, not part of the original paper; the
+``bench_compare_dealiasing`` benchmark reports how it fares.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.counters import (
+    STRONGLY_NOT_TAKEN,
+    STRONGLY_TAKEN,
+    WEAKLY_NOT_TAKEN,
+    WEAKLY_TAKEN,
+    CounterTable,
+)
+from repro.core.history import GlobalHistoryRegister, global_history_stream
+from repro.core.indexing import gshare_index, gshare_index_stream, mask
+from repro.core.interfaces import (
+    BranchPredictor,
+    DetailedSimulation,
+    SimulationResult,
+)
+from repro.traces.record import BranchTrace
+
+__all__ = ["TriModePredictor"]
+
+_NOT_TAKEN_BANK = 0
+_TAKEN_BANK = 1
+_WEAK_BANK = 2
+
+
+class TriModePredictor(BranchPredictor):
+    """Bi-mode with a third bank dedicated to weakly-biased branches.
+
+    Parameters
+    ----------
+    direction_index_bits:
+        log2 of each of the three direction banks.
+    history_bits:
+        Global history hashed into the direction index (defaults to the
+        full index width).
+    choice_index_bits:
+        log2 of the choice predictor size (defaults to
+        ``direction_index_bits``).
+    """
+
+    scheme = "trimode"
+
+    def __init__(
+        self,
+        direction_index_bits: int,
+        history_bits: int | None = None,
+        choice_index_bits: int | None = None,
+    ):
+        if direction_index_bits < 0:
+            raise ValueError(
+                f"direction_index_bits must be >= 0, got {direction_index_bits}"
+            )
+        if history_bits is None:
+            history_bits = direction_index_bits
+        if not 0 <= history_bits <= direction_index_bits:
+            raise ValueError(
+                f"history_bits ({history_bits}) must be in [0, {direction_index_bits}]"
+            )
+        if choice_index_bits is None:
+            choice_index_bits = direction_index_bits
+        if choice_index_bits < 0:
+            raise ValueError(f"choice_index_bits must be >= 0, got {choice_index_bits}")
+
+        self.direction_index_bits = direction_index_bits
+        self.history_bits = history_bits
+        self.choice_index_bits = choice_index_bits
+
+        self.banks = [
+            CounterTable(direction_index_bits, init=WEAKLY_NOT_TAKEN),  # NT bank
+            CounterTable(direction_index_bits, init=WEAKLY_TAKEN),  # T bank
+            CounterTable(direction_index_bits, init=WEAKLY_TAKEN),  # weak bank
+        ]
+        self.choice = CounterTable(choice_index_bits, init=WEAKLY_TAKEN)
+        self.ghr = GlobalHistoryRegister(history_bits)
+
+    @property
+    def name(self) -> str:
+        return (
+            f"trimode:dir=3x2^{self.direction_index_bits},"
+            f"hist={self.history_bits},choice=2^{self.choice_index_bits}"
+        )
+
+    @property
+    def bank_size(self) -> int:
+        return self.banks[0].size
+
+    def size_bits(self) -> int:
+        return sum(b.size_bits() for b in self.banks) + self.choice.size_bits()
+
+    def reset(self) -> None:
+        for bank in self.banks:
+            bank.reset()
+        self.choice.reset()
+        self.ghr.reset()
+
+    # -- mode classification ---------------------------------------------------
+
+    @staticmethod
+    def _bank_of(choice_state: int) -> int:
+        if choice_state == STRONGLY_TAKEN:
+            return _TAKEN_BANK
+        if choice_state == STRONGLY_NOT_TAKEN:
+            return _NOT_TAKEN_BANK
+        return _WEAK_BANK
+
+    def _choice_index(self, pc: int) -> int:
+        return pc & mask(self.choice_index_bits)
+
+    def _direction_index(self, pc: int) -> int:
+        return gshare_index(
+            pc, self.ghr.value, self.direction_index_bits, self.history_bits
+        )
+
+    # -- step interface -----------------------------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        state = self.choice.states[self._choice_index(pc)]
+        bank = self.banks[self._bank_of(state)]
+        return bank.predict(self._direction_index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        choice_index = self._choice_index(pc)
+        direction_index = self._direction_index(pc)
+        choice_state = self.choice.states[choice_index]
+        bank_id = self._bank_of(choice_state)
+        selected = self.banks[bank_id]
+        final = selected.predict(direction_index)
+
+        selected.update(direction_index, taken)
+
+        # choice trains unless its (strong) classification was wrong in
+        # direction but the selected counter got the branch right —
+        # bi-mode's partial-update exception generalized to three modes
+        classified_direction = choice_state >= 2
+        if not (classified_direction != taken and final == taken):
+            self.choice.update(choice_index, taken)
+
+        self.ghr.push(taken)
+
+    # -- batch interface -------------------------------------------------------------
+
+    def simulate(self, trace: BranchTrace) -> SimulationResult:
+        predictions, _ = self._run(trace, want_counters=False)
+        return SimulationResult(
+            predictor_name=self.name,
+            trace_name=trace.name,
+            predictions=predictions,
+            outcomes=trace.outcomes,
+        )
+
+    def simulate_detailed(self, trace: BranchTrace) -> DetailedSimulation:
+        predictions, counter_ids = self._run(trace, want_counters=True)
+        result = SimulationResult(
+            predictor_name=self.name,
+            trace_name=trace.name,
+            predictions=predictions,
+            outcomes=trace.outcomes,
+        )
+        return DetailedSimulation(
+            result=result,
+            counter_ids=counter_ids,
+            num_counters=3 * self.bank_size,
+            pcs=trace.pcs,
+        )
+
+    def _run(self, trace: BranchTrace, want_counters: bool):
+        n = len(trace)
+        predictions = np.empty(n, dtype=bool)
+        counter_ids = np.empty(n, dtype=np.int64) if want_counters else None
+
+        histories = global_history_stream(
+            trace.outcomes, self.history_bits, initial=self.ghr.value
+        )
+        direction_idx = gshare_index_stream(
+            trace.pcs, histories, self.direction_index_bits, self.history_bits
+        ).tolist()
+        choice_idx = (trace.pcs & mask(self.choice_index_bits)).tolist()
+        outcomes = trace.outcomes.tolist()
+
+        choice_states = self.choice.states
+        bank_states = [bank.states for bank in self.banks]
+        bank_size = self.bank_size
+
+        for i in range(n):
+            ci = choice_idx[i]
+            di = direction_idx[i]
+            taken = outcomes[i]
+            choice_state = choice_states[ci]
+            if choice_state == 3:
+                bank_id = _TAKEN_BANK
+            elif choice_state == 0:
+                bank_id = _NOT_TAKEN_BANK
+            else:
+                bank_id = _WEAK_BANK
+            states = bank_states[bank_id]
+            dir_state = states[di]
+            final = dir_state >= 2
+            predictions[i] = final
+            if want_counters:
+                counter_ids[i] = bank_id * bank_size + di
+
+            if taken:
+                if dir_state < 3:
+                    states[di] = dir_state + 1
+            elif dir_state > 0:
+                states[di] = dir_state - 1
+
+            classified_direction = choice_state >= 2
+            if not (classified_direction != taken and final == taken):
+                if taken:
+                    if choice_state < 3:
+                        choice_states[ci] = choice_state + 1
+                elif choice_state > 0:
+                    choice_states[ci] = choice_state - 1
+
+        if n and self.history_bits:
+            for taken in outcomes[-self.history_bits:]:
+                self.ghr.push(taken)
+        return predictions, counter_ids

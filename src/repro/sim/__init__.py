@@ -1,0 +1,29 @@
+"""Trace-driven simulation: engine, metrics, cached multi-run orchestration."""
+
+from repro.sim.engine import run, run_detailed, run_steps
+from repro.sim.fetch import FetchEngine, FetchStats
+from repro.sim.metrics import (
+    branch_penalty_cpi,
+    misprediction_rate,
+    per_branch_rates,
+    steady_state_rate,
+    wilson_interval,
+)
+from repro.sim.runner import ResultCache, evaluate, evaluate_matrix, trace_key
+
+__all__ = [
+    "FetchEngine",
+    "FetchStats",
+    "ResultCache",
+    "branch_penalty_cpi",
+    "evaluate",
+    "evaluate_matrix",
+    "misprediction_rate",
+    "per_branch_rates",
+    "run",
+    "run_detailed",
+    "run_steps",
+    "steady_state_rate",
+    "trace_key",
+    "wilson_interval",
+]

@@ -1,0 +1,71 @@
+"""Trace-driven simulation engine.
+
+Thin orchestration over the predictor batch interface: reset, run,
+(optionally) warm-up split.  All heavy lifting lives in the predictors'
+``simulate`` fast paths; the engine guarantees the contract around them
+(fresh state, consistent result packaging).
+"""
+
+from __future__ import annotations
+
+from repro.core.interfaces import BranchPredictor, DetailedSimulation, SimulationResult
+from repro.traces.record import BranchTrace
+
+__all__ = ["run", "run_detailed", "run_steps"]
+
+
+def run(
+    predictor: BranchPredictor,
+    trace: BranchTrace,
+    reset: bool = True,
+    warmup: int = 0,
+) -> SimulationResult:
+    """Simulate ``predictor`` over ``trace``.
+
+    Parameters
+    ----------
+    reset:
+        Restore power-on state first (default).  Pass ``False`` to
+        continue from existing state (e.g. across trace chunks).
+    warmup:
+        If non-zero, the first ``warmup`` branches still train the
+        predictor but are excluded from the returned result (the paper
+        reports whole-trace rates, so the default is 0).
+    """
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    if warmup > len(trace):
+        raise ValueError(f"warmup ({warmup}) exceeds trace length ({len(trace)})")
+    if reset:
+        predictor.reset()
+    result = predictor.simulate(trace)
+    if warmup:
+        result = SimulationResult(
+            predictor_name=result.predictor_name,
+            trace_name=result.trace_name,
+            predictions=result.predictions[warmup:],
+            outcomes=result.outcomes[warmup:],
+        )
+    return result
+
+
+def run_detailed(
+    predictor: BranchPredictor, trace: BranchTrace, reset: bool = True
+) -> DetailedSimulation:
+    """Simulate with per-access counter attribution (Section-4 analysis)."""
+    if reset:
+        predictor.reset()
+    return predictor.simulate_detailed(trace)
+
+
+def run_steps(
+    predictor: BranchPredictor, trace: BranchTrace, reset: bool = True
+) -> SimulationResult:
+    """Simulate via the scalar step interface (reference semantics).
+
+    Exists so tests can assert batch/step equivalence; production code
+    should use :func:`run`.
+    """
+    if reset:
+        predictor.reset()
+    return BranchPredictor.simulate(predictor, trace)

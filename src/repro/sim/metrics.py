@@ -1,0 +1,94 @@
+"""Prediction-quality metrics.
+
+The paper reports one number — the dynamic misprediction rate — but
+downstream users usually also want per-static-branch breakdowns,
+steady-state rates and rough pipeline impact, so those live here too.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from repro.core.interfaces import SimulationResult
+
+__all__ = [
+    "misprediction_rate",
+    "steady_state_rate",
+    "per_branch_rates",
+    "wilson_interval",
+    "branch_penalty_cpi",
+]
+
+
+def misprediction_rate(result: SimulationResult) -> float:
+    """Fraction of dynamic branches mispredicted (the paper's y-axis)."""
+    return result.misprediction_rate
+
+
+def steady_state_rate(result: SimulationResult, skip_fraction: float = 0.1) -> float:
+    """Misprediction rate excluding the leading warm-up fraction."""
+    if not 0.0 <= skip_fraction < 1.0:
+        raise ValueError(f"skip_fraction must be in [0, 1), got {skip_fraction}")
+    skip = int(len(result.outcomes) * skip_fraction)
+    tail = result.mispredicted[skip:]
+    if not len(tail):
+        return 0.0
+    return float(tail.mean())
+
+
+def per_branch_rates(result: SimulationResult, pcs: np.ndarray) -> Dict[int, float]:
+    """Misprediction rate per static branch.
+
+    ``pcs`` is the trace's PC array (same order as the result).
+    """
+    pcs = np.asarray(pcs)
+    if len(pcs) != result.num_branches:
+        raise ValueError("pcs length must match the simulation result")
+    unique, inverse = np.unique(pcs, return_inverse=True)
+    totals = np.bincount(inverse, minlength=len(unique))
+    misses = np.bincount(
+        inverse, weights=result.mispredicted.astype(np.float64), minlength=len(unique)
+    )
+    return {
+        int(pc): float(miss / total)
+        for pc, miss, total in zip(unique.tolist(), misses.tolist(), totals.tolist())
+    }
+
+
+def wilson_interval(misses: int, total: int, z: float = 1.96):
+    """Wilson score interval for a misprediction rate.
+
+    Useful when comparing schemes on scaled-down traces: if two schemes'
+    intervals overlap heavily the difference is generation noise.
+    """
+    if total < 0 or misses < 0 or misses > total:
+        raise ValueError(f"invalid counts misses={misses}, total={total}")
+    if total == 0:
+        return (0.0, 0.0)
+    p = misses / total
+    denom = 1 + z * z / total
+    center = (p + z * z / (2 * total)) / denom
+    margin = (z / denom) * math.sqrt(p * (1 - p) / total + z * z / (4 * total * total))
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def branch_penalty_cpi(
+    result: SimulationResult,
+    branch_fraction: float = 0.2,
+    misprediction_penalty: float = 7.0,
+) -> float:
+    """Approximate CPI added by branch mispredictions.
+
+    ``branch_fraction`` is conditional branches per instruction (~1 in 5
+    for integer code); ``misprediction_penalty`` the pipeline-refill
+    cycles (7 on a Pentium-Pro-class machine).  A rough translation of
+    prediction accuracy into performance, for the examples.
+    """
+    if not 0.0 < branch_fraction <= 1.0:
+        raise ValueError(f"branch_fraction must be in (0, 1], got {branch_fraction}")
+    if misprediction_penalty < 0:
+        raise ValueError("misprediction_penalty must be >= 0")
+    return result.misprediction_rate * branch_fraction * misprediction_penalty

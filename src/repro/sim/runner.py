@@ -1,0 +1,110 @@
+"""Multi-run orchestration with a persistent result cache.
+
+The figure benchmarks evaluate hundreds of (predictor spec, benchmark)
+pairs; a pair's misprediction rate is deterministic, so results are
+memoized on disk as JSON keyed by ``(spec, trace key)``.  The cache
+lives beside the trace cache (``repro.workloads.suite.default_cache_dir``)
+and survives across processes, which makes re-running a figure bench
+after the first time nearly free.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.core.registry import make_predictor
+from repro.sim.engine import run
+from repro.traces.record import BranchTrace
+from repro.workloads.suite import default_cache_dir
+
+__all__ = ["trace_key", "ResultCache", "evaluate", "evaluate_matrix"]
+
+
+def trace_key(trace: BranchTrace) -> str:
+    """Stable identity of a generated trace for cache keying."""
+    seed = trace.metadata.get("profile_seed", "x")
+    return f"{trace.name or 'anon'}-n{len(trace)}-s{seed}"
+
+
+class ResultCache:
+    """Disk-backed ``(spec, trace) -> misprediction rate`` memo.
+
+    One JSON file per trace key keeps files small and avoids rewrite
+    contention across benchmarks.
+    """
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = (Path(root) if root is not None else default_cache_dir()) / "results"
+        self._loaded: Dict[str, Dict[str, float]] = {}
+
+    def _path(self, tkey: str) -> Path:
+        return self.root / f"{tkey}.json"
+
+    def _table(self, tkey: str) -> Dict[str, float]:
+        if tkey not in self._loaded:
+            path = self._path(tkey)
+            if path.exists():
+                try:
+                    self._loaded[tkey] = json.loads(path.read_text())
+                except (json.JSONDecodeError, OSError):
+                    self._loaded[tkey] = {}
+            else:
+                self._loaded[tkey] = {}
+        return self._loaded[tkey]
+
+    def get(self, spec: str, tkey: str) -> Optional[float]:
+        return self._table(tkey).get(spec)
+
+    def put(self, spec: str, tkey: str, rate: float) -> None:
+        table = self._table(tkey)
+        table[spec] = rate
+        path = self._path(tkey)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(table, indent=0, sort_keys=True))
+
+
+def evaluate(
+    spec: str,
+    trace: BranchTrace,
+    cache: Optional[ResultCache] = None,
+) -> float:
+    """Misprediction rate of the predictor ``spec`` on ``trace``.
+
+    Builds the predictor from its spec string, simulates, and memoizes
+    through ``cache`` when given.
+    """
+    tkey = trace_key(trace)
+    if cache is not None:
+        hit = cache.get(spec, tkey)
+        if hit is not None:
+            return hit
+    predictor = make_predictor(spec)
+    rate = run(predictor, trace).misprediction_rate
+    if cache is not None:
+        cache.put(spec, tkey, rate)
+    return rate
+
+
+def evaluate_matrix(
+    specs: Iterable[str],
+    traces: Mapping[str, BranchTrace],
+    cache: Optional[ResultCache] = None,
+    progress=None,
+) -> Dict[str, Dict[str, float]]:
+    """Rates for every (spec, benchmark) pair: ``result[spec][bench]``.
+
+    ``progress`` (optional) is called with ``(spec, bench, rate)`` after
+    each cell, for CLI feedback on long sweeps.
+    """
+    matrix: Dict[str, Dict[str, float]] = {}
+    for spec in specs:
+        row: Dict[str, float] = {}
+        for bench, trace in traces.items():
+            rate = evaluate(spec, trace, cache=cache)
+            if progress is not None:
+                progress(spec, bench, rate)
+            row[bench] = rate
+        matrix[spec] = row
+    return matrix

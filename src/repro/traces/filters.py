@@ -1,0 +1,94 @@
+"""Trace transformations.
+
+Utilities for slicing and reshaping traces before simulation:
+warm-up skipping, sampling, per-branch filtering, and the kernel/user
+split that the IBS traces motivate (the workload generator tags kernel
+activity in ``metadata`` via an address-space convention).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.traces.record import BranchTrace
+
+__all__ = [
+    "skip_warmup",
+    "take_prefix",
+    "filter_branches",
+    "split_address_space",
+    "interleave",
+]
+
+
+def skip_warmup(trace: BranchTrace, count: int) -> BranchTrace:
+    """Drop the first ``count`` dynamic branches (cold-start region)."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return trace[count:]
+
+
+def take_prefix(trace: BranchTrace, count: int) -> BranchTrace:
+    """Keep only the first ``count`` dynamic branches."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return trace[:count]
+
+
+def filter_branches(
+    trace: BranchTrace, keep: Callable[[int], bool], name: str | None = None
+) -> BranchTrace:
+    """Keep only records whose PC satisfies ``keep`` (order preserved)."""
+    mask = np.fromiter(
+        (keep(pc) for pc in trace.pcs.tolist()), dtype=bool, count=len(trace)
+    )
+    return BranchTrace(
+        pcs=trace.pcs[mask],
+        outcomes=trace.outcomes[mask],
+        name=trace.name if name is None else name,
+        metadata=dict(trace.metadata),
+    )
+
+
+def split_address_space(trace: BranchTrace, boundary: int):
+    """Split into (below, at-or-above ``boundary``) sub-traces.
+
+    The workload generator places kernel regions at or above
+    ``metadata["kernel_base"]``, so
+    ``split_address_space(t, t.metadata["kernel_base"])`` recovers the
+    user/kernel decomposition of an IBS-style trace.
+    """
+    below = filter_branches(trace, lambda pc: pc < boundary, name=f"{trace.name}.user")
+    above = filter_branches(trace, lambda pc: pc >= boundary, name=f"{trace.name}.kernel")
+    return below, above
+
+
+def interleave(a: BranchTrace, b: BranchTrace, period: int, name: str = "") -> BranchTrace:
+    """Alternate ``period``-length chunks of two traces (context-switch model).
+
+    Used by failure-injection tests to measure how predictor state
+    survives interleaved workloads.
+    """
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    pcs = []
+    outcomes = []
+    ia = ib = 0
+    turn_a = True
+    while ia < len(a) or ib < len(b):
+        if turn_a and ia < len(a):
+            pcs.append(a.pcs[ia : ia + period])
+            outcomes.append(a.outcomes[ia : ia + period])
+            ia += period
+        elif not turn_a and ib < len(b):
+            pcs.append(b.pcs[ib : ib + period])
+            outcomes.append(b.outcomes[ib : ib + period])
+            ib += period
+        turn_a = not turn_a
+    if not pcs:
+        return BranchTrace.empty(name=name)
+    return BranchTrace(
+        pcs=np.concatenate(pcs), outcomes=np.concatenate(outcomes), name=name
+    )

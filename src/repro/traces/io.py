@@ -1,0 +1,102 @@
+"""Trace persistence.
+
+Traces serialize to two formats:
+
+* **``.npz``** (binary, compact) — the default for generated benchmark
+  suites and the cache layer; round-trips arrays, name and metadata.
+* **text** — one ``pc taken`` pair per line (pc in hex), matching the
+  classic trace-file shape of academic branch-prediction tools, so
+  externally produced traces can be imported.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.record import BranchTrace
+
+__all__ = ["save_npz", "load_npz", "save_text", "load_text"]
+
+
+def save_npz(trace: BranchTrace, path) -> Path:
+    """Write a trace to ``path`` in compressed ``.npz`` form."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        pcs=trace.pcs,
+        outcomes=trace.outcomes,
+        name=np.array(trace.name),
+        metadata=np.array(json.dumps(trace.metadata)),
+    )
+    # np.savez appends .npz if missing; normalize the returned path
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_npz(path) -> BranchTrace:
+    """Load a trace written by :func:`save_npz`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        metadata = {}
+        if "metadata" in data:
+            metadata = json.loads(str(data["metadata"]))
+        return BranchTrace(
+            pcs=data["pcs"],
+            outcomes=data["outcomes"],
+            name=str(data["name"]) if "name" in data else "",
+            metadata=metadata,
+        )
+
+
+def save_text(trace: BranchTrace, path) -> Path:
+    """Write ``pc taken`` lines; pc in hex, taken as ``T``/``N``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        if trace.name:
+            fh.write(f"# trace: {trace.name}\n")
+        for pc, taken in zip(trace.pcs.tolist(), trace.outcomes.tolist()):
+            fh.write(f"{pc:#x} {'T' if taken else 'N'}\n")
+    return path
+
+
+def load_text(path, name: str = "") -> BranchTrace:
+    """Load ``pc taken`` lines.
+
+    Accepts hex (``0x..``) or decimal PCs and ``T/N``, ``1/0`` or
+    ``taken/not-taken`` outcome tokens; ``#`` starts a comment.
+    """
+    pcs = []
+    outcomes = []
+    trace_name = name
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith("# trace:") and not trace_name:
+                    trace_name = line[len("# trace:"):].strip()
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{lineno}: expected 'pc outcome', got {line!r}")
+            pc_text, outcome_text = parts
+            pc = int(pc_text, 16) if pc_text.lower().startswith("0x") else int(pc_text)
+            token = outcome_text.lower()
+            if token in ("t", "1", "taken"):
+                taken = True
+            elif token in ("n", "0", "not-taken", "nt"):
+                taken = False
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown outcome token {outcome_text!r}")
+            pcs.append(pc)
+            outcomes.append(taken)
+    return BranchTrace(
+        pcs=np.asarray(pcs, dtype=np.int64),
+        outcomes=np.asarray(outcomes, dtype=bool),
+        name=trace_name,
+    )

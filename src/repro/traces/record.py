@@ -1,0 +1,150 @@
+"""Branch trace containers.
+
+A :class:`BranchTrace` is the unit of work for every simulation in this
+package: the time-ordered sequence of *conditional* branch executions of
+one benchmark run, as produced by hardware monitoring (IBS) or ATOM
+instrumentation (SPEC) in the paper, and by :mod:`repro.workloads` here.
+
+Only conditional branches are stored — the paper's predictors and
+statistics (Table 2) consider conditional branches only.  Each record
+carries the branch PC (a word address) and the resolved direction.
+Storage is two parallel numpy arrays, which keeps multi-hundred-thousand
+branch traces compact and lets simulation fast paths vectorize index
+computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["BranchRecord", "BranchTrace"]
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """One executed conditional branch."""
+
+    pc: int
+    taken: bool
+
+    def __iter__(self):
+        return iter((self.pc, self.taken))
+
+
+@dataclass
+class BranchTrace:
+    """A time-ordered sequence of executed conditional branches.
+
+    Attributes
+    ----------
+    pcs:
+        ``int64`` array of branch word addresses.
+    outcomes:
+        ``bool`` array of resolved directions (``True`` = taken).
+    name:
+        Optional benchmark name (e.g. ``"gcc"``) used in reports and as
+        a cache key component.
+    """
+
+    pcs: np.ndarray
+    outcomes: np.ndarray
+    name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.pcs = np.ascontiguousarray(np.asarray(self.pcs, dtype=np.int64))
+        self.outcomes = np.ascontiguousarray(np.asarray(self.outcomes, dtype=bool))
+        if self.pcs.ndim != 1 or self.outcomes.ndim != 1:
+            raise ValueError("pcs and outcomes must be 1-D arrays")
+        if len(self.pcs) != len(self.outcomes):
+            raise ValueError(
+                f"pcs ({len(self.pcs)}) and outcomes ({len(self.outcomes)}) lengths differ"
+            )
+        if len(self.pcs) and self.pcs.min() < 0:
+            raise ValueError("branch PCs must be non-negative")
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[BranchRecord] | Sequence[Tuple[int, bool]], name: str = ""
+    ) -> "BranchTrace":
+        """Build a trace from an iterable of records or ``(pc, taken)`` pairs."""
+        pairs = [tuple(r) for r in records]
+        pcs = np.fromiter((pc for pc, _ in pairs), dtype=np.int64, count=len(pairs))
+        outcomes = np.fromiter(
+            (bool(taken) for _, taken in pairs), dtype=bool, count=len(pairs)
+        )
+        return cls(pcs=pcs, outcomes=outcomes, name=name)
+
+    @classmethod
+    def empty(cls, name: str = "") -> "BranchTrace":
+        return cls(
+            pcs=np.empty(0, dtype=np.int64), outcomes=np.empty(0, dtype=bool), name=name
+        )
+
+    # -- sequence protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return BranchTrace(
+                pcs=self.pcs[item],
+                outcomes=self.outcomes[item],
+                name=self.name,
+                metadata=dict(self.metadata),
+            )
+        return BranchRecord(pc=int(self.pcs[item]), taken=bool(self.outcomes[item]))
+
+    def __iter__(self) -> Iterator[BranchRecord]:
+        for pc, taken in zip(self.pcs.tolist(), self.outcomes.tolist()):
+            yield BranchRecord(pc=pc, taken=taken)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BranchTrace):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and np.array_equal(self.pcs, other.pcs)
+            and np.array_equal(self.outcomes, other.outcomes)
+        )
+
+    # -- operations ---------------------------------------------------------------
+
+    def concat(self, other: "BranchTrace", name: str | None = None) -> "BranchTrace":
+        """Concatenate two traces in time order."""
+        return BranchTrace(
+            pcs=np.concatenate([self.pcs, other.pcs]),
+            outcomes=np.concatenate([self.outcomes, other.outcomes]),
+            name=self.name if name is None else name,
+        )
+
+    def static_branches(self) -> np.ndarray:
+        """Sorted array of distinct static branch PCs appearing in the trace."""
+        return np.unique(self.pcs)
+
+    @property
+    def num_static(self) -> int:
+        """Number of distinct static conditional branches (Table 2, col. 1)."""
+        return len(self.static_branches())
+
+    @property
+    def num_dynamic(self) -> int:
+        """Number of executed conditional branches (Table 2, col. 2)."""
+        return len(self)
+
+    @property
+    def taken_rate(self) -> float:
+        """Fraction of dynamic branches that were taken."""
+        if not len(self):
+            return 0.0
+        return float(self.outcomes.mean())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or "<unnamed>"
+        return f"BranchTrace({label}: {self.num_dynamic} dynamic, {self.num_static} static)"

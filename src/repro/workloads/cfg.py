@@ -1,0 +1,261 @@
+"""Synthetic program model.
+
+A :class:`Program` is a set of :class:`Region`\\ s (think: hot
+functions / loop nests) executed under a Zipf-weighted dispatcher
+(think: the call graph's hot spine).  Each region is a short straight-
+line sequence of conditional branches, optionally wrapped in a loop
+whose back-edge is a :class:`~repro.workloads.components.LoopBehavior`
+branch.
+
+Executing the program emits the dynamic conditional-branch stream:
+
+* the dispatcher picks a region (Zipf over regions — a few regions are
+  very hot, most are cold, matching real instruction-stream skew);
+* the region body executes in order; with a loop, the body repeats
+  while the back-edge is taken;
+* each branch's outcome comes from its behaviour model, fed the current
+  global outcome history — so correlated behaviours inside a region see
+  the outcomes of the branches just before them, exactly the
+  neighboring-branch correlation global-history predictors exploit.
+
+Addresses: regions are laid out ``region_stride`` words apart starting
+at ``base_address``; branch sites take consecutive *even* word
+addresses, loop back-edges an *odd* address (the BTFNT convention used
+by :class:`repro.predictors.static_.BTFNTPredictor`).  Distinct static
+branches always receive distinct addresses; table aliasing then arises
+naturally from low-order address-bit collisions, as in real predictors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.traces.record import BranchTrace
+from repro.workloads.components import BranchBehavior, LoopBehavior
+
+__all__ = ["BranchSite", "Region", "Program", "zipf_weights"]
+
+
+@dataclass
+class BranchSite:
+    """One static conditional branch: an address and a behaviour."""
+
+    address: int
+    behavior: BranchBehavior
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"address must be >= 0, got {self.address}")
+
+
+@dataclass
+class Region:
+    """A straight-line branch sequence, optionally looped.
+
+    Attributes
+    ----------
+    body:
+        Branch sites executed in order once per (loop) iteration.
+    loop:
+        Optional back-edge site; its behaviour should be a
+        :class:`LoopBehavior` (enforced).  When present, the body
+        re-executes while the back-edge is taken.
+    max_iterations:
+        Safety valve on loop visits (runaway behaviours cannot stall
+        generation).
+    """
+
+    body: List[BranchSite]
+    loop: Optional[BranchSite] = None
+    max_iterations: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.loop is not None and not isinstance(self.loop.behavior, LoopBehavior):
+            raise TypeError("region loop site must use a LoopBehavior")
+        if not self.body and self.loop is None:
+            raise ValueError("region must contain at least one branch site")
+
+    def sites(self) -> List[BranchSite]:
+        """All static sites in the region (body then back-edge)."""
+        return self.body + ([self.loop] if self.loop is not None else [])
+
+    def execute(self, emit, history_ref: List[int], rng: Random) -> None:
+        """Run the region once, emitting ``(pc, taken)`` via ``emit``.
+
+        ``history_ref`` is a 1-element list holding the global history
+        integer, shared with the :class:`Program` driver (a mutable cell
+        keeps the hot path free of attribute lookups).
+        """
+        iterations = 0
+        for site in self.body:
+            site.behavior.sync()
+        if self.loop is not None:
+            self.loop.behavior.sync()
+        while True:
+            for site in self.body:
+                history = history_ref[0]
+                taken = site.behavior.next_outcome(history, rng)
+                emit(site.address, taken)
+                history_ref[0] = ((history << 1) | taken) & 0xFFFFFFFF
+            if self.loop is None:
+                return
+            history = history_ref[0]
+            taken = self.loop.behavior.next_outcome(history, rng)
+            emit(self.loop.address, taken)
+            history_ref[0] = ((history << 1) | taken) & 0xFFFFFFFF
+            iterations += 1
+            if not taken or iterations >= self.max_iterations:
+                return
+
+
+def zipf_weights(n: int, skew: float = 1.0) -> np.ndarray:
+    """Zipf popularity weights ``1/rank**skew``, normalized to sum 1."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-skew
+    return weights / weights.sum()
+
+
+@dataclass
+class Program:
+    """A control-flow walk over regions; running it emits a branch trace.
+
+    Execution follows a **deterministic cyclic schedule**: each region
+    carries a small cyclic list of successor region indices, advanced by
+    one on every exit.  A region's schedule encodes its control-flow
+    habits — self-entries give repeat bursts, a dominant successor gives
+    the fall-through path, occasional other entries give the excursions
+    (rare callees, error paths).  Global branch history only carries
+    predictive value when control flow is repetitive, and real control
+    flow is overwhelmingly repetitive (hot loops, phase behaviour);
+    random-walk dispatch would bury predictors in unique history
+    contexts that a short trace can never warm up.
+
+    A small ``jump_prob`` adds Zipf-weighted random jumps on top —
+    interrupts, indirect calls through cold tables — which is the
+    walk's only dispatch-level stochasticity.
+
+    Attributes
+    ----------
+    regions:
+        The program's regions.
+    schedule:
+        Per region, a non-empty cyclic list of successor region indices.
+        ``None`` gives every region the schedule ``[next region]`` (one
+        big ring).
+    weights:
+        Popularity used for the start region and for random jumps
+        (defaults to Zipf with skew 1 over the region order).
+    jump_prob:
+        Probability, per region execution, of a random Zipf jump.
+    name:
+        Benchmark name recorded on generated traces.
+    """
+
+    regions: List[Region]
+    schedule: Optional[List[List[int]]] = None
+    weights: Optional[Sequence[float]] = None
+    jump_prob: float = 0.01
+    name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise ValueError("program must contain at least one region")
+        n = len(self.regions)
+        if self.schedule is None:
+            self.schedule = [[(i + 1) % n] for i in range(n)]
+        if len(self.schedule) != n:
+            raise ValueError("need one schedule per region")
+        for i, entries in enumerate(self.schedule):
+            if not entries:
+                raise ValueError(f"region {i} has an empty schedule")
+            for target in entries:
+                if not 0 <= target < n:
+                    raise ValueError(f"region {i}: bad schedule target {target}")
+        if self.weights is None:
+            self.weights = zipf_weights(n)
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        if len(self.weights) != n:
+            raise ValueError(f"{len(self.weights)} weights for {n} regions")
+        if (self.weights < 0).any() or self.weights.sum() <= 0:
+            raise ValueError("weights must be non-negative and sum to > 0")
+        self.weights = self.weights / self.weights.sum()
+        if not 0.0 <= self.jump_prob <= 1.0:
+            raise ValueError(f"jump_prob must be in [0, 1], got {self.jump_prob}")
+
+    def static_sites(self) -> List[BranchSite]:
+        """Every static branch site in the program."""
+        sites: List[BranchSite] = []
+        for region in self.regions:
+            sites.extend(region.sites())
+        return sites
+
+    def reset(self) -> None:
+        for site in self.static_sites():
+            site.behavior.reset()
+
+    def run(self, length: int, seed: int = 0) -> BranchTrace:
+        """Generate ``length`` dynamic conditional branches.
+
+        Deterministic in ``(program, length, seed)``.  Behaviour state
+        is reset first, so repeated runs are reproducible.
+        """
+        if length < 0:
+            raise ValueError(f"length must be >= 0, got {length}")
+        self.reset()
+        rng = Random(seed)
+        # numpy generator only for the bulk random-jump draws
+        chooser = np.random.default_rng(seed ^ 0x5EED)
+        jump_targets = chooser.choice(
+            len(self.regions), size=max(64, length // 16 + 16), p=self.weights
+        )
+        jump_pos = 0
+
+        pcs: List[int] = []
+        outcomes: List[int] = []
+        append_pc = pcs.append
+        append_outcome = outcomes.append
+
+        def emit(pc: int, taken: bool) -> None:
+            append_pc(pc)
+            append_outcome(taken)
+
+        def random_jump() -> int:
+            nonlocal jump_pos
+            if jump_pos >= len(jump_targets):
+                jump_pos = 0
+            target = int(jump_targets[jump_pos])
+            jump_pos += 1
+            return target
+
+        history_ref = [0]
+        current = random_jump()
+        jump_prob = self.jump_prob
+        schedule = self.schedule
+        pointers = [0] * len(self.regions)
+        regions = self.regions
+        while len(pcs) < length:
+            regions[current].execute(emit, history_ref, rng)
+            if jump_prob and rng.random() < jump_prob:
+                current = random_jump()
+                continue
+            entries = schedule[current]
+            pointer = pointers[current]
+            pointers[current] = pointer + 1 if pointer + 1 < len(entries) else 0
+            current = entries[pointer]
+
+        trace = BranchTrace(
+            pcs=np.asarray(pcs[:length], dtype=np.int64),
+            outcomes=np.asarray(outcomes[:length], dtype=bool),
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+        return trace

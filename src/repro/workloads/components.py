@@ -1,0 +1,348 @@
+"""Branch behaviour models for synthetic workloads.
+
+The paper's traces came from real programs; this package synthesizes
+traces whose *predictability structure* matches what the paper measures,
+using a small vocabulary of per-static-branch behaviour models.  Each
+model captures one of the branch populations the paper's analysis talks
+about:
+
+* :class:`BiasedBehavior` — error-check/guard branches: strongly biased
+  in one direction (the ST/SNT static population of Section 4); with
+  ``p_taken`` near 0.5 it models the intrinsically weakly-biased
+  population that dominates ``go``.
+* :class:`LoopBehavior` — loop back-edges: taken ``trip-1`` times, then
+  not-taken once.  Per-address bias depends on the trip count; global
+  history that spans one loop body makes the exit predictable.
+* :class:`CorrelatedBehavior` — if-then-else branches whose outcome is a
+  (noisy) boolean function of the recent *global* outcome history: per
+  address they can look arbitrary, but a global-history predictor with
+  enough bits sees near-deterministic substreams.  This is the paper's
+  "special conditions ... not difficult to recognize, but recognition
+  requires memory space".
+* :class:`PatternBehavior` — short repeating local patterns, the
+  population that per-address history (PAx) captures best.
+
+A behaviour is a tiny state machine: ``next_outcome(history, rng)``
+returns the branch's resolved direction given the current *global
+history integer* (newest outcome in the LSB, as maintained by the
+generator) and the workload's random stream.  Behaviours hold only
+their own private state and are reset with :meth:`reset`.
+"""
+
+from __future__ import annotations
+
+import abc
+from random import Random
+from typing import Sequence, Tuple
+
+__all__ = [
+    "BranchBehavior",
+    "BiasedBehavior",
+    "LoopBehavior",
+    "CorrelatedBehavior",
+    "PatternBehavior",
+]
+
+
+class BranchBehavior(abc.ABC):
+    """Outcome model of one static branch."""
+
+    @abc.abstractmethod
+    def next_outcome(self, history: int, rng: Random) -> bool:
+        """Resolved direction of the branch's next execution.
+
+        Parameters
+        ----------
+        history:
+            Global outcome history at prediction time, newest branch in
+            the least-significant bit (the generator maintains an
+            effectively unbounded register; behaviours mask what they
+            need).
+        rng:
+            The workload's seeded random stream.
+        """
+
+    def reset(self) -> None:
+        """Forget private state (default: stateless)."""
+
+    def sync(self) -> None:
+        """Re-anchor phase state at a region entry (default: no-op).
+
+        Called by :meth:`repro.workloads.cfg.Region.execute` when a
+        region visit starts, so phase-based behaviours (patterns) stay
+        aligned with the control-flow structure instead of free-running
+        — an alternating branch inside a loop restarts its pattern each
+        time the loop is entered.
+        """
+
+
+class BiasedBehavior(BranchBehavior):
+    """Biased branch with optionally *bursty* deviations.
+
+    ``p_taken >= 0.9`` / ``<= 0.1`` produces the strongly-biased static
+    population; values near 0.5 produce intrinsically hard branches.
+
+    With the default ``burst_length=1`` deviations from the dominant
+    direction are independent per execution.  With ``burst_length > 1``
+    the branch instead alternates between a *normal* phase (dominant
+    direction) and rarer *deviant* phases of geometric mean length
+    ``burst_length`` during which the direction inverts — the way real
+    guard branches deviate (a run of unusual data), which matters for
+    predictors: a counter re-trains once per burst, not once per
+    deviation, and the deviant history patterns recur.  The long-run
+    deviation fraction equals ``min(p, 1-p)`` in both modes.
+    """
+
+    def __init__(self, p_taken: float, burst_length: int = 1):
+        if not 0.0 <= p_taken <= 1.0:
+            raise ValueError(f"p_taken must be in [0, 1], got {p_taken}")
+        if burst_length < 1:
+            raise ValueError(f"burst_length must be >= 1, got {burst_length}")
+        self.p_taken = p_taken
+        self.burst_length = burst_length
+        self._deviant = False
+        self._remaining = 0
+
+    def _dominant(self) -> bool:
+        return self.p_taken >= 0.5
+
+    def next_outcome(self, history: int, rng: Random) -> bool:
+        if self.burst_length == 1:
+            return rng.random() < self.p_taken
+        # Two-state phase model: at each phase boundary the next phase
+        # is deviant with probability = the deviation rate; both phase
+        # kinds have geometric length with mean burst_length, so the
+        # stationary deviant fraction equals the deviation rate.
+        if self._remaining <= 0:
+            deviation_rate = min(self.p_taken, 1.0 - self.p_taken)
+            self._deviant = rng.random() < deviation_rate
+            self._remaining = max(1, round(rng.expovariate(1.0 / self.burst_length)))
+        self._remaining -= 1
+        outcome = self._dominant()
+        return (not outcome) if self._deviant else outcome
+
+    def reset(self) -> None:
+        self._deviant = False
+        self._remaining = 0
+
+    def __repr__(self) -> str:
+        if self.burst_length > 1:
+            return f"BiasedBehavior(p_taken={self.p_taken}, burst_length={self.burst_length})"
+        return f"BiasedBehavior(p_taken={self.p_taken})"
+
+
+class LoopBehavior(BranchBehavior):
+    """Loop back-edge: taken while iterations remain.
+
+    Parameters
+    ----------
+    trip_count:
+        Mean iterations per loop visit (must be >= 1).  The back-edge is
+        taken ``trip - 1`` times then not-taken once per visit.
+    jitter:
+        Half-width of a uniform integer perturbation on the trip count,
+        modelling data-dependent bounds.  ``jitter=0`` gives perfectly
+        periodic (hence history-predictable) behaviour.
+    resample_prob:
+        Probability, per loop visit, of drawing a *new* jittered trip
+        count.  Real loop bounds change with program phase, not on every
+        visit; a small value (the generator uses 0.05) keeps the trip
+        constant for long stretches so the exit pattern stays learnable,
+        while still varying over the run.  ``1.0`` re-draws every visit.
+    """
+
+    def __init__(self, trip_count: int, jitter: int = 0, resample_prob: float = 1.0):
+        if trip_count < 1:
+            raise ValueError(f"trip_count must be >= 1, got {trip_count}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        if not 0.0 <= resample_prob <= 1.0:
+            raise ValueError(f"resample_prob must be in [0, 1], got {resample_prob}")
+        self.trip_count = trip_count
+        self.jitter = jitter
+        self.resample_prob = resample_prob
+        self._current_trip = None  # trip in effect for the current phase
+        self._remaining = None  # iterations left in the current visit
+
+    def _fresh_trip(self, rng: Random) -> int:
+        if self.jitter:
+            return max(1, self.trip_count + rng.randint(-self.jitter, self.jitter))
+        return self.trip_count
+
+    def next_outcome(self, history: int, rng: Random) -> bool:
+        if self._remaining is None:
+            if self._current_trip is None or (
+                self.jitter and rng.random() < self.resample_prob
+            ):
+                self._current_trip = self._fresh_trip(rng)
+            self._remaining = self._current_trip
+        self._remaining -= 1
+        if self._remaining <= 0:
+            self._remaining = None  # exit: next call starts a new visit
+            return False
+        return True
+
+    def reset(self) -> None:
+        self._current_trip = None
+        self._remaining = None
+
+    def __repr__(self) -> str:
+        return f"LoopBehavior(trip_count={self.trip_count}, jitter={self.jitter})"
+
+
+class CorrelatedBehavior(BranchBehavior):
+    """Branch correlated with *specific* recent global outcomes.
+
+    Real if-then-else correlation ties a branch to the outcomes of one
+    to three particular earlier branches (e.g. a flag tested twice), not
+    to an arbitrary function of the entire history window.  The model
+    therefore selects ``positions`` — history bit offsets, 0 = the
+    immediately preceding branch — and a truth table over just those
+    bits; all other history bits are irrelevant, which keeps synthetic
+    control flow compressible the way real control flow is.
+
+    The outcome is ``table[bits-at-positions]``, flipped with
+    probability ``noise``.  A global-history predictor whose history
+    length covers ``max(positions)`` sees ``1 - noise`` predictable
+    substreams; a per-address table sees only the marginal bias the
+    table and history distribution happen to produce.
+
+    Parameters
+    ----------
+    positions:
+        History bit offsets the branch reads (strictly increasing).
+    table:
+        Truth table of length ``2**len(positions)``; bit ``i`` of the
+        table index is the history bit at ``positions[i]``.
+    noise:
+        Deviation rate, modelling data dependence beyond control
+        history.
+    burst_length:
+        With the default 1, deviations are independent flips.  With
+        ``burst_length > 1`` deviations arrive in phases of geometric
+        mean length ``burst_length`` during which the truth table is
+        inverted (see :class:`BiasedBehavior` for the phase model and
+        why burstiness matters to predictors).
+    """
+
+    def __init__(
+        self,
+        positions: Sequence[int],
+        table: Sequence[bool],
+        noise: float = 0.0,
+        burst_length: int = 1,
+    ):
+        positions = tuple(int(p) for p in positions)
+        if not positions:
+            raise ValueError("need at least one history position")
+        if list(positions) != sorted(set(positions)):
+            raise ValueError(f"positions must be strictly increasing, got {positions}")
+        if positions[0] < 0 or positions[-1] > 20:
+            raise ValueError(f"positions out of range: {positions}")
+        if len(positions) > 6:
+            raise ValueError(f"{len(positions)} inputs is unreasonably many")
+        if len(table) != 1 << len(positions):
+            raise ValueError(
+                f"table must have {1 << len(positions)} entries, got {len(table)}"
+            )
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError(f"noise must be in [0, 1], got {noise}")
+        if burst_length < 1:
+            raise ValueError(f"burst_length must be >= 1, got {burst_length}")
+        self.positions = positions
+        self.table: Tuple[bool, ...] = tuple(bool(x) for x in table)
+        self.noise = noise
+        self.burst_length = burst_length
+        self._deviant = False
+        self._remaining = 0
+
+    @property
+    def depth(self) -> int:
+        """History length needed to capture the correlation."""
+        return self.positions[-1] + 1
+
+    @classmethod
+    def random(
+        cls,
+        depth: int,
+        rng: Random,
+        noise: float = 0.0,
+        num_inputs: int | None = None,
+        burst_length: int = 1,
+    ) -> "CorrelatedBehavior":
+        """A random sparse correlation within a ``depth``-bit window.
+
+        Picks 1–3 input positions (unless ``num_inputs`` is given), the
+        deepest anchored near ``depth - 1`` so the stated depth is what
+        a predictor actually needs, and a random non-constant truth
+        table over them.
+        """
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if num_inputs is None:
+            num_inputs = rng.randint(1, min(3, depth))
+        if not 1 <= num_inputs <= depth:
+            raise ValueError(f"num_inputs must be in [1, {depth}], got {num_inputs}")
+        anchor = depth - 1
+        others = rng.sample(range(anchor), num_inputs - 1) if num_inputs > 1 else []
+        positions = sorted(others + [anchor])
+        table = [rng.random() < 0.5 for _ in range(1 << num_inputs)]
+        if all(table) or not any(table):
+            table[rng.randrange(len(table))] = not table[0]
+        return cls(
+            positions=positions, table=table, noise=noise, burst_length=burst_length
+        )
+
+    def next_outcome(self, history: int, rng: Random) -> bool:
+        index = 0
+        for i, position in enumerate(self.positions):
+            index |= ((history >> position) & 1) << i
+        outcome = self.table[index]
+        if not self.noise:
+            return outcome
+        if self.burst_length == 1:
+            if rng.random() < self.noise:
+                return not outcome
+            return outcome
+        if self._remaining <= 0:
+            self._deviant = rng.random() < self.noise
+            self._remaining = max(1, round(rng.expovariate(1.0 / self.burst_length)))
+        self._remaining -= 1
+        return (not outcome) if self._deviant else outcome
+
+    def reset(self) -> None:
+        self._deviant = False
+        self._remaining = 0
+
+    def __repr__(self) -> str:
+        return f"CorrelatedBehavior(positions={self.positions}, noise={self.noise})"
+
+
+class PatternBehavior(BranchBehavior):
+    """Fixed repeating outcome pattern (e.g. ``TTN TTN ...``).
+
+    Perfectly predictable by per-address history of length
+    ``len(pattern)``; per-address 2-bit counters mispredict the minority
+    outcomes forever.
+    """
+
+    def __init__(self, pattern: Sequence[bool]):
+        if not pattern:
+            raise ValueError("pattern must be non-empty")
+        self.pattern: Tuple[bool, ...] = tuple(bool(x) for x in pattern)
+        self._position = 0
+
+    def next_outcome(self, history: int, rng: Random) -> bool:
+        outcome = self.pattern[self._position]
+        self._position = (self._position + 1) % len(self.pattern)
+        return outcome
+
+    def reset(self) -> None:
+        self._position = 0
+
+    def sync(self) -> None:
+        self._position = 0
+
+    def __repr__(self) -> str:
+        text = "".join("T" if x else "N" for x in self.pattern)
+        return f"PatternBehavior({text})"

@@ -1,0 +1,100 @@
+"""Benchmark-suite builders with on-disk trace caching.
+
+Generating a 500 K-branch trace takes a couple of seconds; the figure
+benchmarks run every benchmark many times, so generated traces are
+cached as ``.npz`` under a cache directory (default
+``~/.cache/repro-bimode`` or ``$REPRO_CACHE_DIR``), keyed by
+``(benchmark, length, seed)``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from repro.traces.io import load_npz, save_npz
+from repro.traces.record import BranchTrace
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import (
+    ALL_PROFILES,
+    CINT95_PROFILES,
+    IBS_PROFILES,
+    get_profile,
+)
+
+__all__ = [
+    "default_cache_dir",
+    "load_benchmark",
+    "load_suite",
+    "cint95_suite",
+    "ibs_suite",
+    "suite_names",
+]
+
+
+def default_cache_dir() -> Path:
+    """Trace/result cache root (override with ``$REPRO_CACHE_DIR``)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-bimode"
+
+
+def load_benchmark(
+    name: str,
+    length: int | None = None,
+    seed: int = 0,
+    cache_dir: Path | None = None,
+    use_cache: bool = True,
+) -> BranchTrace:
+    """Generate (or load the cached) trace for one benchmark."""
+    profile = get_profile(name)
+    if length is None:
+        length = profile.default_length
+    if not use_cache:
+        return generate_trace(profile, length=length, seed=seed)
+    cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    cache_path = cache_dir / "traces" / f"{name}-n{length}-s{seed}.npz"
+    if cache_path.exists():
+        return load_npz(cache_path)
+    trace = generate_trace(profile, length=length, seed=seed)
+    save_npz(trace, cache_path)
+    return trace
+
+
+def load_suite(
+    names: Iterable[str],
+    length: int | None = None,
+    seed: int = 0,
+    cache_dir: Path | None = None,
+    use_cache: bool = True,
+) -> Dict[str, BranchTrace]:
+    """Traces for several benchmarks, keyed by name."""
+    return {
+        name: load_benchmark(
+            name, length=length, seed=seed, cache_dir=cache_dir, use_cache=use_cache
+        )
+        for name in names
+    }
+
+
+def cint95_suite(**kwargs) -> Dict[str, BranchTrace]:
+    """The six SPEC CINT95 benchmark traces (paper Figure 3)."""
+    return load_suite(CINT95_PROFILES, **kwargs)
+
+
+def ibs_suite(**kwargs) -> Dict[str, BranchTrace]:
+    """The eight IBS-Ultrix benchmark traces (paper Figure 4)."""
+    return load_suite(IBS_PROFILES, **kwargs)
+
+
+def suite_names(suite: str) -> List[str]:
+    """Benchmark names in a suite (``"cint95"``, ``"ibs"`` or ``"all"``)."""
+    if suite == "cint95":
+        return list(CINT95_PROFILES)
+    if suite == "ibs":
+        return list(IBS_PROFILES)
+    if suite == "all":
+        return list(ALL_PROFILES)
+    raise ValueError(f"unknown suite {suite!r}")

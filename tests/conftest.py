@@ -1,0 +1,79 @@
+"""Shared fixtures: small deterministic traces and predictor specs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.record import BranchTrace
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import get_profile
+
+
+#: Every registered predictor spec exercised by the equivalence and
+#: smoke tests.  Kept small so the whole matrix stays fast.
+ALL_SPECS = [
+    "always-taken",
+    "always-not-taken",
+    "btfnt",
+    "bimodal:index=8",
+    "bimodal:index=6,bits=3",
+    "gshare:index=8,hist=8",
+    "gshare:index=8,hist=3",
+    "gshare:index=8,hist=0",
+    "gag:hist=8",
+    "gas:hist=5,select=3",
+    "gselect:hist=4,addr=4",
+    "pag:hist=6,bht=6",
+    "pas:hist=4,select=3,bht=5",
+    "bimode:dir=7,hist=7,choice=7",
+    "bimode:dir=7,hist=4,choice=6",
+    "bimode:dir=7,hist=7,choice=7,full_update=1",
+    "bimode:dir=7,hist=7,choice=7,choice_hist=1",
+    "agree:index=8,hist=8",
+    "gskew:bank=7,hist=7",
+    "gskew:bank=7,hist=7,update=total",
+    "yags:choice=8,cache=6,hist=6,tag=6",
+    "tournament:index=8,meta=8",
+    "trimode:dir=7,hist=7,choice=7",
+    "trimode:dir=7,hist=3,choice=5",
+    "biasfilter:table=8,run=2,sub_index=8,sub_hist=8",
+    "gap:hist=4,addr=4",
+    "pap:hist=3,addr=3,bht=4",
+    "perceptron:index=6,hist=8",
+]
+
+
+def make_toy_trace(length: int = 2000, seed: int = 7, num_branches: int = 24) -> BranchTrace:
+    """A quick random trace (not workload-realistic; for mechanics tests)."""
+    rng = np.random.default_rng(seed)
+    pcs = rng.integers(0, num_branches, size=length) * 4 + 64
+    # mix of biased and alternating branches so every predictor has work
+    outcomes = np.empty(length, dtype=bool)
+    for b in range(num_branches):
+        mask = pcs == b * 4 + 64
+        n = int(mask.sum())
+        if b % 3 == 0:
+            outcomes[mask] = rng.random(n) < 0.95
+        elif b % 3 == 1:
+            outcomes[mask] = rng.random(n) < 0.05
+        else:
+            outcomes[mask] = (np.arange(n) % 2).astype(bool)
+    return BranchTrace(pcs=pcs, outcomes=outcomes, name="toy")
+
+
+@pytest.fixture(scope="session")
+def toy_trace() -> BranchTrace:
+    return make_toy_trace()
+
+
+@pytest.fixture(scope="session")
+def small_workload() -> BranchTrace:
+    """A short real workload trace (xlisp profile, 20 K branches)."""
+    return generate_trace(get_profile("xlisp"), length=20_000, seed=3)
+
+
+@pytest.fixture(scope="session")
+def aliasing_workload() -> BranchTrace:
+    """A trace with a large static footprint (gcc profile, 30 K branches)."""
+    return generate_trace(get_profile("gcc"), length=30_000, seed=3)

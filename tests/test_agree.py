@@ -1,0 +1,67 @@
+"""Unit tests for the agree predictor."""
+
+import numpy as np
+import pytest
+
+from repro.predictors.agree import AgreePredictor
+from repro.sim.engine import run, run_steps
+from tests.conftest import make_toy_trace
+
+
+class TestAgree:
+    def test_bias_bit_set_on_first_outcome(self):
+        p = AgreePredictor(index_bits=6)
+        p.update(3, False)
+        assert p.bias_valid[3]
+        assert p.bias_bits[3] is False
+        # later outcomes do not overwrite the bias
+        p.update(3, True)
+        assert p.bias_bits[3] is False
+
+    def test_prediction_is_bias_xnor_agree(self):
+        p = AgreePredictor(index_bits=6, history_bits=0)
+        p.update(3, False)  # bias(3) = not-taken, counter trains "agree"
+        assert p.predict(3) is False  # agree with a not-taken bias
+        # drive the counter to disagree
+        for _ in range(4):
+            p.table.update(3, False)
+        assert p.predict(3) is True
+
+    def test_opposite_biases_aliasing_is_constructive(self):
+        """The agree predictor's selling point: a taken-biased and a
+        not-taken-biased branch sharing a PHT counter both train it
+        toward 'agree'."""
+        p = AgreePredictor(index_bits=4, history_bits=0, bias_index_bits=8)
+        taken_pc = 0x13
+        not_taken_pc = 0x23  # same PHT index (low 4 bits), distinct bias slots
+        misses = 0
+        for _ in range(100):
+            misses += p.predict_and_update(taken_pc, True) is not True
+            misses += p.predict_and_update(not_taken_pc, False) is not False
+        assert misses <= 2
+
+    def test_size_accounting_counts_counters_only(self):
+        p = AgreePredictor(index_bits=10)
+        assert p.size_bits() == 2048
+        assert p.bias_storage_bits() == 2048  # valid + bias bit x 1024
+
+    def test_reset_clears_bias_bits(self):
+        p = AgreePredictor(index_bits=4)
+        p.update(1, True)
+        p.reset()
+        assert not any(p.bias_valid)
+
+    def test_batch_equals_step(self):
+        trace = make_toy_trace(length=800)
+        batch = run(AgreePredictor(8, 6), trace)
+        steps = run_steps(AgreePredictor(8, 6), trace)
+        assert np.array_equal(batch.predictions, steps.predictions)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            AgreePredictor(index_bits=4, history_bits=5)
+        with pytest.raises(ValueError):
+            AgreePredictor(index_bits=-1)
+
+    def test_name(self):
+        assert AgreePredictor(8, 6, 7).name == "agree:index=8,hist=6,bias=2^7"

@@ -1,0 +1,119 @@
+"""Unit tests for the aliasing statistics."""
+
+import pytest
+
+from repro.analysis.aliasing import aliasing_stats, sharing_decomposition
+from repro.analysis.bias import analyze_substreams
+from repro.core.registry import make_predictor
+from repro.sim.engine import run_detailed
+from tests.test_analysis_bias import detailed_from
+
+
+class TestAliasingStats:
+    def test_single_stream_no_aliasing(self):
+        detailed = detailed_from([1] * 10, [0] * 10, [True] * 10)
+        stats = aliasing_stats(analyze_substreams(detailed))
+        assert stats.counters_used == 1
+        assert stats.aliased_counters == 0
+        assert stats.aliased_access_fraction == 0.0
+        assert stats.destructive_access_fraction == 0.0
+
+    def test_harmless_aliasing_same_direction(self):
+        # two always-taken branches share counter 0: aliased, harmless
+        pcs = [1] * 10 + [2] * 10
+        detailed = detailed_from(pcs, [0] * 20, [True] * 20)
+        stats = aliasing_stats(analyze_substreams(detailed))
+        assert stats.aliased_counters == 1
+        assert stats.aliased_access_fraction == 1.0
+        assert stats.destructive_access_fraction == 0.0
+        assert stats.harmless_access_fraction == 1.0
+
+    def test_destructive_aliasing_opposite_directions(self):
+        pcs = [1] * 10 + [2] * 10
+        outcomes = [True] * 10 + [False] * 10
+        detailed = detailed_from(pcs, [0] * 20, outcomes)
+        stats = aliasing_stats(analyze_substreams(detailed))
+        assert stats.destructive_counters == 1
+        assert stats.destructive_access_fraction == 1.0
+
+    def test_wb_sharing_is_not_destructive(self):
+        # an ST stream sharing with a WB stream: aliased but not
+        # destructive by the ST/SNT-collision definition
+        pcs = [1] * 10 + [2] * 10
+        outcomes = [True] * 10 + [True, False] * 5
+        detailed = detailed_from(pcs, [0] * 20, outcomes)
+        stats = aliasing_stats(analyze_substreams(detailed))
+        assert stats.aliased_counters == 1
+        assert stats.destructive_counters == 0
+
+    def test_empty(self):
+        detailed = detailed_from([], [], [], num_counters=4)
+        stats = aliasing_stats(analyze_substreams(detailed))
+        assert stats.counters_used == 0
+        assert stats.aliased_access_fraction == 0.0
+
+    def test_mean_streams_per_counter(self):
+        pcs = [1, 2, 3, 4]
+        counters = [0, 0, 0, 1]
+        detailed = detailed_from(pcs, counters, [True] * 4)
+        stats = aliasing_stats(analyze_substreams(detailed))
+        assert stats.mean_streams_per_counter == pytest.approx(2.0)
+
+    def test_bimode_less_destructive_than_gshare(self, aliasing_workload):
+        """The 'separate the destructive aliases' claim as a direct
+        measurement, at matched direction-index geometry: routing by
+        bias must reduce opposite-class collisions per counter.  (The
+        cost-matched version of the claim is the non-dominant-area test
+        in test_analysis_bias.py.)"""
+        gshare = run_detailed(
+            make_predictor("gshare:index=8,hist=8"), aliasing_workload
+        )
+        bimode = run_detailed(
+            make_predictor("bimode:dir=8,hist=8,choice=8"), aliasing_workload
+        )
+        g = aliasing_stats(analyze_substreams(gshare))
+        b = aliasing_stats(analyze_substreams(bimode))
+        assert b.destructive_access_fraction < g.destructive_access_fraction
+
+    def test_min_minority_threshold_validated(self):
+        detailed = detailed_from([1], [0], [True])
+        with pytest.raises(ValueError):
+            aliasing_stats(analyze_substreams(detailed), min_minority=0.6)
+
+
+class TestSharingDecomposition:
+    def test_no_capacity_pressure(self):
+        # 2 streams, 4 counters: capacity share 0
+        detailed = detailed_from([1, 2], [0, 1], [True, True], num_counters=4)
+        decomposition = sharing_decomposition(analyze_substreams(detailed))
+        assert decomposition.capacity_share == 0.0
+        assert decomposition.measured_share == 0.0
+        assert decomposition.conflict_share == 0.0
+
+    def test_pure_conflict(self):
+        # 2 streams, 4 counters, but both on counter 0: all conflict
+        detailed = detailed_from([1, 2], [0, 0], [True, True], num_counters=4)
+        decomposition = sharing_decomposition(analyze_substreams(detailed))
+        assert decomposition.capacity_share == 0.0
+        assert decomposition.measured_share == 1.0
+        assert decomposition.conflict_share == 1.0
+
+    def test_full_capacity(self):
+        # 8 streams, 2 counters: sharing is inevitable
+        pcs = list(range(8))
+        counters = [0, 1] * 4
+        detailed = detailed_from(pcs, counters, [True] * 8, num_counters=2)
+        decomposition = sharing_decomposition(analyze_substreams(detailed))
+        assert decomposition.capacity_share == 1.0
+        assert decomposition.conflict_share == 0.0
+
+    def test_partial_capacity(self):
+        # 3 streams, 2 counters: balanced placement shares 2 of 3 streams
+        detailed = detailed_from([1, 2, 3], [0, 0, 1], [True] * 3, num_counters=2)
+        decomposition = sharing_decomposition(analyze_substreams(detailed))
+        assert decomposition.capacity_share == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        detailed = detailed_from([], [], [], num_counters=4)
+        decomposition = sharing_decomposition(analyze_substreams(detailed))
+        assert decomposition.measured_share == 0.0

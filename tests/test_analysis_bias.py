@@ -1,0 +1,194 @@
+"""Unit tests for the substream bias analysis (paper Section 4.1-4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bias import (
+    SNT,
+    ST,
+    WB,
+    SubstreamAnalysis,
+    analyze_substreams,
+    classify_rate,
+    counter_bias_table,
+    normalized_counts,
+)
+from repro.core.interfaces import DetailedSimulation, SimulationResult
+from repro.core.registry import make_predictor
+from repro.sim.engine import run_detailed
+from tests.conftest import make_toy_trace
+
+
+def detailed_from(pcs, counter_ids, outcomes, mispredicted=None, num_counters=None):
+    n = len(pcs)
+    outcomes = np.array(outcomes, dtype=bool)
+    if mispredicted is None:
+        predictions = outcomes.copy()
+    else:
+        predictions = outcomes ^ np.array(mispredicted, dtype=bool)
+    result = SimulationResult("p", "t", predictions, outcomes)
+    return DetailedSimulation(
+        result=result,
+        counter_ids=np.array(counter_ids),
+        num_counters=num_counters or (max(counter_ids) + 1),
+        pcs=np.array(pcs),
+    )
+
+
+class TestClassifyRate:
+    def test_boundaries(self):
+        assert classify_rate(0.9) == ST
+        assert classify_rate(0.1) == SNT
+        assert classify_rate(0.89) == WB
+        assert classify_rate(0.11) == WB
+        assert classify_rate(1.0) == ST
+        assert classify_rate(0.0) == SNT
+
+    def test_custom_threshold(self):
+        assert classify_rate(0.85, threshold=0.8) == ST
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            classify_rate(1.5)
+
+
+class TestPaperTable3:
+    """The worked example of the paper's Table 3."""
+
+    @pytest.fixture
+    def analysis(self):
+        pcs = [0x001] * 12 + [0x005] * 20 + [0x100] * 8 + [0x150] * 10
+        outcomes = (
+            [True] * 11 + [False]
+            + [True] + [False] * 19
+            + [True] * 3 + [False] * 5
+            + [True] + [False] * 9
+        )
+        return analyze_substreams(
+            detailed_from(pcs, [0] * 50, outcomes, num_counters=1)
+        )
+
+    def test_normalized_counts(self, analysis):
+        counts = normalized_counts(analysis, 0)
+        assert counts[0x001] == (pytest.approx(0.24), "ST")
+        assert counts[0x005] == (pytest.approx(0.40), "SNT")
+        assert counts[0x100] == (pytest.approx(0.16), "WB")
+        assert counts[0x150] == (pytest.approx(0.20), "SNT")
+
+    def test_snt_is_dominant(self, analysis):
+        # SNT has 60% of the normalized count vs ST's 24%
+        assert analysis.counter_dominant[0] == SNT
+
+    def test_roles(self, analysis):
+        roles = dict(zip(analysis.stream_pc.tolist(), analysis.stream_role().tolist()))
+        assert roles[0x005] == 0  # dominant
+        assert roles[0x150] == 0
+        assert roles[0x001] == 1  # non-dominant
+        assert roles[0x100] == 2  # WB
+
+    def test_bias_table_row(self, analysis):
+        table = counter_bias_table(analysis)
+        assert table.shape == (1, 3)
+        assert table[0] == pytest.approx([0.60, 0.24, 0.16])
+
+    def test_empty_counter_normalized_counts(self, analysis):
+        assert normalized_counts(analysis, 0) != {}
+        # a counter never accessed yields an empty mapping
+        pcs = [1, 1]
+        a2 = analyze_substreams(detailed_from(pcs, [0, 0], [True, True], num_counters=4))
+        assert normalized_counts(a2, 3) == {}
+
+
+class TestAnalyzeSubstreams:
+    def test_streams_keyed_by_pc_and_counter(self):
+        # one pc hitting two counters = two streams
+        analysis = analyze_substreams(
+            detailed_from([7, 7, 7, 7], [0, 1, 0, 1], [True] * 4, num_counters=2)
+        )
+        assert analysis.num_streams == 2
+
+    def test_stream_totals(self):
+        analysis = analyze_substreams(
+            detailed_from([1, 1, 2], [0, 0, 0], [True, False, True])
+        )
+        totals = dict(zip(analysis.stream_pc.tolist(), analysis.stream_total.tolist()))
+        assert totals == {1: 2, 2: 1}
+
+    def test_mispredictions_attributed(self):
+        analysis = analyze_substreams(
+            detailed_from(
+                [1, 1, 1], [0, 0, 0], [True, True, True], mispredicted=[True, False, True]
+            )
+        )
+        assert analysis.stream_mispredicted.tolist() == [2]
+
+    def test_access_class_maps_back(self):
+        analysis = analyze_substreams(
+            detailed_from([1] * 10 + [2] * 10, [0] * 20,
+                          [True] * 10 + [True, False] * 5)
+        )
+        classes = analysis.access_class()
+        assert (classes[:10] == ST).all()
+        assert (classes[10:] == WB).all()
+
+    def test_dominant_tie_breaks_to_st(self):
+        # equal ST and SNT weight at a counter
+        analysis = analyze_substreams(
+            detailed_from([1] * 10 + [2] * 10, [0] * 20,
+                          [True] * 10 + [False] * 10)
+        )
+        assert analysis.counter_dominant[0] == ST
+
+    def test_unaccessed_counter_marked(self):
+        analysis = analyze_substreams(
+            detailed_from([1], [0], [True], num_counters=8)
+        )
+        assert analysis.counter_dominant[5] == -1
+
+    def test_requires_pcs(self):
+        detailed = detailed_from([1], [0], [True])
+        detailed.pcs = None
+        with pytest.raises(ValueError):
+            analyze_substreams(detailed)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            analyze_substreams(detailed_from([1], [0], [True]), threshold=0.5)
+
+
+class TestCounterBiasTable:
+    def test_rows_sum_to_one(self):
+        trace = make_toy_trace(length=2000)
+        detailed = run_detailed(make_predictor("gshare:index=6,hist=6"), trace)
+        table = counter_bias_table(analyze_substreams(detailed))
+        assert np.allclose(table.sum(axis=1), 1.0)
+
+    def test_sorted_by_wb(self):
+        trace = make_toy_trace(length=2000)
+        detailed = run_detailed(make_predictor("gshare:index=6,hist=6"), trace)
+        table = counter_bias_table(analyze_substreams(detailed))
+        assert (np.diff(table[:, 2]) >= 0).all()
+
+    def test_unsorted_option(self):
+        trace = make_toy_trace(length=500)
+        detailed = run_detailed(make_predictor("gshare:index=5,hist=5"), trace)
+        analysis = analyze_substreams(detailed)
+        sorted_table = counter_bias_table(analysis, sort_by_wb=True)
+        raw_table = counter_bias_table(analysis, sort_by_wb=False)
+        assert sorted_table.shape == raw_table.shape
+
+
+class TestPaperFigure5And6Property:
+    def test_bimode_reduces_non_dominant_area_vs_gshare(self, small_workload):
+        """The paper's central measurement (Figs 5 vs 6): at comparable
+        geometry, bi-mode's direction counters see a larger dominant
+        share and a smaller non-dominant share than history-indexed
+        gshare."""
+        gshare = run_detailed(make_predictor("gshare:index=8,hist=8"), small_workload)
+        bimode = run_detailed(
+            make_predictor("bimode:dir=7,hist=7,choice=7"), small_workload
+        )
+        g_table = counter_bias_table(analyze_substreams(gshare))
+        b_table = counter_bias_table(analyze_substreams(bimode))
+        assert b_table[:, 1].mean() < g_table[:, 1].mean()  # non-dominant shrinks
+        assert b_table[:, 0].mean() > g_table[:, 0].mean()  # dominant grows

@@ -1,0 +1,74 @@
+"""Unit tests for the misprediction breakdown (Figures 7-8 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bias import analyze_substreams
+from repro.analysis.breakdown import misprediction_breakdown
+from repro.core.registry import make_predictor
+from repro.sim.engine import run_detailed
+from tests.conftest import make_toy_trace
+from tests.test_analysis_bias import detailed_from
+
+
+class TestMispredictionBreakdown:
+    def test_classes_partition_the_misses(self):
+        # ST stream with 2 misses, WB stream with 3 misses, 20 branches
+        pcs = [1] * 10 + [2] * 10
+        outcomes = [True] * 10 + [True, False] * 5
+        mispredicted = (
+            [True, True] + [False] * 8 + [True, True, True] + [False] * 7
+        )
+        detailed = detailed_from([0] * 0 + pcs, [0] * 20, outcomes, mispredicted)
+        breakdown = misprediction_breakdown(analyze_substreams(detailed))
+        assert breakdown.st == pytest.approx(2 / 20)
+        assert breakdown.wb == pytest.approx(3 / 20)
+        assert breakdown.snt == 0.0
+
+    def test_overall_equals_misprediction_rate(self):
+        trace = make_toy_trace(length=3000)
+        detailed = run_detailed(make_predictor("gshare:index=7,hist=7"), trace)
+        breakdown = misprediction_breakdown(analyze_substreams(detailed))
+        assert breakdown.overall == pytest.approx(
+            detailed.result.misprediction_rate
+        )
+
+    def test_empty(self):
+        detailed = detailed_from([], [], [], num_counters=1)
+        breakdown = misprediction_breakdown(analyze_substreams(detailed))
+        assert breakdown.overall == 0.0
+
+    def test_as_dict_and_str(self):
+        detailed = detailed_from([1] * 10, [0] * 10, [True] * 10,
+                                 mispredicted=[True] + [False] * 9)
+        b = misprediction_breakdown(analyze_substreams(detailed))
+        assert set(b.as_dict()) == {"SNT", "ST", "WB"}
+        assert "overall" in str(b)
+
+    def test_total_branches(self):
+        detailed = detailed_from([1] * 7, [0] * 7, [True] * 7)
+        b = misprediction_breakdown(analyze_substreams(detailed))
+        assert b.total_branches == 7
+
+
+class TestPaperFigure7Property:
+    def test_fewer_history_bits_less_strong_class_error(self, aliasing_workload):
+        """Figure 7: at equal size, the address-indexed scheme has the
+        least ST+SNT error; the history-indexed scheme trades WB error
+        for strong-class (aliasing) error."""
+        few = run_detailed(make_predictor("gshare:index=8,hist=2"), aliasing_workload)
+        many = run_detailed(make_predictor("gshare:index=8,hist=8"), aliasing_workload)
+        b_few = misprediction_breakdown(analyze_substreams(few))
+        b_many = misprediction_breakdown(analyze_substreams(many))
+        assert b_few.st + b_few.snt < b_many.st + b_many.snt
+
+    def test_bimode_reduces_strong_class_error_vs_history_indexed(
+        self, aliasing_workload
+    ):
+        gshare = run_detailed(make_predictor("gshare:index=8,hist=8"), aliasing_workload)
+        bimode = run_detailed(
+            make_predictor("bimode:dir=7,hist=7,choice=7"), aliasing_workload
+        )
+        b_g = misprediction_breakdown(analyze_substreams(gshare))
+        b_b = misprediction_breakdown(analyze_substreams(bimode))
+        assert b_b.st + b_b.snt < b_g.st + b_g.snt

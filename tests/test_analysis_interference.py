@@ -1,0 +1,88 @@
+"""Unit tests for bias-class change counting (Table 4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bias import analyze_substreams
+from repro.analysis.interference import ClassChangeCounts, count_class_changes
+from repro.core.registry import make_predictor
+from repro.sim.engine import run_detailed
+from tests.test_analysis_bias import detailed_from
+
+
+class TestCountClassChanges:
+    def test_no_interference_no_changes(self):
+        # a single stream on one counter: no role changes
+        detailed = detailed_from([1] * 20, [0] * 20, [True] * 20)
+        analysis = analyze_substreams(detailed)
+        changes = count_class_changes(detailed, analysis)
+        assert changes.total == 0
+
+    def test_interleaved_opposite_streams(self):
+        # ST stream (pc 1) interleaved with SNT stream (pc 2), same counter:
+        # every consecutive pair changes roles
+        pcs = [1, 2] * 10
+        outcomes = [True, False] * 10
+        detailed = detailed_from(pcs, [0] * 20, outcomes)
+        analysis = analyze_substreams(detailed)
+        changes = count_class_changes(detailed, analysis)
+        assert changes.total == 19
+        # dominance tie-breaks to ST (equal counts): pc1 dominant
+        assert changes.dominant == 10  # dominant run interrupted 10 times
+        assert changes.non_dominant == 9
+
+    def test_separated_streams_change_once(self):
+        # same two streams, but all of pc1 then all of pc2: one change
+        pcs = [1] * 10 + [2] * 10
+        outcomes = [True] * 10 + [False] * 10
+        detailed = detailed_from(pcs, [0] * 20, outcomes)
+        analysis = analyze_substreams(detailed)
+        assert count_class_changes(detailed, analysis).total == 1
+
+    def test_changes_counted_per_counter(self):
+        # alternating streams on *different* counters: no interference
+        pcs = [1, 2] * 10
+        counters = [0, 1] * 10
+        outcomes = [True, False] * 10
+        detailed = detailed_from(pcs, counters, outcomes)
+        analysis = analyze_substreams(detailed)
+        assert count_class_changes(detailed, analysis).total == 0
+
+    def test_wb_interruptions_attributed_to_wb(self):
+        # WB stream interrupted by an ST access
+        pcs = [1, 1, 2, 1, 1]
+        outcomes = [True, False, True, True, False]
+        detailed = detailed_from(pcs, [0] * 5, outcomes)
+        analysis = analyze_substreams(detailed)
+        changes = count_class_changes(detailed, analysis)
+        assert changes.wb >= 1
+
+    def test_short_traces(self):
+        detailed = detailed_from([1], [0], [True])
+        analysis = analyze_substreams(detailed)
+        assert count_class_changes(detailed, analysis).total == 0
+
+    def test_mismatched_analysis_rejected(self):
+        d1 = detailed_from([1, 2], [0, 0], [True, False])
+        d2 = detailed_from([1], [0], [True])
+        analysis = analyze_substreams(d2)
+        with pytest.raises(ValueError):
+            count_class_changes(d1, analysis)
+
+    def test_as_dict(self):
+        c = ClassChangeCounts(dominant=3, non_dominant=2, wb=1)
+        assert c.as_dict() == {"dominant": 3, "non_dominant": 2, "wb": 1}
+        assert c.total == 6
+
+
+class TestPaperTable4Property:
+    def test_bimode_has_fewer_changes_than_history_indexed(self, aliasing_workload):
+        """Table 4: bi-mode's ST and SNT substreams are less
+        intermingled than history-indexed gshare's."""
+        gshare = run_detailed(make_predictor("gshare:index=8,hist=8"), aliasing_workload)
+        bimode = run_detailed(
+            make_predictor("bimode:dir=7,hist=7,choice=7"), aliasing_workload
+        )
+        g_changes = count_class_changes(gshare, analyze_substreams(gshare))
+        b_changes = count_class_changes(bimode, analyze_substreams(bimode))
+        assert b_changes.total < g_changes.total

@@ -1,0 +1,116 @@
+"""Unit tests for size sweeps and the gshare.best search."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    SweepPoint,
+    SweepSeries,
+    best_gshare_at_size,
+    bimode_spec,
+    gshare_1pht_spec,
+    gshare_spec,
+    paper_sweep,
+    sweep_series,
+)
+from repro.sim.runner import ResultCache
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import get_profile
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return {
+        name: generate_trace(get_profile(name), length=15_000, seed=2)
+        for name in ("xlisp", "compress")
+    }
+
+
+class TestSpecHelpers:
+    def test_gshare_1pht_spec(self):
+        assert gshare_1pht_spec(0.25) == "gshare:index=10,hist=10"
+        assert gshare_1pht_spec(32.0) == "gshare:index=17,hist=17"
+
+    def test_bimode_spec_halves_banks(self):
+        assert bimode_spec(0.25) == "bimode:dir=9,hist=9,choice=9"
+
+    def test_gshare_spec(self):
+        assert gshare_spec(12, 7) == "gshare:index=12,hist=7"
+
+
+class TestSweepPoint:
+    def test_average(self):
+        p = SweepPoint(spec="s", size_bytes=1024, per_benchmark={"a": 0.1, "b": 0.3})
+        assert p.average == pytest.approx(0.2)
+        assert p.size_kb == 1.0
+
+    def test_empty_average(self):
+        assert SweepPoint("s", 0, {}).average == 0.0
+
+
+class TestSweepSeries:
+    def test_points_sorted_by_size(self):
+        series = sweep_series(
+            "x",
+            [
+                ("gshare:index=12,hist=12", {"a": 0.2}),
+                ("gshare:index=10,hist=10", {"a": 0.3}),
+            ],
+        )
+        assert series.sizes_kb() == [0.25, 1.0]
+        assert series.averages() == [0.3, 0.2]
+
+    def test_benchmark_rates(self):
+        series = sweep_series("x", [("gshare:index=10,hist=10", {"a": 0.3, "b": 0.1})])
+        assert series.benchmark_rates("b") == [0.1]
+
+
+class TestBestGshareSearch:
+    def test_picks_minimum(self, tiny_suite, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec, rates = best_gshare_at_size(
+            0.25, tiny_suite, cache=cache, history_candidates=[0, 5, 10]
+        )
+        assert spec.startswith("gshare:index=10,hist=")
+        assert set(rates) == set(tiny_suite)
+        # verify it actually is the argmin over the candidates
+        from repro.sim.runner import evaluate
+
+        best_avg = sum(rates.values()) / len(rates)
+        for h in (0, 5, 10):
+            candidate = gshare_spec(10, h)
+            avg = sum(
+                evaluate(candidate, t, cache=cache) for t in tiny_suite.values()
+            ) / len(tiny_suite)
+            assert best_avg <= avg + 1e-12
+
+    def test_requires_traces(self):
+        with pytest.raises(ValueError):
+            best_gshare_at_size(0.25, {})
+
+    def test_out_of_range_candidates_skipped(self, tiny_suite, tmp_path):
+        spec, _ = best_gshare_at_size(
+            0.25, tiny_suite, cache=ResultCache(tmp_path), history_candidates=[5, 99]
+        )
+        assert spec == gshare_spec(10, 5)
+
+
+class TestPaperSweep:
+    def test_three_series(self, tiny_suite, tmp_path):
+        series = paper_sweep(tiny_suite, kb_points=[0.25, 1.0], cache=ResultCache(tmp_path))
+        assert set(series) == {"gshare.1PHT", "gshare.best", "bi-mode"}
+        for sweep in series.values():
+            assert len(sweep.points) == 2
+
+    def test_bimode_costs_1_5x_label(self, tiny_suite, tmp_path):
+        series = paper_sweep(tiny_suite, kb_points=[0.25], cache=ResultCache(tmp_path))
+        assert series["bi-mode"].points[0].size_kb == pytest.approx(0.375)
+        assert series["gshare.1PHT"].points[0].size_kb == pytest.approx(0.25)
+
+    def test_best_never_worse_than_1pht(self, tiny_suite, tmp_path):
+        """gshare.best includes the 1PHT configuration in its search
+        space, so its average can never be worse."""
+        series = paper_sweep(tiny_suite, kb_points=[0.25, 0.5], cache=ResultCache(tmp_path))
+        for best, one in zip(
+            series["gshare.best"].points, series["gshare.1PHT"].points
+        ):
+            assert best.average <= one.average + 1e-12

@@ -1,0 +1,77 @@
+"""Unit tests for the Smith bimodal predictor."""
+
+import numpy as np
+import pytest
+
+from repro.predictors.bimodal import BimodalPredictor
+from repro.sim.engine import run, run_steps
+from tests.conftest import make_toy_trace
+
+
+class TestBimodal:
+    def test_indexes_by_low_pc_bits(self):
+        p = BimodalPredictor(index_bits=4)
+        p.update(3, False)
+        p.update(3, False)
+        assert p.predict(3) is False
+        assert p.predict(3 + 16) is False  # aliases into the same counter
+        assert p.predict(4) is True
+
+    def test_aliasing_is_real(self):
+        p = BimodalPredictor(index_bits=2)
+        p.update(1, False)
+        p.update(1, False)
+        # pc 5 and pc 1 share counter 1 in a 4-entry table
+        assert p.predict(5) is False
+
+    def test_size_bits(self):
+        assert BimodalPredictor(index_bits=10).size_bits() == 2048
+
+    def test_wider_counters(self):
+        p = BimodalPredictor(index_bits=4, counter_bits=3)
+        assert p.size_bits() == 48
+        assert p.predict(0) is True  # init = 4 = weakly taken for 3 bits
+        p.update(0, False)
+        assert p.predict(0) is False  # 3 < threshold 4
+
+    def test_three_bit_counter_has_more_hysteresis(self):
+        p2 = BimodalPredictor(index_bits=2, counter_bits=2)
+        p3 = BimodalPredictor(index_bits=2, counter_bits=3)
+        for p in (p2, p3):
+            for _ in range(8):
+                p.update(0, True)  # saturate high
+        p2.update(0, False)
+        p2.update(0, False)
+        p3.update(0, False)
+        p3.update(0, False)
+        assert p2.predict(0) is False  # 2-bit flipped
+        assert p3.predict(0) is True  # 3-bit needs more anomalies
+
+    def test_no_history_state(self):
+        p = BimodalPredictor(index_bits=6)
+        # prediction for pc A unaffected by outcomes at other pcs
+        before = p.predict(1)
+        for _ in range(20):
+            p.update(2, False)
+        assert p.predict(1) == before
+
+    def test_batch_equals_step(self):
+        trace = make_toy_trace(length=1000)
+        batch = run(BimodalPredictor(8), trace)
+        steps = run_steps(BimodalPredictor(8), trace)
+        assert np.array_equal(batch.predictions, steps.predictions)
+
+    def test_detailed_ids(self):
+        trace = make_toy_trace(length=300)
+        detailed = BimodalPredictor(6).simulate_detailed(trace)
+        assert np.array_equal(detailed.counter_ids, trace.pcs & 63)
+
+    def test_reset(self):
+        p = BimodalPredictor(index_bits=4)
+        p.update(0, False)
+        p.reset()
+        assert p.predict(0) is True
+
+    def test_name(self):
+        assert BimodalPredictor(10).name == "bimodal:index=10"
+        assert "bits=3" in BimodalPredictor(4, counter_bits=3).name

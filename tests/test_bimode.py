@@ -1,0 +1,220 @@
+"""Unit tests for the bi-mode predictor — the paper's Section 2.2
+semantics, checked against hand-worked vectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.bimode import BiModePredictor
+from repro.core.counters import (
+    STRONGLY_TAKEN,
+    WEAKLY_NOT_TAKEN,
+    WEAKLY_TAKEN,
+)
+from repro.sim.engine import run, run_steps
+from tests.conftest import make_toy_trace
+
+
+def fresh(dir_bits=4, hist=None, choice=None, **kw):
+    return BiModePredictor(
+        direction_index_bits=dir_bits,
+        history_bits=hist,
+        choice_index_bits=choice,
+        **kw,
+    )
+
+
+class TestStructure:
+    def test_bank_initialization_follows_paper_footnote_2(self):
+        p = fresh()
+        assert all(s == WEAKLY_TAKEN for s in p.taken_bank.states)
+        assert all(s == WEAKLY_NOT_TAKEN for s in p.not_taken_bank.states)
+        assert all(s == WEAKLY_TAKEN for s in p.choice.states)
+
+    def test_size_bits_counts_all_three_tables(self):
+        p = fresh(dir_bits=7, choice=6)
+        # 2 * 128 + 64 counters, 2 bits each
+        assert p.size_bits() == (256 + 64) * 2
+
+    def test_default_choice_size_equals_bank_size(self):
+        p = fresh(dir_bits=5)
+        assert p.choice.size == p.bank_size == 32
+
+    def test_default_history_is_full_index(self):
+        assert fresh(dir_bits=6).history_bits == 6
+
+    def test_cost_is_1_5x_equivalent_gshare(self):
+        from repro.predictors.gshare import GSharePredictor
+
+        bimode = fresh(dir_bits=9)
+        gshare = GSharePredictor(index_bits=10)
+        assert bimode.size_bits() == pytest.approx(1.5 * gshare.size_bits())
+
+    def test_rejects_history_longer_than_index(self):
+        with pytest.raises(ValueError):
+            fresh(dir_bits=4, hist=5)
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValueError):
+            BiModePredictor(direction_index_bits=-1)
+        with pytest.raises(ValueError):
+            fresh(choice=-1)
+
+    def test_name_mentions_configuration(self):
+        name = fresh(dir_bits=7, hist=5, choice=6).name
+        assert "2^7" in name and "hist=5" in name and "2^6" in name
+
+
+class TestPredictionSemantics:
+    def test_initial_prediction_follows_choice_bias(self):
+        # choice starts weakly-taken -> taken bank -> weakly taken -> True
+        assert fresh().predict(pc=0) is True
+
+    def test_choice_selects_not_taken_bank(self):
+        p = fresh()
+        # train the choice counter at pc 0 toward not-taken
+        p.choice.update(0, False)
+        p.choice.update(0, False)
+        assert p.predict(0) is False  # NT bank starts weakly-not-taken
+
+    def test_direction_counter_overrides_choice(self):
+        p = fresh(hist=0)
+        # choice still says taken, but the taken-bank counter for pc 3
+        # has learned not-taken: the direction predictor wins
+        p.taken_bank.update(3, False)
+        p.taken_bank.update(3, False)
+        assert p.predict(3) is False
+
+    def test_direction_index_uses_history_xor(self):
+        p = fresh(dir_bits=4, hist=4)
+        p.ghr.push(True)  # history = 0b0001
+        p.taken_bank.update(5 ^ 1, False)
+        p.taken_bank.update(5 ^ 1, False)
+        assert p.predict(5) is False
+        assert p.predict(4) is True  # 4 ^ 1 = 5: untouched entry
+
+
+class TestUpdateSemantics:
+    def test_only_selected_bank_is_updated(self):
+        p = fresh(hist=0)
+        p.update(pc=2, taken=True)
+        assert p.taken_bank.states[2] == STRONGLY_TAKEN  # selected, trained
+        assert p.not_taken_bank.states[2] == WEAKLY_NOT_TAKEN  # untouched
+
+    def test_full_update_ablation_trains_both_banks(self):
+        p = fresh(hist=0, full_update=True)
+        p.update(pc=2, taken=True)
+        assert p.taken_bank.states[2] == STRONGLY_TAKEN
+        assert p.not_taken_bank.states[2] == WEAKLY_TAKEN  # also trained
+
+    def test_choice_updated_on_agreement(self):
+        p = fresh(hist=0)
+        p.update(pc=1, taken=True)
+        assert p.choice.states[1] == STRONGLY_TAKEN
+
+    def test_choice_updated_when_both_wrong(self):
+        # choice says taken, direction counter predicts taken, outcome
+        # not-taken: no exception, choice trains toward not-taken
+        p = fresh(hist=0)
+        p.update(pc=1, taken=False)
+        assert p.choice.states[1] == WEAKLY_NOT_TAKEN
+
+    def test_choice_not_updated_on_partial_update_exception(self):
+        # Paper: "the choice predictor is always updated with the branch
+        # outcome, except that when the choice is opposite to the branch
+        # outcome but the selected counter ... makes a correct final
+        # prediction."
+        p = fresh(hist=0)
+        # put the taken-bank entry for pc 1 into not-taken state
+        p.taken_bank.fill([0] * p.bank_size)
+        before = p.choice.states[1]
+        p.update(pc=1, taken=False)  # choice=taken (wrong), final=NT (right)
+        assert p.choice.states[1] == before  # untouched
+        # and the selected (taken-bank!) counter still trained
+        assert p.taken_bank.states[1] == 0  # saturated low already
+
+    def test_ghr_records_outcome(self):
+        p = fresh(dir_bits=4, hist=4)
+        p.update(0, True)
+        p.update(0, False)
+        assert p.ghr.value == 0b10
+
+    def test_reset_restores_power_on_state(self):
+        p = fresh()
+        for pc in range(10):
+            p.update(pc, pc % 2 == 0)
+        p.reset()
+        q = fresh()
+        assert p.taken_bank.states == q.taken_bank.states
+        assert p.not_taken_bank.states == q.not_taken_bank.states
+        assert p.choice.states == q.choice.states
+        assert p.ghr.value == 0
+
+
+class TestDynamicBehaviour:
+    def test_learns_a_strongly_biased_branch(self):
+        p = fresh()
+        hits = sum(p.predict_and_update(12, True) for _ in range(100))
+        assert hits >= 98
+
+    def test_separates_opposite_biases_that_alias(self):
+        """Two branches with identical direction-bank indices but
+        opposite biases: the choice predictor routes them to different
+        banks, so neither disturbs the other (the de-aliasing story)."""
+        p = fresh(dir_bits=4, hist=0, choice=8)
+        taken_pc = 0x10 | 0x3  # low 4 bits 0b0011
+        not_taken_pc = 0x20 | 0x3  # same direction index, different choice slot
+        misses = 0
+        for _ in range(200):
+            misses += p.predict_and_update(taken_pc, True) is not True
+            misses += p.predict_and_update(not_taken_pc, False) is not False
+        assert misses <= 4  # only the cold start
+
+    def test_gshare_suffers_on_the_same_aliasing_pattern(self):
+        """Sanity: plain gshare with the same direction-table geometry
+        oscillates on the pattern above."""
+        from repro.predictors.gshare import GSharePredictor
+
+        g = GSharePredictor(index_bits=4, history_bits=0)
+        misses = 0
+        for _ in range(200):
+            misses += g.predict_and_update(0x13, True) is not True
+            misses += g.predict_and_update(0x23, False) is not False
+        assert misses > 100  # destructive aliasing
+
+    def test_batch_equals_step(self):
+        trace = make_toy_trace(length=1500, seed=11)
+        for kwargs in (
+            {},
+            {"hist": 3},
+            {"choice": 3},
+            {"full_update": True},
+            {"choice_uses_history": True},
+        ):
+            batch = run(fresh(dir_bits=6, **kwargs), trace)
+            steps = run_steps(fresh(dir_bits=6, **kwargs), trace)
+            assert np.array_equal(batch.predictions, steps.predictions), kwargs
+
+    def test_warm_start_batch_matches_uninterrupted_run(self):
+        trace = make_toy_trace(length=600)
+        full = run(fresh(), trace).predictions
+        p = fresh()
+        a = run(p, trace[:300]).predictions
+        b = run(p, trace[300:], reset=False).predictions
+        assert np.array_equal(np.concatenate([a, b]), full)
+
+    def test_simulate_detailed_counter_ids_identify_bank(self):
+        p = fresh(dir_bits=4)
+        trace = make_toy_trace(length=300)
+        detailed = p.simulate_detailed(trace)
+        assert detailed.num_counters == 2 * p.bank_size
+        assert detailed.counter_ids.min() >= 0
+        assert detailed.counter_ids.max() < 2 * p.bank_size
+        # both banks should be exercised by a mixed workload
+        assert (detailed.counter_ids < p.bank_size).any()
+        assert (detailed.counter_ids >= p.bank_size).any()
+
+    def test_deterministic(self):
+        trace = make_toy_trace(length=800)
+        r1 = run(fresh(), trace)
+        r2 = run(fresh(), trace)
+        assert np.array_equal(r1.predictions, r2.predictions)

@@ -1,0 +1,100 @@
+"""Unit tests for profile capture (fit a profile to an arbitrary trace)."""
+
+import numpy as np
+import pytest
+
+from repro.traces.record import BranchTrace
+from repro.workloads.capture import branch_populations, estimate_profile
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import get_profile
+
+
+def build(pc_streams: dict, name="t"):
+    """Trace from {pc: [outcomes...]} interleaved round-robin."""
+    pcs, outcomes = [], []
+    streams = {pc: list(v) for pc, v in pc_streams.items()}
+    while any(streams.values()):
+        for pc, values in streams.items():
+            if values:
+                pcs.append(pc)
+                outcomes.append(values.pop(0))
+    return BranchTrace(pcs=np.array(pcs), outcomes=np.array(outcomes), name=name)
+
+
+class TestBranchPopulations:
+    def test_strongly_biased_detected(self):
+        trace = build({4: [True] * 20, 8: [False] * 20})
+        populations = branch_populations(trace)
+        assert set(populations["biased"]) == {4, 8}
+
+    def test_loop_detected(self):
+        # taken runs of 4 with single not-taken exits: 80% taken
+        stream = ([True] * 4 + [False]) * 10
+        populations = branch_populations(build({4: stream}))
+        assert populations["loop"] == [4]
+
+    def test_pattern_detected(self):
+        # perfect alternation: lag-1 autocorrelation -1
+        stream = [True, False] * 30
+        populations = branch_populations(build({4: stream}))
+        assert populations["pattern"] == [4]
+
+    def test_weak_detected(self):
+        rng = np.random.default_rng(0)
+        stream = (rng.random(200) < 0.5).tolist()
+        populations = branch_populations(build({4: stream}))
+        assert populations["weak"] == [4]
+
+    def test_every_branch_classified_once(self):
+        trace = generate_trace(get_profile("xlisp"), length=30_000)
+        populations = branch_populations(trace)
+        total = sum(len(v) for v in populations.values())
+        assert total == trace.num_static
+
+
+class TestEstimateProfile:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            estimate_profile(BranchTrace.empty())
+
+    def test_static_count_preserved(self):
+        trace = generate_trace(get_profile("xlisp"), length=30_000)
+        profile = estimate_profile(trace)
+        assert profile.static_branches == trace.num_static
+
+    def test_name_defaults_to_trace(self):
+        trace = generate_trace(get_profile("perl"), length=5_000)
+        assert estimate_profile(trace).name == "perl-fit"
+
+    def test_roundtrip_preserves_bias_structure(self):
+        """Generate from an original profile, fit, regenerate: key
+        statistics should land near the original's."""
+        from repro.traces.stats import compute_stats
+        from repro.workloads.generator import generate_trace as gen
+
+        original = generate_trace(get_profile("vortex"), length=60_000)
+        fitted_profile = estimate_profile(original)
+        lookalike = gen(fitted_profile, length=60_000, seed=9)
+
+        stats_a = compute_stats(original)
+        stats_b = compute_stats(lookalike)
+        assert abs(stats_a.taken_rate - stats_b.taken_rate) < 0.15
+        assert (
+            abs(stats_a.strongly_biased_fraction - stats_b.strongly_biased_fraction)
+            < 0.25
+        )
+
+    def test_roundtrip_preserves_predictability_ordering(self):
+        """A lookalike of an easy benchmark must stay easier than a
+        lookalike of a hard one."""
+        from repro.core.registry import make_predictor
+        from repro.sim.engine import run
+        from repro.workloads.generator import generate_trace as gen
+
+        easy_fit = estimate_profile(generate_trace(get_profile("vortex"), length=50_000))
+        hard_fit = estimate_profile(generate_trace(get_profile("go"), length=50_000))
+        easy = gen(easy_fit, length=50_000, seed=2)
+        hard = gen(hard_fit, length=50_000, seed=2)
+        rate_easy = run(make_predictor("gshare:index=12,hist=12"), easy).misprediction_rate
+        rate_hard = run(make_predictor("gshare:index=12,hist=12"), hard).misprediction_rate
+        assert rate_easy < rate_hard

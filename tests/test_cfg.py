@@ -1,0 +1,163 @@
+"""Unit tests for the synthetic program model."""
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.workloads.cfg import BranchSite, Program, Region, zipf_weights
+from repro.workloads.components import (
+    BiasedBehavior,
+    LoopBehavior,
+    PatternBehavior,
+)
+
+
+def biased_site(addr, p=1.0):
+    return BranchSite(address=addr, behavior=BiasedBehavior(p))
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert zipf_weights(10).sum() == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        w = zipf_weights(5, skew=1.0)
+        assert all(w[i] > w[i + 1] for i in range(4))
+
+    def test_zero_skew_is_uniform(self):
+        w = zipf_weights(4, skew=0.0)
+        assert np.allclose(w, 0.25)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(3, skew=-1)
+
+
+class TestRegion:
+    def test_requires_sites(self):
+        with pytest.raises(ValueError):
+            Region(body=[])
+
+    def test_loop_site_must_be_loop_behavior(self):
+        with pytest.raises(TypeError):
+            Region(body=[biased_site(0)], loop=biased_site(2))
+
+    def test_straight_line_emits_body_once(self):
+        region = Region(body=[biased_site(0), biased_site(2)])
+        emitted = []
+        region.execute(lambda pc, taken: emitted.append(pc), [0], Random(0))
+        assert emitted == [0, 2]
+
+    def test_loop_repeats_body(self):
+        region = Region(
+            body=[biased_site(0)],
+            loop=BranchSite(address=1, behavior=LoopBehavior(trip_count=3)),
+        )
+        emitted = []
+        region.execute(lambda pc, taken: emitted.append((pc, taken)), [0], Random(0))
+        # body, backedge T, body, backedge T, body, backedge NT
+        assert emitted == [(0, True), (1, True)] * 2 + [(0, True), (1, False)]
+
+    def test_history_threads_through_execution(self):
+        region = Region(body=[biased_site(0, p=1.0), biased_site(2, p=0.0)])
+        history_ref = [0]
+        region.execute(lambda pc, taken: None, history_ref, Random(0))
+        assert history_ref[0] == 0b10
+
+    def test_max_iterations_bounds_runaway_loops(self):
+        region = Region(
+            body=[biased_site(0)],
+            loop=BranchSite(address=1, behavior=LoopBehavior(trip_count=4096)),
+            max_iterations=5,
+        )
+        emitted = []
+        region.execute(lambda pc, taken: emitted.append(pc), [0], Random(0))
+        assert len(emitted) == 10  # 5 iterations x (body + backedge)
+
+    def test_sync_called_on_entry(self):
+        pattern = PatternBehavior([True, False, False])
+        region = Region(body=[BranchSite(address=0, behavior=pattern)])
+        outs = []
+        for _ in range(3):
+            region.execute(lambda pc, taken: outs.append(taken), [0], Random(0))
+        assert outs == [True, True, True]  # phase restarts every visit
+
+
+class TestProgram:
+    def test_requires_regions(self):
+        with pytest.raises(ValueError):
+            Program(regions=[])
+
+    def test_default_schedule_is_a_ring(self):
+        program = Program(regions=[Region(body=[biased_site(i * 4)]) for i in range(3)])
+        assert program.schedule == [[1], [2], [0]]
+
+    def test_schedule_validation(self):
+        regions = [Region(body=[biased_site(0)])]
+        with pytest.raises(ValueError):
+            Program(regions=regions, schedule=[[5]])
+        with pytest.raises(ValueError):
+            Program(regions=regions, schedule=[[]])
+        with pytest.raises(ValueError):
+            Program(regions=regions, schedule=[[0], [0]])
+
+    def test_weights_validation(self):
+        regions = [Region(body=[biased_site(0)])]
+        with pytest.raises(ValueError):
+            Program(regions=regions, weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            Program(regions=regions, weights=[-1.0])
+
+    def test_run_length(self):
+        program = Program(regions=[Region(body=[biased_site(0), biased_site(2)])])
+        trace = program.run(length=101, seed=0)
+        assert len(trace) == 101
+
+    def test_run_deterministic(self):
+        program = Program(
+            regions=[Region(body=[biased_site(i * 4, p=0.7)]) for i in range(4)],
+            jump_prob=0.1,
+        )
+        t1 = program.run(length=500, seed=9)
+        t2 = program.run(length=500, seed=9)
+        assert t1 == t2
+
+    def test_different_seeds_differ(self):
+        program = Program(
+            regions=[Region(body=[biased_site(i * 4, p=0.5)]) for i in range(4)]
+        )
+        t1 = program.run(length=500, seed=1)
+        t2 = program.run(length=500, seed=2)
+        assert t1 != t2
+
+    def test_schedule_cycles_deterministically(self):
+        # region 0 alternates its successor 1, 2, 1, 2, ...
+        regions = [Region(body=[biased_site(i * 4)]) for i in range(3)]
+        program = Program(
+            regions=regions, schedule=[[1, 2], [0], [0]], jump_prob=0.0, weights=[1, 0, 0]
+        )
+        trace = program.run(length=8, seed=0)
+        assert trace.pcs.tolist() == [0, 4, 0, 8, 0, 4, 0, 8]
+
+    def test_zero_length(self):
+        program = Program(regions=[Region(body=[biased_site(0)])])
+        assert len(program.run(length=0)) == 0
+
+    def test_static_sites(self):
+        program = Program(
+            regions=[
+                Region(
+                    body=[biased_site(0)],
+                    loop=BranchSite(address=1, behavior=LoopBehavior(2)),
+                ),
+                Region(body=[biased_site(4)]),
+            ]
+        )
+        assert [s.address for s in program.static_sites()] == [0, 1, 4]
+
+    def test_jump_prob_validation(self):
+        with pytest.raises(ValueError):
+            Program(regions=[Region(body=[biased_site(0)])], jump_prob=1.5)

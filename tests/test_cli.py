@@ -1,0 +1,83 @@
+"""CLI smoke tests (fast paths only: tiny trace lengths)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_run(self):
+        args = build_parser().parse_args(["run", "gshare:index=8", "xlisp"])
+        assert args.command == "run"
+        assert args.spec == "gshare:index=8"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bimode" in out and "gshare" in out and "xlisp" in out
+
+    def test_run(self, capsys):
+        assert main(["--length", "3000", "run", "gshare:index=8,hist=8", "xlisp"]) == 0
+        out = capsys.readouterr().out
+        assert "mispredict" in out
+
+    def test_stats(self, capsys):
+        assert main(["--length", "3000", "stats", "--suite", "cint95"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out and "static" in out
+
+    def test_figure2_single_benchmark(self, capsys, tmp_path):
+        csv = tmp_path / "fig2.csv"
+        code = main(
+            [
+                "--length", "3000", "--csv", str(csv),
+                "figure2", "--benchmark", "xlisp", "--sizes", "0.25", "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gshare.best" in out and "bi-mode" in out
+        assert csv.exists()
+
+    def test_bias(self, capsys):
+        assert main(["--length", "3000", "bias", "bimode:dir=6,hist=6,choice=6", "xlisp"]) == 0
+        out = capsys.readouterr().out
+        assert "dominant" in out and "WB" in out
+
+    def test_breakdown(self, capsys):
+        assert main(["--length", "3000", "breakdown", "xlisp", "--sizes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "SNT" in out and "bi-mode" in out
+
+    def test_table4(self, capsys):
+        assert main(["--length", "3000", "table4", "xlisp", "--index-bits", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "history-indexed" in out and "bi-mode" in out
+
+    def test_compare(self, capsys):
+        code = main(
+            [
+                "--length", "3000", "compare", "xlisp",
+                "gshare:index=8,hist=8", "bimode:dir=7,hist=7,choice=7",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gshare" in out and "bimode" in out and "KB" in out
+
+    def test_aliasing(self, capsys):
+        code = main(["--length", "3000", "aliasing", "gshare:index=8,hist=8", "xlisp"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "destructive" in out and "capacity" in out

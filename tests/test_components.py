@@ -1,0 +1,150 @@
+"""Unit tests for the branch behaviour models."""
+
+from random import Random
+
+import pytest
+
+from repro.workloads.components import (
+    BiasedBehavior,
+    CorrelatedBehavior,
+    LoopBehavior,
+    PatternBehavior,
+)
+
+
+class TestBiasedBehavior:
+    def test_extremes_are_deterministic(self):
+        rng = Random(0)
+        assert all(BiasedBehavior(1.0).next_outcome(0, rng) for _ in range(20))
+        assert not any(BiasedBehavior(0.0).next_outcome(0, rng) for _ in range(20))
+
+    def test_rate_approximates_p(self):
+        rng = Random(1)
+        b = BiasedBehavior(0.8)
+        rate = sum(b.next_outcome(0, rng) for _ in range(5000)) / 5000
+        assert abs(rate - 0.8) < 0.03
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            BiasedBehavior(1.5)
+
+
+class TestLoopBehavior:
+    def test_trip_count_pattern(self):
+        rng = Random(0)
+        loop = LoopBehavior(trip_count=4)
+        outcomes = [loop.next_outcome(0, rng) for _ in range(8)]
+        # taken 3x, exit, taken 3x, exit
+        assert outcomes == [True, True, True, False] * 2
+
+    def test_trip_one_always_exits(self):
+        rng = Random(0)
+        loop = LoopBehavior(trip_count=1)
+        assert [loop.next_outcome(0, rng) for _ in range(3)] == [False] * 3
+
+    def test_jitter_varies_trip(self):
+        rng = Random(2)
+        loop = LoopBehavior(trip_count=6, jitter=2)
+        trips = []
+        count = 0
+        for _ in range(2000):
+            if loop.next_outcome(0, rng):
+                count += 1
+            else:
+                trips.append(count + 1)
+                count = 0
+        assert min(trips) >= 4 and max(trips) <= 8
+        assert len(set(trips)) > 1
+
+    def test_reset_restarts_visit(self):
+        rng = Random(0)
+        loop = LoopBehavior(trip_count=3)
+        loop.next_outcome(0, rng)
+        loop.reset()
+        outcomes = [loop.next_outcome(0, rng) for _ in range(3)]
+        assert outcomes == [True, True, False]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            LoopBehavior(trip_count=0)
+        with pytest.raises(ValueError):
+            LoopBehavior(trip_count=2, jitter=-1)
+
+
+class TestCorrelatedBehavior:
+    def test_reads_selected_positions(self):
+        # outcome = history bit 2 (third most recent)
+        b = CorrelatedBehavior(positions=[2], table=[False, True])
+        rng = Random(0)
+        assert b.next_outcome(0b100, rng) is True
+        assert b.next_outcome(0b011, rng) is False
+
+    def test_multi_input_table_indexing(self):
+        # index bit0 = history[0], bit1 = history[3]
+        b = CorrelatedBehavior(positions=[0, 3], table=[False, True, False, True])
+        rng = Random(0)
+        # history bit0=1, bit3=0 -> table[0b01] = True
+        assert b.next_outcome(0b0001, rng) is True
+        # history bit0=0, bit3=1 -> table[0b10] = False
+        assert b.next_outcome(0b1000, rng) is False
+
+    def test_noise_flips_sometimes(self):
+        b = CorrelatedBehavior(positions=[0], table=[True, True], noise=0.3)
+        rng = Random(3)
+        flips = sum(not b.next_outcome(0, rng) for _ in range(2000))
+        assert 450 < flips < 750
+
+    def test_depth(self):
+        assert CorrelatedBehavior(positions=[1, 5], table=[0, 1, 1, 0]).depth == 6
+
+    def test_random_constructor_depth_anchor(self):
+        for seed in range(10):
+            b = CorrelatedBehavior.random(depth=7, rng=Random(seed))
+            assert b.depth == 7  # deepest input anchored at depth-1
+            assert 1 <= len(b.positions) <= 3
+
+    def test_random_table_not_constant(self):
+        for seed in range(20):
+            b = CorrelatedBehavior.random(depth=4, rng=Random(seed))
+            assert len(set(b.table)) == 2
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            CorrelatedBehavior(positions=[], table=[])
+        with pytest.raises(ValueError):
+            CorrelatedBehavior(positions=[2, 1], table=[0, 0, 1, 1])
+        with pytest.raises(ValueError):
+            CorrelatedBehavior(positions=[0], table=[True])
+        with pytest.raises(ValueError):
+            CorrelatedBehavior(positions=[0], table=[0, 1], noise=2.0)
+
+
+class TestPatternBehavior:
+    def test_cycles(self):
+        b = PatternBehavior([True, True, False])
+        rng = Random(0)
+        outcomes = [b.next_outcome(0, rng) for _ in range(6)]
+        assert outcomes == [True, True, False, True, True, False]
+
+    def test_sync_restarts_phase(self):
+        b = PatternBehavior([True, False])
+        rng = Random(0)
+        b.next_outcome(0, rng)
+        b.sync()
+        assert b.next_outcome(0, rng) is True
+
+    def test_reset_restarts_phase(self):
+        b = PatternBehavior([True, False])
+        rng = Random(0)
+        b.next_outcome(0, rng)
+        b.reset()
+        assert b.next_outcome(0, rng) is True
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PatternBehavior([])
+
+    def test_history_is_ignored(self):
+        b = PatternBehavior([True, False])
+        rng = Random(0)
+        assert b.next_outcome(0xFFFF, rng) is True

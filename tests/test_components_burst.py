@@ -1,0 +1,136 @@
+"""Unit tests for the bursty-deviation behaviour extensions."""
+
+from random import Random
+
+import pytest
+
+from repro.workloads.components import (
+    BiasedBehavior,
+    CorrelatedBehavior,
+    LoopBehavior,
+)
+
+
+class TestBurstyBiased:
+    def test_deviation_rate_preserved(self):
+        rng = Random(1)
+        b = BiasedBehavior(0.95, burst_length=12)
+        outcomes = [b.next_outcome(0, rng) for _ in range(40_000)]
+        rate = sum(outcomes) / len(outcomes)
+        assert rate == pytest.approx(0.95, abs=0.02)
+
+    def test_deviations_are_bursty(self):
+        """Deviant outcomes must cluster: far fewer deviation runs than
+        deviations, compared to the iid variant."""
+        rng = Random(2)
+        bursty = BiasedBehavior(0.9, burst_length=16)
+        outcomes = [bursty.next_outcome(0, rng) for _ in range(30_000)]
+
+        def runs(values):
+            return sum(
+                1
+                for i, v in enumerate(values)
+                if not v and (i == 0 or values[i - 1])
+            )
+
+        deviations = outcomes.count(False)
+        assert deviations > 0
+        assert runs(outcomes) < deviations / 4  # mean run length > 4
+
+    def test_iid_default_unchanged(self):
+        rng = Random(3)
+        b = BiasedBehavior(0.5)
+        outcomes = [b.next_outcome(0, rng) for _ in range(2000)]
+        assert 0.45 < sum(outcomes) / 2000 < 0.55
+
+    def test_not_taken_dominant(self):
+        rng = Random(4)
+        b = BiasedBehavior(0.05, burst_length=8)
+        rate = sum(b.next_outcome(0, rng) for _ in range(20_000)) / 20_000
+        assert rate == pytest.approx(0.05, abs=0.02)
+
+    def test_reset_clears_phase(self):
+        rng = Random(5)
+        b = BiasedBehavior(0.9, burst_length=8)
+        for _ in range(100):
+            b.next_outcome(0, rng)
+        b.reset()
+        assert b._remaining == 0 and b._deviant is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BiasedBehavior(0.5, burst_length=0)
+
+
+class TestBurstyCorrelated:
+    def test_deviation_rate_preserved(self):
+        rng = Random(6)
+        b = CorrelatedBehavior(positions=[0], table=[True, True], noise=0.1,
+                               burst_length=16)
+        outcomes = [b.next_outcome(0, rng) for _ in range(40_000)]
+        deviation = outcomes.count(False) / len(outcomes)
+        assert deviation == pytest.approx(0.1, abs=0.03)
+
+    def test_zero_noise_ignores_burst_machinery(self):
+        rng = Random(7)
+        b = CorrelatedBehavior(positions=[0], table=[False, True], burst_length=16)
+        assert b.next_outcome(1, rng) is True
+        assert b.next_outcome(0, rng) is False
+
+    def test_deviant_phase_inverts_table(self):
+        rng = Random(8)
+        b = CorrelatedBehavior(positions=[0], table=[False, True], noise=1.0,
+                               burst_length=4)
+        # noise=1.0: always deviant, so the table is always inverted
+        assert b.next_outcome(1, rng) is False
+        assert b.next_outcome(0, rng) is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorrelatedBehavior(positions=[0], table=[0, 1], burst_length=0)
+
+
+class TestStickyLoopTrips:
+    def test_resample_zero_keeps_first_trip(self):
+        rng = Random(9)
+        loop = LoopBehavior(trip_count=6, jitter=2, resample_prob=0.0)
+        trips = []
+        count = 0
+        for _ in range(600):
+            if loop.next_outcome(0, rng):
+                count += 1
+            else:
+                trips.append(count + 1)
+                count = 0
+        assert len(set(trips)) == 1  # never re-drawn
+
+    def test_small_resample_changes_occasionally(self):
+        rng = Random(10)
+        loop = LoopBehavior(trip_count=6, jitter=2, resample_prob=0.05)
+        trips = []
+        count = 0
+        for _ in range(60_000):
+            if loop.next_outcome(0, rng):
+                count += 1
+            else:
+                trips.append(count + 1)
+                count = 0
+        changes = sum(1 for a, b in zip(trips, trips[1:]) if a != b)
+        assert 0 < changes < len(trips) / 5
+
+    def test_default_resamples_every_visit(self):
+        rng = Random(11)
+        loop = LoopBehavior(trip_count=6, jitter=2)  # resample_prob=1.0
+        trips = []
+        count = 0
+        for _ in range(3000):
+            if loop.next_outcome(0, rng):
+                count += 1
+            else:
+                trips.append(count + 1)
+                count = 0
+        assert len(set(trips)) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoopBehavior(trip_count=3, resample_prob=1.5)

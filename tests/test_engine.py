@@ -1,0 +1,87 @@
+"""Simulation-engine tests, including the cross-predictor batch/step
+equivalence matrix — the core correctness property of the fast paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import make_predictor
+from repro.sim.engine import run, run_detailed, run_steps
+from tests.conftest import ALL_SPECS, make_toy_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_toy_trace(length=1500, seed=23)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("spec", ALL_SPECS)
+    def test_batch_equals_step(self, spec, trace):
+        batch = run(make_predictor(spec), trace)
+        steps = run_steps(make_predictor(spec), trace)
+        assert np.array_equal(batch.predictions, steps.predictions), spec
+
+    @pytest.mark.parametrize("spec", ALL_SPECS)
+    def test_rerun_is_deterministic(self, spec, trace):
+        p = make_predictor(spec)
+        first = run(p, trace).predictions
+        second = run(p, trace).predictions
+        assert np.array_equal(first, second)
+
+
+class TestRun:
+    def test_result_fields(self, trace):
+        result = run(make_predictor("gshare:index=8"), trace)
+        assert result.trace_name == "toy"
+        assert result.predictor_name == "gshare:index=8,hist=8"
+        assert result.num_branches == len(trace)
+
+    def test_warmup_excluded_from_result(self, trace):
+        result = run(make_predictor("gshare:index=8"), trace, warmup=500)
+        assert result.num_branches == len(trace) - 500
+
+    def test_warmup_still_trains(self, trace):
+        """Post-warm-up predictions must match the corresponding tail of
+        a full run (warm-up only changes what's reported)."""
+        full = run(make_predictor("gshare:index=8"), trace)
+        warm = run(make_predictor("gshare:index=8"), trace, warmup=500)
+        assert np.array_equal(full.predictions[500:], warm.predictions)
+
+    def test_warmup_validation(self, trace):
+        with pytest.raises(ValueError):
+            run(make_predictor("bimodal:index=4"), trace, warmup=-1)
+        with pytest.raises(ValueError):
+            run(make_predictor("bimodal:index=4"), trace, warmup=len(trace) + 1)
+
+    def test_no_reset_continues_state(self, trace):
+        p = make_predictor("bimodal:index=8")
+        run(p, trace)
+        cold = run(make_predictor("bimodal:index=8"), trace).misprediction_rate
+        warm = run(p, trace, reset=False).misprediction_rate
+        assert warm <= cold  # second pass benefits from trained counters
+
+
+class TestRunDetailed:
+    def test_matches_plain_run(self, trace):
+        plain = run(make_predictor("bimode:dir=7,hist=7,choice=7"), trace)
+        detailed = run_detailed(make_predictor("bimode:dir=7,hist=7,choice=7"), trace)
+        assert np.array_equal(plain.predictions, detailed.result.predictions)
+
+    def test_records_pcs(self, trace):
+        detailed = run_detailed(make_predictor("gshare:index=8"), trace)
+        assert np.array_equal(detailed.pcs, trace.pcs)
+
+    def test_unsupported_predictor_raises(self, trace):
+        with pytest.raises(NotImplementedError):
+            run_detailed(make_predictor("gskew:bank=6"), trace)
+
+
+class TestEmptyTrace:
+    def test_all_predictors_handle_empty(self):
+        from repro.traces.record import BranchTrace
+
+        empty = BranchTrace.empty("none")
+        for spec in ALL_SPECS:
+            result = run(make_predictor(spec), empty)
+            assert result.num_branches == 0
+            assert result.misprediction_rate == 0.0

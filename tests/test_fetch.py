@@ -1,0 +1,73 @@
+"""Unit tests for the front-end pipeline impact model."""
+
+import numpy as np
+import pytest
+
+from repro.core.interfaces import SimulationResult
+from repro.sim.fetch import FetchEngine
+
+
+def result(branches: int, misses: int) -> SimulationResult:
+    outcomes = np.ones(branches, dtype=bool)
+    predictions = outcomes.copy()
+    predictions[:misses] = False
+    return SimulationResult("p", "t", predictions, outcomes)
+
+
+class TestFetchEngine:
+    def test_perfect_prediction_hits_fetch_bound(self):
+        engine = FetchEngine(fetch_width=4, instructions_per_branch=5)
+        stats = engine.run(result(branches=1000, misses=0))
+        assert stats.bubble_cycles == 0
+        assert stats.ipc == pytest.approx(4.0, rel=0.01)
+
+    def test_bubble_accounting(self):
+        engine = FetchEngine(
+            fetch_width=4, misprediction_penalty=7, instructions_per_branch=5
+        )
+        stats = engine.run(result(branches=1000, misses=100))
+        assert stats.instructions == 5000
+        assert stats.base_cycles == 1250
+        assert stats.bubble_cycles == 700
+        assert stats.cycles == 1950
+        assert stats.ipc == pytest.approx(5000 / 1950)
+        assert stats.bubble_fraction == pytest.approx(700 / 1950)
+
+    def test_higher_penalty_hurts_more(self):
+        short = FetchEngine(misprediction_penalty=4)
+        long = FetchEngine(misprediction_penalty=12)
+        r = result(branches=1000, misses=50)
+        assert long.run(r).ipc < short.run(r).ipc
+
+    def test_speedup(self):
+        engine = FetchEngine(fetch_width=4, misprediction_penalty=7)
+        worse = result(branches=1000, misses=100)
+        better = result(branches=1000, misses=50)
+        assert engine.speedup(worse, better) > 1.0
+        assert engine.speedup(better, better) == 1.0
+
+    def test_empty_run(self):
+        stats = FetchEngine().run(result(branches=0, misses=0))
+        assert stats.cycles == 0
+        assert stats.ipc == 0.0
+
+    def test_ideal_ipc(self):
+        assert FetchEngine(fetch_width=6).ideal_ipc() == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FetchEngine(fetch_width=0)
+        with pytest.raises(ValueError):
+            FetchEngine(misprediction_penalty=-1)
+        with pytest.raises(ValueError):
+            FetchEngine(instructions_per_branch=0)
+
+    def test_predictor_quality_translates_to_ipc(self, small_workload):
+        """Better prediction must mean better IPC through the model."""
+        from repro.core.registry import make_predictor
+        from repro.sim.engine import run
+
+        engine = FetchEngine()
+        good = run(make_predictor("bimode:dir=11,hist=11,choice=11"), small_workload)
+        bad = run(make_predictor("gshare:index=8,hist=8"), small_workload)
+        assert engine.run(good).ipc > engine.run(bad).ipc

@@ -1,0 +1,128 @@
+"""Unit tests for the bias-filter predictor."""
+
+import numpy as np
+import pytest
+
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.filtered import BiasFilterPredictor
+from repro.predictors.gshare import GSharePredictor
+from repro.sim.engine import run, run_steps
+from tests.conftest import make_toy_trace
+
+
+def fresh(run_bits=3, filter_bits=8, sub=None):
+    return BiasFilterPredictor(
+        sub_predictor=sub or GSharePredictor(index_bits=8),
+        filter_index_bits=filter_bits,
+        run_bits=run_bits,
+    )
+
+
+class TestClassification:
+    def test_not_filtered_initially(self):
+        assert not fresh().is_filtered(5)
+
+    def test_filtered_after_saturated_run(self):
+        p = fresh(run_bits=2)  # threshold: 3 identical outcomes
+        for _ in range(3):
+            p.update(5, True)
+        assert p.is_filtered(5)
+        assert p.predict(5) is True
+
+    def test_flip_unfilters(self):
+        p = fresh(run_bits=2)
+        for _ in range(3):
+            p.update(5, True)
+        p.update(5, False)
+        assert not p.is_filtered(5)
+
+    def test_run_tracks_direction_change(self):
+        p = fresh(run_bits=2)
+        p.update(5, True)
+        p.update(5, False)  # run restarts at 1 with the new direction
+        p.update(5, False)
+        p.update(5, False)
+        assert p.is_filtered(5)
+        assert p.predict(5) is False
+
+    def test_aliasing_in_filter_table(self):
+        p = fresh(run_bits=2, filter_bits=2)
+        for _ in range(3):
+            p.update(1, True)
+        assert p.is_filtered(1 + 4)  # shares slot 1
+
+
+class TestFiltering:
+    def test_sub_predictor_not_trained_while_filtered(self):
+        sub = GSharePredictor(index_bits=6, history_bits=0)
+        p = fresh(run_bits=1, sub=sub)  # threshold: 1 outcome
+        p.update(9, False)  # trains sub (unfiltered), then filters
+        state_after = sub.table.states[9]
+        for _ in range(10):
+            p.update(9, False)  # filtered: sub untouched
+        assert sub.table.states[9] == state_after
+
+    def test_sub_history_frozen_while_filtered(self):
+        sub = GSharePredictor(index_bits=6, history_bits=6)
+        p = fresh(run_bits=1, sub=sub)
+        p.update(9, True)
+        ghr = sub.ghr.value
+        p.update(9, True)  # filtered now
+        assert sub.ghr.value == ghr
+
+    def test_protects_sub_predictor_from_monotone_pollution(self):
+        """The headline effect: two oppositely-monotone branches sharing
+        a counter destroy each other in the raw sub-predictor; the
+        filter absorbs both and the destructive aliasing vanishes."""
+        def misses(predictor):
+            total = 0
+            for _ in range(200):
+                # 0x11 (always taken) and 0x21 (always not-taken) share
+                # counter 1 in the 4-entry table
+                total += predictor.predict_and_update(0x11, True) is not True
+                total += predictor.predict_and_update(0x21, False) is not False
+            return total
+
+        plain = misses(GSharePredictor(index_bits=2, history_bits=0))
+        filtered = misses(
+            fresh(run_bits=2, filter_bits=8,
+                  sub=GSharePredictor(index_bits=2, history_bits=0))
+        )
+        assert plain > 100  # oscillation: roughly every other access wrong
+        assert filtered < 20  # only the pre-classification window
+
+    def test_size_accounts_filter_state(self):
+        p = fresh(run_bits=3, filter_bits=8)
+        assert p.size_bits() == p.sub_predictor.size_bits() + 256 * 4
+
+    def test_batch_equals_step(self):
+        trace = make_toy_trace(length=1200)
+        a = run(fresh(), trace).predictions
+        b = run_steps(fresh(), trace).predictions
+        assert np.array_equal(a, b)
+
+    def test_reset(self):
+        trace = make_toy_trace(length=400)
+        p = fresh()
+        a = run(p, trace).predictions
+        b = run(p, trace).predictions
+        assert np.array_equal(a, b)
+
+    def test_reduces_misprediction_on_real_workload(self, small_workload):
+        """Filtering should help (or at least not hurt much) on a
+        realistic workload at small table sizes."""
+        plain = run(GSharePredictor(index_bits=9), small_workload).misprediction_rate
+        filtered = run(
+            BiasFilterPredictor(GSharePredictor(index_bits=9), filter_index_bits=10),
+            small_workload,
+        ).misprediction_rate
+        assert filtered <= plain * 1.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fresh(run_bits=0)
+        with pytest.raises(ValueError):
+            BiasFilterPredictor(BimodalPredictor(4), filter_index_bits=-1)
+
+    def test_name(self):
+        assert "biasfilter" in fresh().name and "gshare" in fresh().name

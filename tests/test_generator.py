@@ -1,0 +1,117 @@
+"""Unit tests for the profile-driven program generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.cfg import Program
+from repro.workloads.components import LoopBehavior
+from repro.workloads.generator import (
+    KERNEL_BASE,
+    build_program,
+    generate_trace,
+)
+from repro.workloads.profiles import get_profile
+
+
+class TestBuildProgram:
+    def test_static_budget_consumed_exactly(self):
+        for name in ("xlisp", "compress", "perl"):
+            profile = get_profile(name)
+            program = build_program(profile)
+            assert len(program.static_sites()) == profile.static_branches
+
+    def test_deterministic_in_seed(self):
+        a = build_program(get_profile("xlisp"), seed=5)
+        b = build_program(get_profile("xlisp"), seed=5)
+        assert [s.address for s in a.static_sites()] == [
+            s.address for s in b.static_sites()
+        ]
+
+    def test_different_seeds_give_different_programs(self):
+        a = build_program(get_profile("xlisp"), seed=1)
+        b = build_program(get_profile("xlisp"), seed=2)
+        assert [repr(s.behavior) for s in a.static_sites()] != [
+            repr(s.behavior) for s in b.static_sites()
+        ]
+
+    def test_addresses_unique(self):
+        program = build_program(get_profile("gcc"))
+        addresses = [s.address for s in program.static_sites()]
+        assert len(addresses) == len(set(addresses))
+
+    def test_loop_backedges_have_odd_addresses(self):
+        program = build_program(get_profile("xlisp"))
+        for region in program.regions:
+            if region.loop is not None:
+                assert region.loop.address % 2 == 1
+                assert isinstance(region.loop.behavior, LoopBehavior)
+            for site in region.body:
+                assert site.address % 2 == 0
+
+    def test_user_profile_has_no_kernel_addresses(self):
+        program = build_program(get_profile("gcc"))  # kernel_fraction 0
+        assert all(s.address < KERNEL_BASE for s in program.static_sites())
+
+    def test_ibs_profile_has_kernel_regions(self):
+        program = build_program(get_profile("sdet"))
+        kernel = [s for s in program.static_sites() if s.address >= KERNEL_BASE]
+        user = [s for s in program.static_sites() if s.address < KERNEL_BASE]
+        assert kernel and user
+        # sdet is system-call heavy: kernel share should dominate user
+        assert len(kernel) > len(user) * 0.6
+
+    def test_every_region_scheduled(self):
+        program = build_program(get_profile("xlisp"))
+        reachable = set()
+        for entries in program.schedule:
+            reachable.update(entries)
+        assert reachable == set(range(len(program.regions)))
+
+    def test_returns_program(self):
+        assert isinstance(build_program(get_profile("vortex")), Program)
+
+
+class TestGenerateTrace:
+    def test_length_default_from_profile(self):
+        profile = get_profile("compress")
+        trace = generate_trace(profile, length=1000)
+        assert len(trace) == 1000
+
+    def test_metadata(self):
+        trace = generate_trace(get_profile("gcc"), length=500)
+        assert trace.metadata["suite"] == "cint95"
+        assert trace.metadata["paper_static"] == 16_035
+        assert trace.metadata["paper_dynamic"] == 26_520_618
+        assert trace.metadata["kernel_base"] == KERNEL_BASE
+
+    def test_deterministic(self):
+        a = generate_trace(get_profile("xlisp"), length=2000, seed=4)
+        b = generate_trace(get_profile("xlisp"), length=2000, seed=4)
+        assert a == b
+
+    def test_name(self):
+        assert generate_trace(get_profile("go"), length=100).name == "go"
+
+    def test_covers_most_static_branches(self):
+        """The walk must visit nearly the whole static footprint in a
+        realistic trace length (Table 2 comparability)."""
+        profile = get_profile("xlisp")
+        trace = generate_trace(profile, length=120_000)
+        coverage = trace.num_static / profile.static_branches
+        assert coverage > 0.9
+
+    def test_taken_rate_plausible(self):
+        trace = generate_trace(get_profile("perl"), length=20_000)
+        assert 0.3 < trace.taken_rate < 0.8
+
+    def test_predictability_ordering(self):
+        """vortex (easy) must be more predictable than go (hard) for a
+        reference predictor."""
+        from repro.predictors.gshare import GSharePredictor
+        from repro.sim.engine import run
+
+        easy = generate_trace(get_profile("vortex"), length=40_000)
+        hard = generate_trace(get_profile("go"), length=40_000)
+        rate_easy = run(GSharePredictor(12), easy).misprediction_rate
+        rate_hard = run(GSharePredictor(12), hard).misprediction_rate
+        assert rate_easy < rate_hard

@@ -1,0 +1,125 @@
+"""Unit tests for the gshare baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.counters import WEAKLY_TAKEN
+from repro.predictors.gshare import GSharePredictor
+from repro.sim.engine import run, run_steps
+from tests.conftest import make_toy_trace
+
+
+class TestConfiguration:
+    def test_default_is_single_pht(self):
+        p = GSharePredictor(index_bits=10)
+        assert p.history_bits == 10
+        assert p.num_phts == 1
+
+    def test_multi_pht_configuration(self):
+        p = GSharePredictor(index_bits=10, history_bits=7)
+        assert p.num_phts == 8
+
+    def test_zero_history_degenerates_to_bimodal(self):
+        from repro.predictors.bimodal import BimodalPredictor
+
+        trace = make_toy_trace(length=1000)
+        gshare = run(GSharePredictor(index_bits=8, history_bits=0), trace)
+        bimodal = run(BimodalPredictor(index_bits=8), trace)
+        assert np.array_equal(gshare.predictions, bimodal.predictions)
+
+    def test_size_bits(self):
+        assert GSharePredictor(index_bits=12).size_bits() == 8192
+        # 0.25 KB at 10 index bits (paper's smallest point)
+        assert GSharePredictor(index_bits=10).size_bytes() == 256.0
+
+    def test_counters_start_weakly_taken(self):
+        p = GSharePredictor(index_bits=4)
+        assert p.table.states == [WEAKLY_TAKEN] * 16
+
+    def test_rejects_bad_history(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(index_bits=4, history_bits=5)
+
+    def test_name(self):
+        assert GSharePredictor(12, 8).name == "gshare:index=12,hist=8"
+
+
+class TestSemantics:
+    def test_initial_prediction_taken(self):
+        assert GSharePredictor(index_bits=6).predict(0) is True
+
+    def test_learns_biased_branch(self):
+        p = GSharePredictor(index_bits=6)
+        misses = sum(not p.predict_and_update(9, True) for _ in range(50))
+        assert misses == 0  # init weakly-taken: predicts taken from the start
+
+    def test_learns_not_taken_branch_after_one_update(self):
+        # weakly-taken init: one not-taken outcome flips the prediction
+        p = GSharePredictor(index_bits=6, history_bits=0)
+        results = [p.predict_and_update(9, False) for _ in range(10)]
+        assert results[0] is True
+        assert all(r is False for r in results[1:])
+
+    def test_history_disambiguates_alternation(self):
+        """An alternating branch is mispredicted forever by a 2-bit
+        counter but captured once history splits its substreams."""
+        p = GSharePredictor(index_bits=6, history_bits=2)
+        outcomes = [bool(i % 2) for i in range(200)]
+        misses = sum(p.predict_and_update(5, o) != o for o in outcomes)
+        assert misses <= 6  # warm-up only
+
+    def test_bimodal_fails_alternation(self):
+        p = GSharePredictor(index_bits=6, history_bits=0)
+        outcomes = [bool(i % 2) for i in range(200)]
+        misses = sum(p.predict_and_update(5, o) != o for o in outcomes)
+        assert misses >= 90
+
+    def test_update_pushes_history(self):
+        p = GSharePredictor(index_bits=6, history_bits=4)
+        p.update(0, True)
+        p.update(0, True)
+        p.update(0, False)
+        assert p.ghr.value == 0b110
+
+    def test_reset(self):
+        p = GSharePredictor(index_bits=6)
+        trace = make_toy_trace(length=200)
+        run(p, trace)
+        p.reset()
+        assert p.table.states == [WEAKLY_TAKEN] * 64
+        assert p.ghr.value == 0
+
+
+class TestBatchPath:
+    @pytest.mark.parametrize("history_bits", [0, 1, 4, 8])
+    def test_batch_equals_step(self, history_bits):
+        trace = make_toy_trace(length=1200, seed=5)
+        batch = run(GSharePredictor(8, history_bits), trace)
+        steps = run_steps(GSharePredictor(8, history_bits), trace)
+        assert np.array_equal(batch.predictions, steps.predictions)
+
+    def test_warm_start_batch_matches_uninterrupted_run(self):
+        trace = make_toy_trace(length=600)
+        full = run(GSharePredictor(8), trace).predictions
+        p = GSharePredictor(8)
+        a = run(p, trace[:250]).predictions
+        b = run(p, trace[250:], reset=False).predictions
+        assert np.array_equal(np.concatenate([a, b]), full)
+
+    def test_detailed_counter_ids_are_table_indices(self):
+        p = GSharePredictor(index_bits=6, history_bits=6)
+        trace = make_toy_trace(length=500)
+        detailed = p.simulate_detailed(trace)
+        assert detailed.num_counters == 64
+        assert detailed.counter_ids.max() < 64
+        # recompute indices independently
+        from repro.core.history import global_history_stream
+        from repro.core.indexing import gshare_index_stream
+
+        hists = global_history_stream(trace.outcomes, 6)
+        expect = gshare_index_stream(trace.pcs, hists, 6, 6)
+        assert np.array_equal(detailed.counter_ids, expect)
+
+    def test_misprediction_rate_on_workload_is_sane(self, small_workload):
+        rate = run(GSharePredictor(12), small_workload).misprediction_rate
+        assert 0.0 < rate < 0.5

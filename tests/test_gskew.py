@@ -1,0 +1,96 @@
+"""Unit tests for the gskewed predictor."""
+
+import numpy as np
+import pytest
+
+from repro.predictors.gskew import GSkewPredictor, _rotate
+from repro.sim.engine import run, run_steps
+from tests.conftest import make_toy_trace
+
+
+class TestRotate:
+    def test_identity(self):
+        assert _rotate(0b1011, 0, 4) == 0b1011
+
+    def test_left_rotation(self):
+        assert _rotate(0b1001, 1, 4) == 0b0011
+
+    def test_wraps_modulo_width(self):
+        assert _rotate(0b1001, 5, 4) == _rotate(0b1001, 1, 4)
+
+    def test_zero_width(self):
+        assert _rotate(0b1, 3, 0) == 0
+
+    def test_is_bijective(self):
+        seen = {_rotate(v, 3, 6) for v in range(64)}
+        assert len(seen) == 64
+
+
+class TestGSkew:
+    def test_three_banks(self):
+        p = GSkewPredictor(bank_index_bits=6)
+        assert len(p.banks) == 3
+        assert p.size_bits() == 3 * 64 * 2
+
+    def test_banks_use_different_indices(self):
+        p = GSkewPredictor(bank_index_bits=6, history_bits=6)
+        p.ghr.push(True)
+        p.ghr.push(False)
+        indices = p._indices(0b101101)
+        assert len(set(indices)) >= 2  # decorrelated for a generic input
+
+    def test_majority_vote(self):
+        p = GSkewPredictor(bank_index_bits=4, history_bits=0)
+        i0, i1, i2 = p._indices(7)
+        # two banks say not-taken, one says taken -> not taken
+        p.banks[0].fill([0] * 16)
+        p.banks[1].fill([0] * 16)
+        assert p.predict(7) is False
+
+    def test_learns_biased_branch(self):
+        p = GSkewPredictor(bank_index_bits=5)
+        misses = sum(not p.predict_and_update(9, True) for _ in range(50))
+        assert misses == 0
+
+    def test_enhanced_update_spares_dissenting_bank_when_correct(self):
+        p = GSkewPredictor(bank_index_bits=4, history_bits=0, update_policy="enhanced")
+        i0, i1, i2 = p._indices(7)
+        p.banks[2].states[i2] = 0  # dissenter predicts not-taken
+        p.update(7, True)  # majority taken, outcome taken
+        assert p.banks[2].states[i2] == 0  # dissenting bank untouched
+        assert p.banks[0].states[i0] == 3
+        assert p.banks[1].states[i1] == 3
+
+    def test_total_update_trains_everyone(self):
+        p = GSkewPredictor(bank_index_bits=4, history_bits=0, update_policy="total")
+        i0, i1, i2 = p._indices(7)
+        p.banks[2].states[i2] = 0
+        p.update(7, True)
+        assert p.banks[2].states[i2] == 1
+
+    def test_misprediction_trains_all_banks_even_enhanced(self):
+        p = GSkewPredictor(bank_index_bits=4, history_bits=0, update_policy="enhanced")
+        i0, i1, i2 = p._indices(7)
+        # everyone predicts taken, outcome not-taken: all train
+        p.update(7, False)
+        assert p.banks[0].states[i0] == 1
+        assert p.banks[1].states[i1] == 1
+        assert p.banks[2].states[i2] == 1
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            GSkewPredictor(bank_index_bits=4, update_policy="sometimes")
+
+    def test_batch_equals_step(self):
+        trace = make_toy_trace(length=800)
+        for policy in ("enhanced", "total"):
+            batch = run(GSkewPredictor(7, 7, update_policy=policy), trace)
+            steps = run_steps(GSkewPredictor(7, 7, update_policy=policy), trace)
+            assert np.array_equal(batch.predictions, steps.predictions)
+
+    def test_reset(self):
+        trace = make_toy_trace(length=300)
+        p = GSkewPredictor(6)
+        a = run(p, trace).predictions
+        b = run(p, trace).predictions
+        assert np.array_equal(a, b)

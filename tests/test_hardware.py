@@ -1,0 +1,67 @@
+"""Unit tests for the hardware cost model."""
+
+import pytest
+
+from repro.core.hardware import (
+    PAPER_SIZE_POINTS_KB,
+    HardwareBudget,
+    bits_to_bytes,
+    bytes_to_counters,
+    counters_to_bytes,
+    kb,
+)
+
+
+class TestConversions:
+    def test_bits_to_bytes(self):
+        assert bits_to_bytes(16) == 2.0
+
+    def test_counters_to_bytes(self):
+        # 4 two-bit counters per byte
+        assert counters_to_bytes(1024) == 256.0
+
+    def test_counters_to_bytes_other_width(self):
+        assert counters_to_bytes(8, counter_bits=3) == 3.0
+
+    def test_bytes_to_counters(self):
+        assert bytes_to_counters(256.0) == 1024
+
+    def test_bytes_to_counters_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            bytes_to_counters(0.3)
+
+    def test_roundtrip(self):
+        for n in (4, 1024, 131072):
+            assert bytes_to_counters(counters_to_bytes(n)) == n
+
+    def test_kb(self):
+        assert kb(2048) == 2.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(-1)
+        with pytest.raises(ValueError):
+            counters_to_bytes(-1)
+
+
+class TestHardwareBudget:
+    def test_quarter_kb_is_1024_counters(self):
+        budget = HardwareBudget(0.25)
+        assert budget.counters == 1024
+        assert budget.index_bits == 10
+
+    def test_paper_size_points(self):
+        # the paper's x-axis: 0.25 KB .. 32 KB = index bits 10 .. 17
+        bits = [HardwareBudget(kbytes).index_bits for kbytes in PAPER_SIZE_POINTS_KB]
+        assert bits == [10, 11, 12, 13, 14, 15, 16, 17]
+
+    def test_non_power_of_two_rejected_for_index_bits(self):
+        with pytest.raises(ValueError):
+            HardwareBudget(0.75).index_bits
+
+    def test_str(self):
+        assert str(HardwareBudget(0.25)) == "0.25KB"
+        assert str(HardwareBudget(8.0)) == "8KB"
+
+    def test_nbytes(self):
+        assert HardwareBudget(2.0).nbytes == 2048.0

@@ -1,0 +1,123 @@
+"""Unit tests for history registers and the vectorized history stream."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import (
+    GlobalHistoryRegister,
+    PerAddressHistoryTable,
+    global_history_stream,
+)
+
+
+class TestGlobalHistoryRegister:
+    def test_starts_at_zero(self):
+        assert GlobalHistoryRegister(8).value == 0
+
+    def test_newest_outcome_in_lsb(self):
+        ghr = GlobalHistoryRegister(4)
+        ghr.push(True)
+        ghr.push(False)
+        assert ghr.value == 0b10
+
+    def test_push_sequence(self):
+        ghr = GlobalHistoryRegister(4)
+        for taken in (True, True, False, True):
+            ghr.push(taken)
+        assert ghr.value == 0b1101
+
+    def test_truncates_to_width(self):
+        ghr = GlobalHistoryRegister(2)
+        for _ in range(5):
+            ghr.push(True)
+        assert ghr.value == 0b11
+
+    def test_zero_width_register_stays_zero(self):
+        ghr = GlobalHistoryRegister(0)
+        ghr.push(True)
+        assert ghr.value == 0
+
+    def test_reset(self):
+        ghr = GlobalHistoryRegister(4, value=0b1010)
+        ghr.reset()
+        assert ghr.value == 0
+
+    def test_initial_value_validated(self):
+        with pytest.raises(ValueError):
+            GlobalHistoryRegister(2, value=0b100)
+
+    def test_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            GlobalHistoryRegister(-1)
+
+    def test_mask(self):
+        assert GlobalHistoryRegister(3).mask == 0b111
+
+
+class TestPerAddressHistoryTable:
+    def test_independent_registers(self):
+        bht = PerAddressHistoryTable(index_bits=4, history_bits=4)
+        bht.push(0, True)
+        bht.push(1, False)
+        assert bht.read(0) == 1
+        assert bht.read(1) == 0
+
+    def test_aliased_branches_share_a_register(self):
+        bht = PerAddressHistoryTable(index_bits=2, history_bits=4)
+        bht.push(1, True)
+        assert bht.read(1 + 4) == 1  # pc 5 aliases pc 1 in a 4-entry table
+
+    def test_history_truncation(self):
+        bht = PerAddressHistoryTable(index_bits=1, history_bits=2)
+        for _ in range(5):
+            bht.push(0, True)
+        assert bht.read(0) == 0b11
+
+    def test_reset(self):
+        bht = PerAddressHistoryTable(index_bits=2, history_bits=3)
+        bht.push(2, True)
+        bht.reset()
+        assert bht.read(2) == 0
+
+    def test_size_bits(self):
+        assert PerAddressHistoryTable(index_bits=4, history_bits=6).size_bits() == 96
+
+    def test_len(self):
+        assert len(PerAddressHistoryTable(index_bits=3, history_bits=2)) == 8
+
+
+class TestGlobalHistoryStream:
+    def test_matches_register_semantics(self):
+        outcomes = np.array([True, False, True, True, False, True, False])
+        for bits in (0, 1, 3, 5, 16):
+            stream = global_history_stream(outcomes, bits)
+            ghr = GlobalHistoryRegister(bits)
+            for t, taken in enumerate(outcomes):
+                assert stream[t] == ghr.value, f"t={t}, bits={bits}"
+                ghr.push(bool(taken))
+
+    def test_first_entry_is_zero(self):
+        stream = global_history_stream(np.array([True, True]), 8)
+        assert stream[0] == 0
+
+    def test_empty_trace(self):
+        assert len(global_history_stream(np.array([], dtype=bool), 8)) == 0
+
+    def test_zero_bits(self):
+        stream = global_history_stream(np.array([True, False, True]), 0)
+        assert np.array_equal(stream, np.zeros(3, dtype=np.int64))
+
+    def test_accepts_int_outcomes(self):
+        stream = global_history_stream(np.array([1, 0, 1, 1]), 2)
+        assert stream.tolist() == [0, 1, 2, 1]
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            global_history_stream(np.array([True]), -1)
+
+    def test_values_fit_in_width(self):
+        rng = np.random.default_rng(0)
+        outcomes = rng.random(500) < 0.5
+        stream = global_history_stream(outcomes, 6)
+        assert stream.max() < 64
+        assert stream.min() >= 0

@@ -1,0 +1,119 @@
+"""Integration tests: paper-shape assertions on generated workloads.
+
+These check, at reduced scale, the qualitative results the benchmark
+harness reproduces at full scale — who wins, and why.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import make_predictor
+from repro.sim.engine import run
+from repro.sim.runner import ResultCache, evaluate
+from repro.traces.filters import interleave
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import get_profile
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """Mid-length traces for three representative benchmarks."""
+    return {
+        name: generate_trace(get_profile(name), length=80_000, seed=1)
+        for name in ("xlisp", "gcc", "vortex")
+    }
+
+
+def rate(spec, trace):
+    return run(make_predictor(spec), trace).misprediction_rate
+
+
+class TestHeadlineResult:
+    def test_bimode_beats_same_cost_gshare_on_average(self, suite):
+        """The paper's headline: at equal cost, bi-mode has a lower
+        average misprediction rate than gshare (bi-mode with 2^10 banks
+        + 2^10 choice = 6144 counters > gshare 2^12 = 4096, so compare
+        against the *larger* gshare 2^13 to be conservative... we use
+        the paper's own pairing: bi-mode at 1.5x the next smaller
+        gshare)."""
+        bimode = np.mean([rate("bimode:dir=11,hist=11,choice=11", t) for t in suite.values()])
+        gshare_next = np.mean([rate("gshare:index=12,hist=12", t) for t in suite.values()])
+        assert bimode < gshare_next
+
+    def test_bimode_beats_equal_or_larger_gshare(self, suite):
+        """Stronger check on the aliasing-heavy benchmark: bi-mode at
+        3x2^10 counters beats gshare at 2^12 counters (which is larger)."""
+        trace = suite["gcc"]
+        assert rate("bimode:dir=10,hist=10,choice=10", trace) < rate(
+            "gshare:index=12,hist=12", trace
+        )
+
+    def test_predictors_improve_with_size(self, suite):
+        for spec_template in ("gshare:index={n},hist={n}",):
+            small = np.mean(
+                [rate(spec_template.format(n=9), t) for t in suite.values()]
+            )
+            large = np.mean(
+                [rate(spec_template.format(n=14), t) for t in suite.values()]
+            )
+            assert large < small
+
+    def test_history_beats_no_history_at_scale(self, suite):
+        """Given enough table, global history must pay off (the reason
+        two-level predictors exist)."""
+        trace = suite["xlisp"]
+        with_history = rate("gshare:index=14,hist=14", trace)
+        without = rate("gshare:index=14,hist=0", trace)
+        assert with_history < without
+
+
+class TestOrderingsAcrossSchemes:
+    def test_static_predictors_are_the_floor(self, suite):
+        trace = suite["xlisp"]
+        static_rate = min(rate("always-taken", trace), rate("always-not-taken", trace))
+        assert rate("bimodal:index=12", trace) < static_rate
+        assert rate("bimode:dir=11,hist=11,choice=11", trace) < static_rate
+
+    def test_dealiasing_schemes_beat_plain_gshare_on_aliasing_workload(self, suite):
+        trace = suite["gcc"]
+        plain = rate("gshare:index=11,hist=11", trace)
+        assert rate("agree:index=11,hist=11", trace) < plain
+        assert rate("bimode:dir=10,hist=10,choice=10", trace) < plain
+
+    def test_tournament_tracks_best_component(self, suite):
+        trace = suite["xlisp"]
+        tournament = rate("tournament:index=11,meta=11", trace)
+        bimodal = rate("bimodal:index=11", trace)
+        gshare = rate("gshare:index=11,hist=11", trace)
+        assert tournament <= min(bimodal, gshare) * 1.15
+
+
+class TestWorkloadSensitivity:
+    def test_aliasing_hurts_more_on_large_footprints(self, suite):
+        """gcc (large static footprint) must degrade more at small
+        tables than xlisp (small footprint)."""
+        def degradation(trace):
+            return rate("gshare:index=9,hist=9", trace) - rate(
+                "gshare:index=14,hist=14", trace
+            )
+
+        assert degradation(suite["gcc"]) > degradation(suite["xlisp"])
+
+    def test_context_switch_interference(self):
+        """Interleaving two workloads (context switches) must not
+        improve prediction; flushing effects should cost something."""
+        a = generate_trace(get_profile("xlisp"), length=30_000, seed=5)
+        b = generate_trace(get_profile("compress"), length=30_000, seed=6)
+        merged = interleave(a, b, period=500, name="merged")
+        solo = (rate("gshare:index=11,hist=11", a) * len(a) +
+                rate("gshare:index=11,hist=11", b) * len(b)) / (len(a) + len(b))
+        mixed = rate("gshare:index=11,hist=11", merged)
+        assert mixed >= solo * 0.98  # allow tiny noise, expect >= solo
+
+
+class TestEvaluateIntegration:
+    def test_cached_evaluation_is_stable(self, suite, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = evaluate("bimode:dir=9,hist=9,choice=9", suite["xlisp"], cache=cache)
+        second = evaluate("bimode:dir=9,hist=9,choice=9", suite["xlisp"], cache=cache)
+        assert first == second

@@ -1,0 +1,108 @@
+"""Unit tests for the perceptron predictor (Jiménez & Lin lineage point)."""
+
+import numpy as np
+import pytest
+
+from repro.predictors.perceptron import PerceptronPredictor
+from repro.sim.engine import run, run_steps
+from tests.conftest import make_toy_trace
+
+
+def fresh(index_bits=6, hist=8, **kw):
+    return PerceptronPredictor(index_bits=index_bits, history_bits=hist, **kw)
+
+
+class TestStructure:
+    def test_threshold_follows_paper_formula(self):
+        assert fresh(hist=12).theta == int(1.93 * 12 + 14)
+
+    def test_size_bits(self):
+        # 2^4 perceptrons x (8 history + bias) weights x 8 bits
+        assert fresh(index_bits=4, hist=8).size_bits() == 16 * 9 * 8
+
+    def test_zero_weights_initially_predict_taken(self):
+        assert fresh().predict(0) is True  # y == 0 -> taken
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerceptronPredictor(index_bits=-1)
+        with pytest.raises(ValueError):
+            fresh(weight_bits=1)
+
+
+class TestLearning:
+    def test_learns_biased_branch(self):
+        p = fresh()
+        misses = sum(not p.predict_and_update(5, True) for _ in range(60))
+        assert misses <= 1
+
+    def test_learns_not_taken_bias(self):
+        p = fresh()
+        results = [p.predict_and_update(5, False) for _ in range(60)]
+        assert sum(results[5:]) == 0  # settles on not-taken quickly
+
+    def test_learns_alternation(self):
+        p = fresh(hist=4)
+        outcomes = [bool(i % 2) for i in range(300)]
+        misses = sum(p.predict_and_update(5, o) != o for o in outcomes)
+        assert misses <= 20
+
+    def test_learns_linear_history_function(self):
+        """Outcome = history bit 3 (a single weight) is the perceptron's
+        home turf."""
+        p = fresh(hist=8)
+        rng = np.random.default_rng(4)
+        history = []
+        misses = 0
+        for i in range(600):
+            if len(history) >= 4:
+                outcome = history[-4]
+            else:
+                outcome = bool(rng.integers(2))
+            misses += p.predict_and_update(9, outcome) != outcome
+            history.append(outcome)
+        assert misses / 600 < 0.15
+
+    def test_weights_saturate(self):
+        p = fresh(index_bits=2, hist=2, weight_bits=4)
+        for _ in range(200):
+            p.update(0, True)
+        row = p.weights[0]
+        assert all(-8 <= w <= 7 for w in row)
+        assert row[0] == 7  # bias saturated high
+
+    def test_long_history_scales_linearly_in_cost(self):
+        short = fresh(index_bits=6, hist=8).size_bits()
+        long = fresh(index_bits=6, hist=16).size_bits()
+        assert long < 2 * short  # linear, not exponential
+
+
+class TestBatchPath:
+    def test_batch_equals_step(self):
+        trace = make_toy_trace(length=1200, seed=17)
+        for kwargs in ({}, {"hist": 0}, {"weight_bits": 4}):
+            a = run(fresh(**kwargs), trace).predictions
+            b = run_steps(fresh(**kwargs), trace).predictions
+            assert np.array_equal(a, b), kwargs
+
+    def test_reset(self):
+        trace = make_toy_trace(length=400)
+        p = fresh()
+        a = run(p, trace).predictions
+        b = run(p, trace).predictions
+        assert np.array_equal(a, b)
+
+    def test_warm_start_split_equals_full(self):
+        trace = make_toy_trace(length=800)
+        full = run(fresh(), trace).predictions
+        p = fresh()
+        a = run(p, trace[:400]).predictions
+        b = run(p, trace[400:], reset=False).predictions
+        assert np.array_equal(np.concatenate([a, b]), full)
+
+    def test_beats_bimodal_on_history_workload(self, small_workload):
+        from repro.predictors.bimodal import BimodalPredictor
+
+        perceptron = run(fresh(index_bits=9, hist=12), small_workload)
+        bimodal = run(BimodalPredictor(index_bits=9), small_workload)
+        assert perceptron.misprediction_rate < bimodal.misprediction_rate

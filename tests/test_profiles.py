@@ -1,0 +1,125 @@
+"""Unit tests for the benchmark profiles (Table 1/2 parity)."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    ALL_PROFILES,
+    CINT95_PROFILES,
+    IBS_PROFILES,
+    BehaviorMix,
+    BenchmarkProfile,
+    get_profile,
+)
+
+#: Paper Table 2, exactly.
+PAPER_TABLE_2 = {
+    "compress": (482, 10_114_353),
+    "gcc": (16_035, 26_520_618),
+    "go": (5_112, 17_873_772),
+    "xlisp": (636, 25_008_567),
+    "perl": (1_974, 39_714_684),
+    "vortex": (6_599, 27_792_020),
+    "groff": (6_333, 11_901_481),
+    "gs": (12_852, 16_307_247),
+    "mpeg_play": (5_598, 9_566_290),
+    "nroff": (5_249, 22_574_884),
+    "real_gcc": (17_361, 14_309_867),
+    "sdet": (5_310, 5_514_439),
+    "verilog": (4_636, 6_212_381),
+    "video_play": (4_606, 5_759_231),
+}
+
+
+class TestSuiteComposition:
+    def test_six_cint95_benchmarks(self):
+        assert set(CINT95_PROFILES) == {
+            "compress", "gcc", "go", "xlisp", "perl", "vortex",
+        }
+
+    def test_eight_ibs_benchmarks(self):
+        assert set(IBS_PROFILES) == {
+            "groff", "gs", "mpeg_play", "nroff",
+            "real_gcc", "sdet", "verilog", "video_play",
+        }
+
+    def test_all_profiles_is_union(self):
+        assert set(ALL_PROFILES) == set(CINT95_PROFILES) | set(IBS_PROFILES)
+
+    def test_get_profile(self):
+        assert get_profile("gcc").name == "gcc"
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("spec2017")
+
+
+class TestTable2Parity:
+    @pytest.mark.parametrize("name", sorted(PAPER_TABLE_2))
+    def test_paper_counts_exact(self, name):
+        profile = get_profile(name)
+        static, dynamic = PAPER_TABLE_2[name]
+        assert profile.paper_static == static
+        assert profile.paper_dynamic == dynamic
+
+    def test_static_scale_only_shrinks_large_footprints(self):
+        for name, profile in ALL_PROFILES.items():
+            assert 0 < profile.static_scale <= 1.0
+            if profile.paper_static < 2000:
+                assert profile.static_scale == 1.0, name
+
+    def test_default_lengths_bounded(self):
+        for profile in ALL_PROFILES.values():
+            assert 200_000 <= profile.default_length <= 800_000
+
+    def test_default_length_ordering_follows_paper(self):
+        # perl has the largest dynamic count, sdet among the smallest
+        assert get_profile("perl").default_length >= get_profile("sdet").default_length
+
+
+class TestProfileInvariants:
+    def test_mix_fractions_valid(self):
+        for name, profile in ALL_PROFILES.items():
+            mix = profile.mix
+            total = mix.biased + mix.correlated + mix.pattern + mix.weak
+            assert total == pytest.approx(1.0), name
+
+    def test_go_is_weak_heavy(self):
+        go = get_profile("go")
+        assert go.mix.weak > 0.3
+        for other in ("xlisp", "vortex", "perl"):
+            assert go.mix.weak > get_profile(other).mix.weak
+
+    def test_vortex_is_bias_heavy(self):
+        assert get_profile("vortex").mix.biased >= max(
+            p.mix.biased for p in CINT95_PROFILES.values() if p.name != "vortex"
+        )
+
+    def test_ibs_profiles_have_kernel_activity(self):
+        for name, profile in IBS_PROFILES.items():
+            assert profile.kernel_fraction > 0, name
+
+    def test_cint95_profiles_are_user_only(self):
+        for name, profile in CINT95_PROFILES.items():
+            assert profile.kernel_fraction == 0, name
+
+    def test_input_notes_preserved_from_table_1(self):
+        assert get_profile("gcc").input_note == "jump.i"
+        assert get_profile("xlisp").input_note == "train.lsp"
+
+    def test_validation_rejects_bad_mix(self):
+        with pytest.raises(ValueError):
+            BehaviorMix(biased=0.9, correlated=0.2, pattern=0.0)
+
+    def test_validation_rejects_bad_suite(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(
+                name="x", suite="spec2006", paper_static=10, paper_dynamic=10,
+                mix=BehaviorMix(0.5, 0.3, 0.1),
+            )
+
+    def test_validation_rejects_weak_strong_bias(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(
+                name="x", suite="ibs", paper_static=10, paper_dynamic=10,
+                mix=BehaviorMix(0.5, 0.3, 0.1), strong_bias=0.5,
+            )

@@ -1,0 +1,70 @@
+"""Unit tests for ASCII reporting and CSV export."""
+
+import csv
+
+import pytest
+
+from repro.analysis.report import ascii_chart, ascii_table, format_rate, write_csv
+
+
+class TestFormatRate:
+    def test_percent(self):
+        assert format_rate(0.0625) == "6.25%"
+        assert format_rate(0.0) == "0.00%"
+
+
+class TestAsciiTable:
+    def test_alignment_and_content(self):
+        text = ascii_table(["name", "rate"], [["gcc", 0.123456], ["go", 0.5]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["name", "rate"]
+        assert "gcc" in lines[2]
+        assert "0.1235" in lines[2]  # 4 significant digits
+
+    def test_title(self):
+        text = ascii_table(["a"], [[1]], title="Table 2")
+        assert text.splitlines()[0] == "Table 2"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [[1]])
+
+    def test_wide_cells_expand_columns(self):
+        text = ascii_table(["a"], [["a-very-long-cell"]])
+        header, rule, row = text.splitlines()
+        assert len(header) == len(row)
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        series = {
+            "gshare": [(0.25, 0.10), (1.0, 0.08), (4.0, 0.06)],
+            "bimode": [(0.25, 0.08), (1.0, 0.06), (4.0, 0.04)],
+        }
+        text = ascii_chart(series, width=40, height=10)
+        assert "o=gshare" in text
+        assert "*=bimode" in text
+        assert "o" in text and "*" in text
+
+    def test_empty(self):
+        assert ascii_chart({}, width=10, height=5) == "(empty chart)"
+
+    def test_linear_axis(self):
+        text = ascii_chart({"s": [(1, 0.5), (2, 0.4)]}, log_x=False)
+        assert "x" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_chart({"s": [(1, 0.5), (2, 0.5)]})
+        assert "s" in text
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, 2], [3, 4]])
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_directories(self, tmp_path):
+        path = write_csv(tmp_path / "x" / "y.csv", ["a"], [[1]])
+        assert path.exists()

@@ -1,0 +1,90 @@
+"""Unit tests for the cached multi-run orchestration."""
+
+import json
+
+import pytest
+
+from repro.sim.runner import ResultCache, evaluate, evaluate_matrix, trace_key
+from tests.conftest import make_toy_trace
+
+
+@pytest.fixture
+def trace():
+    t = make_toy_trace(length=800)
+    t.metadata["profile_seed"] = 0
+    return t
+
+
+class TestTraceKey:
+    def test_includes_name_length_seed(self, trace):
+        assert trace_key(trace) == "toy-n800-s0"
+
+    def test_anonymous_trace(self):
+        t = make_toy_trace(length=10)
+        t.name = ""
+        assert trace_key(t).startswith("anon-")
+
+
+class TestResultCache:
+    def test_put_get(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("gshare:index=8,hist=8", "toy-n800-s0", 0.125)
+        assert cache.get("gshare:index=8,hist=8", "toy-n800-s0") == 0.125
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("x", "y") is None
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultCache(tmp_path).put("spec", "tkey", 0.5)
+        assert ResultCache(tmp_path).get("spec", "tkey") == 0.5
+
+    def test_corrupt_file_treated_as_empty(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("spec", "tkey", 0.5)
+        (tmp_path / "results" / "tkey.json").write_text("{not json")
+        assert ResultCache(tmp_path).get("spec", "tkey") is None
+
+    def test_one_file_per_trace(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a", "t1", 0.1)
+        cache.put("b", "t1", 0.2)
+        cache.put("a", "t2", 0.3)
+        files = sorted(p.name for p in (tmp_path / "results").iterdir())
+        assert files == ["t1.json", "t2.json"]
+        data = json.loads((tmp_path / "results" / "t1.json").read_text())
+        assert data == {"a": 0.1, "b": 0.2}
+
+
+class TestEvaluate:
+    def test_computes_rate(self, trace):
+        rate = evaluate("gshare:index=8,hist=8", trace)
+        assert 0.0 <= rate <= 1.0
+
+    def test_uses_cache(self, trace, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = evaluate("gshare:index=8,hist=8", trace, cache=cache)
+        # poison the cache to prove the second call reads it
+        cache.put("gshare:index=8,hist=8", trace_key(trace), 0.999)
+        second = evaluate("gshare:index=8,hist=8", trace, cache=cache)
+        assert second == 0.999
+        assert first != second
+
+    def test_matrix(self, trace, tmp_path):
+        other = make_toy_trace(length=400, seed=9)
+        other.name = "other"
+        matrix = evaluate_matrix(
+            ["bimodal:index=6", "gshare:index=6,hist=6"],
+            {"toy": trace, "other": other},
+            cache=ResultCache(tmp_path),
+        )
+        assert set(matrix) == {"bimodal:index=6", "gshare:index=6,hist=6"}
+        assert set(matrix["bimodal:index=6"]) == {"toy", "other"}
+
+    def test_matrix_progress_callback(self, trace):
+        calls = []
+        evaluate_matrix(
+            ["bimodal:index=4"],
+            {"toy": trace},
+            progress=lambda spec, bench, rate: calls.append((spec, bench)),
+        )
+        assert calls == [("bimodal:index=4", "toy")]

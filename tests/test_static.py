@@ -1,0 +1,64 @@
+"""Unit tests for the static predictors."""
+
+import numpy as np
+
+from repro.predictors.static_ import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BTFNTPredictor,
+)
+from repro.sim.engine import run, run_steps
+from tests.conftest import make_toy_trace
+
+
+class TestFixedPredictors:
+    def test_always_taken(self):
+        p = AlwaysTakenPredictor()
+        assert p.predict(0) is True
+        assert p.predict(12345) is True
+
+    def test_always_not_taken(self):
+        p = AlwaysNotTakenPredictor()
+        assert p.predict(0) is False
+
+    def test_updates_are_ignored(self):
+        p = AlwaysTakenPredictor()
+        for _ in range(10):
+            p.update(0, False)
+        assert p.predict(0) is True
+
+    def test_zero_cost(self):
+        assert AlwaysTakenPredictor().size_bits() == 0
+        assert BTFNTPredictor().size_bits() == 0
+
+    def test_batch_equals_step(self):
+        trace = make_toy_trace(length=500)
+        for factory in (AlwaysTakenPredictor, AlwaysNotTakenPredictor, BTFNTPredictor):
+            batch = run(factory(), trace)
+            steps = run_steps(factory(), trace)
+            assert np.array_equal(batch.predictions, steps.predictions)
+
+    def test_complementary_rates(self):
+        trace = make_toy_trace(length=2000)
+        taken = run(AlwaysTakenPredictor(), trace).misprediction_rate
+        not_taken = run(AlwaysNotTakenPredictor(), trace).misprediction_rate
+        assert abs((taken + not_taken) - 1.0) < 1e-12
+
+
+class TestBTFNT:
+    def test_default_classifier_uses_odd_addresses(self):
+        p = BTFNTPredictor()
+        assert p.predict(7) is True  # odd word address = backward
+        assert p.predict(8) is False
+
+    def test_custom_classifier(self):
+        p = BTFNTPredictor(backward=lambda pc: pc >= 100)
+        assert p.predict(150) is True
+        assert p.predict(50) is False
+
+    def test_on_generated_workload_beats_coin_flip(self, small_workload):
+        """The generator marks loop back-edges odd; loops are mostly
+        taken, so BTFNT should beat always-not-taken."""
+        btfnt = run(BTFNTPredictor(), small_workload).misprediction_rate
+        coin = 0.5
+        assert btfnt < coin

@@ -1,0 +1,93 @@
+"""Unit tests for the McFarling tournament combiner."""
+
+import numpy as np
+
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.static_ import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+)
+from repro.predictors.tournament import TournamentPredictor
+from repro.sim.engine import run, run_steps
+from tests.conftest import make_toy_trace
+
+
+def make(meta_bits=6):
+    return TournamentPredictor(
+        component_a=BimodalPredictor(index_bits=6),
+        component_b=GSharePredictor(index_bits=6),
+        meta_index_bits=meta_bits,
+    )
+
+
+class TestTournament:
+    def test_meta_starts_selecting_component_b(self):
+        # weakly-taken meta counter selects component b
+        p = TournamentPredictor(
+            AlwaysNotTakenPredictor(), AlwaysTakenPredictor(), meta_index_bits=4
+        )
+        assert p.predict(0) is True
+
+    def test_meta_learns_better_component(self):
+        p = TournamentPredictor(
+            AlwaysNotTakenPredictor(), AlwaysTakenPredictor(), meta_index_bits=4
+        )
+        # feed not-taken outcomes: component a (always-NT) is right
+        for _ in range(4):
+            p.update(0, False)
+        assert p.predict(0) is False
+
+    def test_meta_not_trained_on_agreement(self):
+        p = TournamentPredictor(
+            AlwaysTakenPredictor(), AlwaysTakenPredictor(), meta_index_bits=4
+        )
+        before = list(p.meta.states)
+        p.update(0, False)  # both wrong, but they agree
+        assert p.meta.states == before
+
+    def test_components_always_train(self):
+        p = make()
+        p.update(3, False)
+        p.update(3, False)
+        assert p.component_a.predict(3) is False
+
+    def test_size_is_sum_of_parts(self):
+        p = make(meta_bits=6)
+        expected = (
+            p.component_a.size_bits() + p.component_b.size_bits() + 64 * 2
+        )
+        assert p.size_bits() == expected
+
+    def test_combines_strengths(self):
+        """Tournament should track the better component per branch: an
+        alternating branch (needs history) and a biased branch living
+        together.  (8-bit tables: at 6 bits the two branches' contexts
+        xor-collide destructively, which is its own test elsewhere.)"""
+        p = TournamentPredictor(
+            component_a=BimodalPredictor(index_bits=8),
+            component_b=GSharePredictor(index_bits=8),
+            meta_index_bits=8,
+        )
+        misses = 0
+        for i in range(400):
+            o1 = bool(i % 2)
+            misses += p.predict_and_update(5, o1) != o1
+            misses += p.predict_and_update(9, True) is not True
+        assert misses / 800 < 0.1
+
+    def test_batch_equals_step(self):
+        trace = make_toy_trace(length=900)
+        batch = run(make(), trace)
+        steps = run_steps(make(), trace)
+        assert np.array_equal(batch.predictions, steps.predictions)
+
+    def test_reset_propagates(self):
+        p = make()
+        trace = make_toy_trace(length=400)
+        a = run(p, trace).predictions
+        b = run(p, trace).predictions
+        assert np.array_equal(a, b)
+
+    def test_name_mentions_components(self):
+        assert "bimodal" in make().name and "gshare" in make().name

@@ -1,0 +1,98 @@
+"""Unit tests for the trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.traces.record import BranchRecord, BranchTrace
+
+
+def simple_trace():
+    return BranchTrace(
+        pcs=np.array([4, 8, 4, 12, 4]),
+        outcomes=np.array([True, False, True, True, False]),
+        name="t",
+    )
+
+
+class TestBranchRecord:
+    def test_fields(self):
+        r = BranchRecord(pc=100, taken=True)
+        assert (r.pc, r.taken) == (100, True)
+
+    def test_unpacking(self):
+        pc, taken = BranchRecord(pc=4, taken=False)
+        assert (pc, taken) == (4, False)
+
+
+class TestBranchTrace:
+    def test_lengths_must_match(self):
+        with pytest.raises(ValueError):
+            BranchTrace(pcs=np.array([1, 2]), outcomes=np.array([True]))
+
+    def test_negative_pcs_rejected(self):
+        with pytest.raises(ValueError):
+            BranchTrace(pcs=np.array([-1]), outcomes=np.array([True]))
+
+    def test_multidim_rejected(self):
+        with pytest.raises(ValueError):
+            BranchTrace(pcs=np.zeros((2, 2)), outcomes=np.zeros(4, dtype=bool))
+
+    def test_len_and_counts(self):
+        t = simple_trace()
+        assert len(t) == 5
+        assert t.num_dynamic == 5
+        assert t.num_static == 3
+
+    def test_static_branches_sorted(self):
+        assert simple_trace().static_branches().tolist() == [4, 8, 12]
+
+    def test_taken_rate(self):
+        assert simple_trace().taken_rate == pytest.approx(0.6)
+
+    def test_empty(self):
+        t = BranchTrace.empty("e")
+        assert len(t) == 0
+        assert t.taken_rate == 0.0
+        assert t.num_static == 0
+
+    def test_indexing_returns_record(self):
+        r = simple_trace()[1]
+        assert isinstance(r, BranchRecord)
+        assert (r.pc, r.taken) == (8, False)
+
+    def test_slicing_returns_trace(self):
+        t = simple_trace()[1:3]
+        assert isinstance(t, BranchTrace)
+        assert t.pcs.tolist() == [8, 4]
+
+    def test_iteration(self):
+        records = list(simple_trace())
+        assert len(records) == 5
+        assert records[0] == BranchRecord(pc=4, taken=True)
+
+    def test_from_records(self):
+        t = BranchTrace.from_records([(4, True), (8, False)], name="x")
+        assert t.pcs.tolist() == [4, 8]
+        assert t.outcomes.tolist() == [True, False]
+        assert t.name == "x"
+
+    def test_from_branch_records(self):
+        t = BranchTrace.from_records([BranchRecord(2, True)])
+        assert len(t) == 1
+
+    def test_concat(self):
+        a = simple_trace()
+        b = simple_trace()
+        c = a.concat(b, name="ab")
+        assert len(c) == 10
+        assert c.name == "ab"
+
+    def test_equality(self):
+        assert simple_trace() == simple_trace()
+        other = simple_trace()
+        other.outcomes[0] = False
+        assert simple_trace() != other
+
+    def test_outcome_dtype_coerced_to_bool(self):
+        t = BranchTrace(pcs=np.array([1, 2]), outcomes=np.array([1, 0]))
+        assert t.outcomes.dtype == bool

@@ -1,0 +1,114 @@
+"""Unit tests for the tri-mode extension predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.counters import (
+    STRONGLY_NOT_TAKEN,
+    STRONGLY_TAKEN,
+    WEAKLY_NOT_TAKEN,
+    WEAKLY_TAKEN,
+)
+from repro.predictors.trimode import TriModePredictor
+from repro.sim.engine import run, run_detailed, run_steps
+from tests.conftest import make_toy_trace
+
+
+def fresh(dir_bits=4, **kw):
+    return TriModePredictor(direction_index_bits=dir_bits, **kw)
+
+
+class TestStructure:
+    def test_three_banks_plus_choice(self):
+        p = fresh(dir_bits=6)
+        assert len(p.banks) == 3
+        assert p.size_bits() == (3 * 64 + 64) * 2
+
+    def test_bank_initialization(self):
+        p = fresh()
+        assert all(s == WEAKLY_NOT_TAKEN for s in p.banks[0].states)
+        assert all(s == WEAKLY_TAKEN for s in p.banks[1].states)
+        assert all(s == WEAKLY_TAKEN for s in p.banks[2].states)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            TriModePredictor(direction_index_bits=-1)
+        with pytest.raises(ValueError):
+            fresh(dir_bits=4, history_bits=5)
+
+    def test_name(self):
+        assert "3x2^5" in fresh(dir_bits=5).name
+
+
+class TestModeClassification:
+    def test_weak_choice_selects_weak_bank(self):
+        # choice starts weakly-taken (state 2) -> weak bank
+        assert TriModePredictor._bank_of(WEAKLY_TAKEN) == 2
+        assert TriModePredictor._bank_of(WEAKLY_NOT_TAKEN) == 2
+
+    def test_saturated_choice_selects_direction_banks(self):
+        assert TriModePredictor._bank_of(STRONGLY_TAKEN) == 1
+        assert TriModePredictor._bank_of(STRONGLY_NOT_TAKEN) == 0
+
+    def test_biased_branch_migrates_to_strong_bank(self):
+        p = fresh(dir_bits=4, history_bits=0)
+        for _ in range(3):
+            p.update(5, True)
+        # choice saturated taken: now the taken bank serves pc 5
+        assert p.choice.states[5] == STRONGLY_TAKEN
+        index = p._direction_index(5)
+        assert p.banks[1].predict(index) is True
+
+    def test_weak_branch_stays_in_weak_bank(self):
+        p = fresh(dir_bits=4, history_bits=0)
+        for i in range(40):
+            p.update(5, bool(i % 2))
+        # alternation keeps the choice counter around the middle
+        assert p.choice.states[5] in (1, 2)
+
+
+class TestBehaviour:
+    def test_learns_biased_branches(self):
+        p = fresh(dir_bits=6)
+        misses = sum(not p.predict_and_update(9, True) for _ in range(100))
+        assert misses <= 2
+
+    def test_separates_weak_from_strong(self):
+        """A weakly-biased branch aliasing with a strongly-biased one in
+        the direction index must not disturb it once classified."""
+        p = fresh(dir_bits=4, history_bits=0, choice_index_bits=8)
+        strong_pc = 0x13
+        weak_pc = 0x23  # same direction index
+        misses_strong = 0
+        for i in range(300):
+            misses_strong += p.predict_and_update(strong_pc, True) is not True
+            p.predict_and_update(weak_pc, bool(i % 2))
+        assert misses_strong <= 4
+
+    def test_batch_equals_step(self):
+        trace = make_toy_trace(length=1500, seed=3)
+        for kwargs in ({}, {"history_bits": 3}, {"choice_index_bits": 5}):
+            batch = run(fresh(dir_bits=6, **kwargs), trace)
+            steps = run_steps(fresh(dir_bits=6, **kwargs), trace)
+            assert np.array_equal(batch.predictions, steps.predictions), kwargs
+
+    def test_detailed_covers_three_banks(self):
+        trace = make_toy_trace(length=2000)
+        detailed = run_detailed(fresh(dir_bits=5), trace)
+        assert detailed.num_counters == 3 * 32
+        banks_hit = set((detailed.counter_ids // 32).tolist())
+        assert 2 in banks_hit  # weak bank serves the cold start
+
+    def test_reset(self):
+        trace = make_toy_trace(length=400)
+        p = fresh()
+        a = run(p, trace).predictions
+        b = run(p, trace).predictions
+        assert np.array_equal(a, b)
+
+    def test_registry_spec(self):
+        from repro.core.registry import make_predictor
+
+        p = make_predictor("trimode:dir=6,hist=4,choice=5")
+        assert isinstance(p, TriModePredictor)
+        assert p.history_bits == 4

@@ -1,0 +1,149 @@
+"""Unit tests for the GAx/PAx two-level family and gselect."""
+
+import numpy as np
+import pytest
+
+from repro.predictors.twolevel import (
+    GAgPredictor,
+    GApPredictor,
+    GAsPredictor,
+    GSelectPredictor,
+    PAgPredictor,
+    PApPredictor,
+    PAsPredictor,
+    TwoLevelPredictor,
+)
+from repro.sim.engine import run, run_steps
+from tests.conftest import make_toy_trace
+
+
+class TestConstruction:
+    def test_gag_has_single_pht(self):
+        p = GAgPredictor(history_bits=8)
+        assert p.pht_select_bits == 0
+        assert p.table.size == 256
+
+    def test_gas_table_size(self):
+        p = GAsPredictor(history_bits=6, pht_select_bits=3)
+        assert p.table.size == 512  # 8 PHTs of 64
+
+    def test_gas_requires_select_bits(self):
+        with pytest.raises(ValueError):
+            GAsPredictor(history_bits=4, pht_select_bits=0)
+
+    def test_pag_first_level_size(self):
+        p = PAgPredictor(history_bits=6, bht_index_bits=5)
+        assert len(p.bht) == 32
+        assert p.history_bits_cost() == 32 * 6
+
+    def test_gag_history_cost_is_register_width(self):
+        assert GAgPredictor(history_bits=12).history_bits_cost() == 12
+
+    def test_per_address_requires_bht(self):
+        with pytest.raises(ValueError):
+            TwoLevelPredictor(history_bits=4, per_address=True)
+
+    def test_global_rejects_bht(self):
+        with pytest.raises(ValueError):
+            TwoLevelPredictor(history_bits=4, bht_index_bits=4)
+
+    def test_gap_is_wide_gas(self):
+        trace = make_toy_trace(length=600)
+        gap = run(GApPredictor(history_bits=3, address_bits=5), trace)
+        gas = run(GAsPredictor(history_bits=3, pht_select_bits=5), trace)
+        assert np.array_equal(gap.predictions, gas.predictions)
+
+    def test_pap_is_wide_pas(self):
+        trace = make_toy_trace(length=600)
+        pap = run(PApPredictor(history_bits=3, address_bits=4, bht_index_bits=4), trace)
+        pas = run(
+            PAsPredictor(history_bits=3, pht_select_bits=4, bht_index_bits=4), trace
+        )
+        assert np.array_equal(pap.predictions, pas.predictions)
+
+    def test_gap_pap_names(self):
+        assert GApPredictor(4).name == "gap:hist=4,addr=8"
+        assert "pap:hist=3" in PApPredictor(3, 2, 4).name
+
+    def test_gselect_is_gas(self):
+        trace = make_toy_trace(length=800)
+        gas = run(GAsPredictor(history_bits=4, pht_select_bits=3), trace)
+        gsel = run(GSelectPredictor(history_bits=4, pht_select_bits=3), trace)
+        assert np.array_equal(gas.predictions, gsel.predictions)
+
+    def test_names(self):
+        assert GAgPredictor(8).name == "gag:hist=8"
+        assert "phts=2^3" in GAsPredictor(4, 3).name
+        assert "bht=2^5" in PAgPredictor(4, 5).name
+
+
+class TestGlobalSemantics:
+    def test_gag_index_is_history_only(self):
+        p = GAgPredictor(history_bits=4)
+        # different branches with the same history share the counter
+        p.ghr.push(True)  # history = 0b0001
+        p.update(100, False)  # counter[1]: weakly-taken -> weakly-not-taken
+        p.ghr.reset()
+        p.ghr.push(True)
+        assert p.predict(999) is False  # same history, any pc: same counter
+        p.ghr.reset()
+        assert p.predict(999) is True  # history 0: untouched counter
+
+    def test_gas_separates_by_address_set(self):
+        p = GAsPredictor(history_bits=2, pht_select_bits=2)
+        for _ in range(4):
+            p.ghr.reset()
+            p.update(0, False)
+        p.ghr.reset()
+        assert p.predict(0) is False
+        assert p.predict(1) is True  # different PHT
+
+
+class TestPerAddressSemantics:
+    def test_pag_captures_short_pattern(self):
+        """TTN repeating: per-address history of 2+ disambiguates."""
+        p = PAgPredictor(history_bits=3, bht_index_bits=4)
+        pattern = [True, True, False] * 40
+        misses = sum(p.predict_and_update(7, o) != o for o in pattern)
+        assert misses <= 8
+
+    def test_pag_immune_to_other_branches_history(self):
+        p = PAgPredictor(history_bits=3, bht_index_bits=4)
+        p.update(1, True)
+        assert p.bht.read(2) == 0  # branch 2's register untouched
+
+    def test_pas_batch_equals_step(self):
+        trace = make_toy_trace(length=1000)
+        batch = run(PAsPredictor(4, 3, bht_index_bits=5), trace)
+        steps = run_steps(PAsPredictor(4, 3, bht_index_bits=5), trace)
+        assert np.array_equal(batch.predictions, steps.predictions)
+
+    def test_pag_batch_equals_step(self):
+        trace = make_toy_trace(length=1000)
+        batch = run(PAgPredictor(5, bht_index_bits=5), trace)
+        steps = run_steps(PAgPredictor(5, bht_index_bits=5), trace)
+        assert np.array_equal(batch.predictions, steps.predictions)
+
+    def test_detailed_simulation(self):
+        trace = make_toy_trace(length=400)
+        detailed = PAsPredictor(3, 2, bht_index_bits=4).simulate_detailed(trace)
+        assert detailed.num_counters == 32
+        assert detailed.counter_ids.max() < 32
+
+
+class TestReset:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: GAgPredictor(6),
+            lambda: GAsPredictor(4, 2),
+            lambda: PAgPredictor(4, 4),
+            lambda: PAsPredictor(3, 2, bht_index_bits=4),
+        ],
+    )
+    def test_reset_restores_determinism(self, factory):
+        trace = make_toy_trace(length=600)
+        p = factory()
+        first = run(p, trace).predictions
+        second = run(p, trace).predictions  # run() resets
+        assert np.array_equal(first, second)
