@@ -20,7 +20,13 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import PAPER_EXPECTED, emit_table, load_bench_suite, result_cache
+from benchmarks.common import (
+    PAPER_EXPECTED,
+    bench_jobs,
+    emit_table,
+    load_bench_suite,
+    result_cache,
+)
 from repro.analysis.report import ascii_chart
 from repro.analysis.sweep import paper_sweep
 from repro.core.hardware import PAPER_SIZE_POINTS_KB
@@ -28,7 +34,12 @@ from repro.core.hardware import PAPER_SIZE_POINTS_KB
 
 def _run_suite(suite_name: str):
     traces = load_bench_suite(suite_name)
-    return paper_sweep(traces, kb_points=PAPER_SIZE_POINTS_KB, cache=result_cache())
+    return paper_sweep(
+        traces,
+        kb_points=PAPER_SIZE_POINTS_KB,
+        cache=result_cache(),
+        jobs=bench_jobs(),
+    )
 
 
 def _emit(suite_name: str, series):

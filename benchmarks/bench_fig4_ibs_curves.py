@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import emit_table, load_bench_suite, result_cache
+from benchmarks.common import bench_jobs, emit_table, load_bench_suite, result_cache
 from repro.analysis.report import ascii_chart
 from repro.analysis.sweep import paper_sweep
 from repro.core.hardware import PAPER_SIZE_POINTS_KB
@@ -22,7 +22,12 @@ from repro.core.hardware import PAPER_SIZE_POINTS_KB
 
 def _run():
     traces = load_bench_suite("ibs")
-    series = paper_sweep(traces, kb_points=PAPER_SIZE_POINTS_KB, cache=result_cache())
+    series = paper_sweep(
+        traces,
+        kb_points=PAPER_SIZE_POINTS_KB,
+        cache=result_cache(),
+        jobs=bench_jobs(),
+    )
     return traces, series
 
 

@@ -18,6 +18,8 @@ Environment knobs:
 * ``REPRO_CACHE_DIR`` — cache root (traces + result cells).
 * ``REPRO_BENCH_SCALE`` — float scale on trace lengths (default 1.0;
   use e.g. 0.1 for a quick smoke pass of the whole harness).
+* ``REPRO_JOBS`` — worker processes for sweep-shaped benches (default
+  serial; ``0``/``auto`` means one per CPU).
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from pathlib import Path
 from typing import Dict, List, Sequence
 
 from repro.analysis.report import ascii_table, write_csv
+from repro.sim.parallel import parallel_jobs
 from repro.sim.runner import ResultCache
 from repro.traces.record import BranchTrace
 from repro.workloads.profiles import get_profile
@@ -35,6 +38,7 @@ from repro.workloads.suite import load_benchmark, suite_names
 __all__ = [
     "bench_scale",
     "bench_length",
+    "bench_jobs",
     "load_bench_trace",
     "load_bench_suite",
     "result_cache",
@@ -47,6 +51,11 @@ __all__ = [
 def bench_scale() -> float:
     """Trace-length scale factor from ``$REPRO_BENCH_SCALE``."""
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_jobs() -> int:
+    """Sweep worker-process count from ``$REPRO_JOBS`` (default serial)."""
+    return parallel_jobs(default=1)
 
 
 def bench_length(name: str) -> int:

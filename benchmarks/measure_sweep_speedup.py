@@ -1,0 +1,118 @@
+"""Measure the Figure-3 sweep speedup of the batched kernel path.
+
+Runs the full CINT95 paper sweep (Figure 3's workload: every gshare.best
+candidate, the 1PHT points and bi-mode at all eight paper sizes) twice
+from a cold result cache:
+
+* **baseline** — every (spec, benchmark) cell of the full candidate
+  matrix through the scalar engine, one trace pass per cell (the
+  pre-batching execution model of ``best_gshare_at_size``);
+* **batched** — the production path: gshare cells through the multi-lane
+  kernel of :mod:`repro.sim.batch`, assembled by ``paper_sweep``.
+
+Asserts the two paths produce bit-identical rates, prints the wall-clock
+comparison and writes ``results/sweep_speedup.csv``.
+
+Not a pytest file on purpose — timing two cold sweeps back-to-back is an
+explicit measurement run::
+
+    PYTHONPATH=src:. REPRO_BENCH_SCALE=0.1 python benchmarks/measure_sweep_speedup.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import bench_scale, emit_table, load_bench_suite
+from repro.analysis.sweep import (
+    _candidate_specs,
+    bimode_spec,
+    gshare_1pht_spec,
+    paper_sweep,
+)
+from repro.core.hardware import PAPER_SIZE_POINTS_KB
+from repro.core.registry import make_predictor
+from repro.sim.engine import run
+from repro.sim.runner import ResultCache
+
+
+def sweep_spec_set():
+    """Every unique spec the paper sweep evaluates, in sweep order."""
+    specs = []
+    for kbytes in PAPER_SIZE_POINTS_KB:
+        specs.append(gshare_1pht_spec(kbytes))
+        specs.extend(_candidate_specs(kbytes, None))
+        specs.append(bimode_spec(kbytes))
+    return list(dict.fromkeys(specs))
+
+
+def series_cells(series):
+    """Flatten a paper_sweep result into {(spec, bench): rate}."""
+    cells = {}
+    for sweep in series.values():
+        for point in sweep.points:
+            for bench, rate in point.per_benchmark.items():
+                cells[(point.spec, bench)] = rate
+    return cells
+
+
+def main() -> int:
+    suite = "cint95"
+    traces = load_bench_suite(suite)
+    specs = sweep_spec_set()
+    print(f"suite={suite}  scale={bench_scale():g}  specs={len(specs)}  "
+          f"lengths={{{', '.join(f'{k}:{len(v)}' for k, v in traces.items())}}}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        t0 = time.perf_counter()
+        series = paper_sweep(
+            traces, kb_points=PAPER_SIZE_POINTS_KB, cache=ResultCache(Path(tmp))
+        )
+        batched_s = time.perf_counter() - t0
+    cells = len(specs) * len(traces)
+    print(f"batched path: {batched_s:.2f}s ({cells} cells)")
+
+    t0 = time.perf_counter()
+    scalar = {
+        (spec, bench): run(make_predictor(spec), trace).misprediction_rate
+        for spec in specs
+        for bench, trace in traces.items()
+    }
+    baseline_s = time.perf_counter() - t0
+    print(f"scalar baseline: {baseline_s:.2f}s (same {cells} cells)")
+
+    mismatches = 0
+    for (spec, bench), rate in series_cells(series).items():
+        if scalar[(spec, bench)] != rate:
+            mismatches += 1
+            print(f"MISMATCH {spec} on {bench}: "
+                  f"batched={rate} scalar={scalar[(spec, bench)]}")
+
+    speedup = baseline_s / batched_s if batched_s else float("inf")
+    verdict = "identical" if mismatches == 0 else "DIVERGED"
+    emit_table(
+        "sweep_speedup",
+        f"Figure-3 sweep wall-clock, cold cache, scale={bench_scale():g}, "
+        f"{len(specs)} specs x {len(traces)} benchmarks",
+        ["path", "seconds", "speedup", "rates"],
+        [
+            ["scalar engine (per-cell)", f"{baseline_s:.2f}", "1.00x", verdict],
+            ["batched kernel (paper_sweep)", f"{batched_s:.2f}", f"{speedup:.2f}x", verdict],
+        ],
+    )
+    print(f"\nspeedup: {speedup:.2f}x  (target >= 3x)  mismatches={mismatches}")
+    if mismatches:
+        return 1
+    if speedup < 3.0:
+        print("WARNING: below the 3x target on this machine")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

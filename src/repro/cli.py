@@ -47,6 +47,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     parser.add_argument("--csv", default=None, help="also write results to this CSV")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for sweeps (default: $REPRO_JOBS, serial if unset; "
+        "0 means one per CPU)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list predictor schemes and benchmarks")
@@ -148,7 +155,7 @@ def _cmd_figure2(args) -> int:
         traces = load_suite(suite_names(args.suite), length=args.length, seed=args.seed)
         title = f"{args.suite.upper()}-AVERAGE"
     cache = ResultCache()
-    series = paper_sweep(traces, kb_points=args.sizes, cache=cache)
+    series = paper_sweep(traces, kb_points=args.sizes, cache=cache, jobs=args.jobs)
 
     headers = ["scheme"] + [f"{kb:g}KB" for kb in args.sizes]
     rows = []

@@ -1,0 +1,290 @@
+"""Batched multi-configuration gshare simulation kernel.
+
+The paper's ``gshare.best`` search (Section 3.1) simulates every history
+length ``0..index_bits`` at each predictor size — a dozen-plus full
+trace passes per (size, benchmark) cell through the scalar per-branch
+loop.  This module collapses the whole family into vectorized passes
+with no per-branch Python iteration.
+
+Lane model
+----------
+Lane ``k`` is a ``(index_bits_k, history_bits_k)`` gshare sharing one
+trace with every other lane.  Its PHT occupies its own slab of a
+conceptual flat counter-state space, so every counter in the batch is
+globally unique and lanes never interact.  Because histories depend only
+on resolved outcomes — never on predictions — each lane's whole index
+stream is precomputable up front (history streams are shared between
+lanes with equal history length), leaving only the per-counter
+saturating automaton as sequential work.
+
+Counter-major evaluation
+------------------------
+The kernel transposes each lane from time-major to counter-major:
+
+1. accesses are stably grouped by counter id with an ``O(n)`` counting
+   sort (scipy's C ``coo_tocsr`` kernel when available, numpy's radix
+   ``argsort`` otherwise), preserving time order inside each group;
+2. consecutive same-outcome accesses of a counter collapse into *runs*.
+   A run of ``r`` takens acts on the 2-bit counter as the saturating
+   map ``s -> min(3, s + r)`` — and every composition of such maps
+   stays of the closed form ``s -> min(hi, max(lo, s + c))``, so a run
+   is three small integers;
+3. a segmented Hillis–Steele scan composes run maps in ``O(log L)``
+   doubling steps (``L`` = most runs on any one counter), yielding each
+   run's start state;
+4. inside a run the automaton moves monotonically, so both the
+   per-access predictions and the run's misprediction *count* have
+   closed forms — rate queries never materialize per-access state.
+
+Results are bit-for-bit identical to the scalar step interface
+(:func:`repro.sim.engine.run_steps`); the equivalence suite asserts it
+lane by lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.counters import WEAKLY_TAKEN
+from repro.core.history import global_history_stream
+from repro.core.indexing import gshare_index_stream
+from repro.core.registry import parse_spec
+from repro.traces.record import BranchTrace
+
+__all__ = [
+    "GShareLane",
+    "lane_for_spec",
+    "gshare_lane_predictions",
+    "gshare_lane_rates",
+]
+
+try:  # scipy ships a C counting sort (COO->CSR); optional, numpy fallback below
+    from scipy.sparse import _sparsetools as _scipy_sparsetools
+
+    _COO_TOCSR = getattr(_scipy_sparsetools, "coo_tocsr", None)
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _COO_TOCSR = None
+
+
+@dataclass(frozen=True)
+class GShareLane:
+    """One gshare configuration inside a batch."""
+
+    index_bits: int
+    history_bits: int
+
+    def __post_init__(self) -> None:
+        if self.index_bits < 0:
+            raise ValueError(f"index_bits must be >= 0, got {self.index_bits}")
+        if not 0 <= self.history_bits <= self.index_bits:
+            raise ValueError(
+                f"history_bits ({self.history_bits}) must be in [0, {self.index_bits}]"
+            )
+
+    @property
+    def spec(self) -> str:
+        """The registry spec string naming this configuration."""
+        return f"gshare:index={self.index_bits},hist={self.history_bits}"
+
+    @property
+    def table_size(self) -> int:
+        return 1 << self.index_bits
+
+
+def lane_for_spec(spec: str) -> Optional[GShareLane]:
+    """Parse a spec string into a lane, or ``None`` if it is not a plain
+    gshare configuration the batch kernel can simulate."""
+    try:
+        scheme, kwargs = parse_spec(spec)
+    except ValueError:
+        return None
+    if scheme != "gshare" or not set(kwargs) <= {"index", "hist"} or "index" not in kwargs:
+        return None
+    try:
+        index_bits = int(kwargs["index"])
+        history_bits = int(kwargs.get("hist", index_bits))
+    except ValueError:
+        return None
+    if index_bits < 0 or not 0 <= history_bits <= index_bits:
+        return None
+    return GShareLane(index_bits=index_bits, history_bits=history_bits)
+
+
+def _stable_group_order(keys: np.ndarray, num_counters: int) -> np.ndarray:
+    """Permutation grouping ``keys`` by value, stable in time.
+
+    Equivalent to ``np.argsort(keys, kind="stable")`` but O(n) via
+    scipy's C counting sort when available (radix argsort costs more
+    than the whole rest of the kernel).
+    """
+    n = len(keys)
+    if _COO_TOCSR is None or n >= np.iinfo(np.int32).max:
+        return np.argsort(keys, kind="stable")
+    times = np.arange(n, dtype=np.int32)
+    indptr = np.empty(num_counters + 1, dtype=np.int32)
+    cols = np.empty(n, dtype=np.int32)
+    order = np.empty(n, dtype=np.int32)
+    _COO_TOCSR(num_counters, n, n, keys, times, times, indptr, cols, order)
+    return order
+
+
+def _lane_runs(
+    keys: np.ndarray, outcomes: np.ndarray, num_counters: int, init: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Counter-major run decomposition of one lane's access stream.
+
+    Returns ``(order, run_first, run_len, run_out, run_s0)``:
+    the grouping permutation, each run's first position in grouped
+    order, its length, its (constant) outcome, and — the sequential part
+    of the problem, resolved by segmented map composition — the counter
+    state at the run's first access.
+    """
+    n = len(keys)
+    order = _stable_group_order(keys, num_counters)
+    grouped_keys = keys[order]
+    grouped_outs = outcomes[order]
+
+    seg_start = np.empty(n, dtype=bool)
+    seg_start[0] = True
+    np.not_equal(grouped_keys[1:], grouped_keys[:-1], out=seg_start[1:])
+    run_start = seg_start.copy()
+    run_start[1:] |= grouped_outs[1:] != grouped_outs[:-1]
+
+    run_first = np.flatnonzero(run_start)
+    num_runs = len(run_first)
+    run_len = np.empty(num_runs, dtype=np.int32)
+    run_len[:-1] = np.diff(run_first)
+    run_len[-1] = n - run_first[-1]
+    run_out = grouped_outs[run_first]
+
+    # Elementary run maps s -> min(hi, max(lo, s + c)): a taken run of
+    # length r is (c=r, lo=min(r,3), hi=3), a not-taken run is
+    # (c=-r, lo=0, hi=max(3-r,0)).
+    shift = np.where(run_out, run_len, -run_len).astype(np.int32)
+    lo = np.where(run_out, np.minimum(run_len, 3), 0).astype(np.int32)
+    hi = np.where(run_out, 3, np.maximum(3 - run_len, 0)).astype(np.int32)
+
+    # Position of each run within its counter's segment.
+    seg_start_runs = seg_start[run_first]
+    seg_first_run = np.flatnonzero(seg_start_runs)
+    seg_id = np.cumsum(seg_start_runs, dtype=np.int64) - 1
+    pos = np.arange(num_runs, dtype=np.int64) - seg_first_run[seg_id]
+
+    # Segmented inclusive prefix composition (Hillis–Steele doubling).
+    longest = int(pos.max()) + 1
+    dist = 1
+    while dist < longest:
+        rows = np.flatnonzero(pos >= dist)
+        prev = rows - dist
+        shift_f, lo_f, hi_f = shift[prev], lo[prev], hi[prev]
+        shift_g, lo_g, hi_g = shift[rows], lo[rows], hi[rows]
+        lo[rows] = np.minimum(hi_g, np.maximum(lo_g, lo_f + shift_g))
+        hi[rows] = np.minimum(hi_g, np.maximum(lo_g, hi_f + shift_g))
+        shift[rows] = shift_f + shift_g
+        dist <<= 1
+
+    # State before each run's first access: init at segment heads,
+    # otherwise the previous run's inclusive composition applied to init.
+    run_s0 = np.full(num_runs, init, dtype=np.int32)
+    interior = np.flatnonzero(~seg_start_runs)
+    prev = interior - 1
+    run_s0[interior] = np.minimum(
+        hi[prev], np.maximum(lo[prev], init + shift[prev])
+    )
+    return order, run_first, run_len, run_out, run_s0
+
+
+def _lane_keys(
+    lane: GShareLane,
+    trace: BranchTrace,
+    histories_cache: Dict[int, np.ndarray],
+) -> np.ndarray:
+    if lane.history_bits not in histories_cache:
+        histories_cache[lane.history_bits] = global_history_stream(
+            trace.outcomes, lane.history_bits
+        )
+    keys = gshare_index_stream(
+        trace.pcs,
+        histories_cache[lane.history_bits],
+        lane.index_bits,
+        lane.history_bits,
+    )
+    return keys.astype(np.int32, copy=False)
+
+
+def gshare_lane_predictions(
+    lanes: Sequence[GShareLane], trace: BranchTrace, init: int = WEAKLY_TAKEN
+) -> np.ndarray:
+    """Per-branch predictions of every lane over one trace.
+
+    Returns a ``(len(lanes), len(trace))`` boolean array whose row ``k``
+    is bit-for-bit what ``GSharePredictor(lanes[k].index_bits,
+    lanes[k].history_bits)`` would predict from power-on state.
+    """
+    lanes = list(lanes)
+    n = len(trace)
+    predictions = np.empty((len(lanes), n), dtype=bool)
+    if not lanes or n == 0:
+        return predictions
+    outcomes = np.ascontiguousarray(trace.outcomes)
+    histories_cache: Dict[int, np.ndarray] = {}
+    for k, lane in enumerate(lanes):
+        keys = _lane_keys(lane, trace, histories_cache)
+        order, run_first, run_len, run_out, run_s0 = _lane_runs(
+            keys, outcomes, lane.table_size, init
+        )
+        # Within a run the automaton is monotone: the j-th access of a
+        # taken run sees min(3, s0 + j), of a not-taken run max(0, s0 - j).
+        run_id = np.cumsum(_starts_mask(n, run_first), dtype=np.int64) - 1
+        offset_in_run = np.arange(n, dtype=np.int64) - run_first[run_id]
+        s0 = run_s0[run_id]
+        state = np.where(
+            run_out[run_id],
+            np.minimum(3, s0 + offset_in_run),
+            np.maximum(0, s0 - offset_in_run),
+        )
+        predictions[k, order] = state >= 2
+    return predictions
+
+
+def _starts_mask(n: int, starts: np.ndarray) -> np.ndarray:
+    mask = np.zeros(n, dtype=bool)
+    mask[starts] = True
+    return mask
+
+
+def gshare_lane_rates(
+    lanes: Sequence[GShareLane], trace: BranchTrace, init: int = WEAKLY_TAKEN
+) -> List[float]:
+    """Misprediction rate of every lane over one trace.
+
+    Rates are mispredictions / branches with the same integer counts as
+    :attr:`SimulationResult.misprediction_rate`, so they agree
+    byte-for-byte with the scalar engine's.  Unlike
+    :func:`gshare_lane_predictions` this never materializes per-access
+    state: a run's mispredictions have a closed form in its start state.
+    """
+    lanes = list(lanes)
+    n = len(trace)
+    if n == 0:
+        return [0.0] * len(lanes)
+    outcomes = np.ascontiguousarray(trace.outcomes)
+    histories_cache: Dict[int, np.ndarray] = {}
+    rates: List[float] = []
+    for lane in lanes:
+        keys = _lane_keys(lane, trace, histories_cache)
+        _, _, run_len, run_out, run_s0 = _lane_runs(
+            keys, outcomes, lane.table_size, init
+        )
+        # Taken run: accesses j with min(3, s0+j) < 2 mispredict, i.e.
+        # clip(2-s0, 0, r) of them; not-taken run: clip(s0-1, 0, r).
+        missed = np.where(
+            run_out,
+            np.clip(2 - run_s0, 0, run_len),
+            np.clip(run_s0 - 1, 0, run_len),
+        )
+        rates.append(int(missed.sum()) / n)
+    return rates

@@ -1,0 +1,179 @@
+"""Process-parallel sweep execution.
+
+Design-space sweeps (specs x benchmarks) are embarrassingly parallel
+across traces, so :func:`evaluate_matrix_parallel` ships one work item
+per benchmark to a ``ProcessPoolExecutor``.  Work items carry a
+:class:`TraceRecipe` — ``(name, length, seed)`` — rather than the trace
+arrays themselves: workloads are deterministic in their recipe, so
+workers regenerate (or load from the shared on-disk trace cache) instead
+of paying multi-megabyte pickles per task.
+
+Workers never touch the result cache.  The parent filters out cached
+cells before dispatch, collects worker rates, and merges them in input
+order — deterministic regardless of completion order — with one atomic
+cache write per trace (:meth:`ResultCache.put_many`).
+
+Parallelism is controlled by the ``$REPRO_JOBS`` environment knob (or an
+explicit ``jobs`` argument).  ``REPRO_JOBS=1``, unset ``REPRO_JOBS``, an
+unpicklable platform, or traces that carry no recipe all fall back to
+the serial path, which computes bit-identical rates.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.traces.record import BranchTrace
+
+__all__ = [
+    "TraceRecipe",
+    "recipe_of",
+    "parallel_jobs",
+    "effective_jobs",
+    "evaluate_matrix_parallel",
+]
+
+
+@dataclass(frozen=True)
+class TraceRecipe:
+    """Everything a worker needs to regenerate a benchmark trace."""
+
+    name: str
+    length: int
+    seed: int
+
+
+def recipe_of(trace: BranchTrace) -> Optional[TraceRecipe]:
+    """The trace's regeneration recipe, or ``None`` if it has none.
+
+    Only generated workload traces (a registered profile name plus a
+    ``profile_seed`` in metadata) can be rebuilt from a recipe; anything
+    else must be evaluated in-process.
+    """
+    seed = trace.metadata.get("profile_seed")
+    if seed is None or not trace.name:
+        return None
+    from repro.workloads.profiles import ALL_PROFILES
+
+    if trace.name not in ALL_PROFILES:
+        return None
+    return TraceRecipe(name=trace.name, length=len(trace), seed=int(seed))
+
+
+def parallel_jobs(default: int = 1) -> int:
+    """Worker count from the ``$REPRO_JOBS`` knob.
+
+    ``REPRO_JOBS=0`` (or ``auto``) means one worker per CPU; unset falls
+    back to ``default`` (serial unless a caller opts in).
+    """
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if not env:
+        return max(1, default)
+    if env.lower() == "auto":
+        return os.cpu_count() or 1
+    try:
+        jobs = int(env)
+    except ValueError:
+        raise ValueError(f"REPRO_JOBS must be an integer or 'auto', got {env!r}")
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def effective_jobs(jobs: Optional[int]) -> int:
+    """Resolve an explicit ``jobs`` argument against the env knob.
+
+    ``None`` defers to ``$REPRO_JOBS``; ``0`` or negative means one
+    worker per CPU, mirroring the knob's convention.
+    """
+    if jobs is None:
+        return parallel_jobs()
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _worker_evaluate(
+    recipe: TraceRecipe, specs: Tuple[str, ...]
+) -> Tuple[str, Dict[str, float]]:
+    """Regenerate one trace and evaluate every spec on it (worker side)."""
+    from repro.sim.runner import evaluate_specs
+    from repro.workloads.suite import load_benchmark
+
+    trace = load_benchmark(recipe.name, length=recipe.length, seed=recipe.seed)
+    return recipe.name, evaluate_specs(tuple(specs), trace, cache=None)
+
+
+def evaluate_matrix_parallel(
+    specs: Sequence[str],
+    traces: Mapping[str, BranchTrace],
+    cache=None,
+    progress=None,
+    jobs: Optional[int] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Parallel :func:`repro.sim.runner.evaluate_matrix`.
+
+    Splits the matrix by benchmark, evaluates missing cells in worker
+    processes, and merges deterministically.  Falls back to the serial
+    path (same results) when only one worker is requested or the pool
+    cannot be created.
+    """
+    from repro.sim.runner import evaluate_specs, trace_key
+
+    specs = list(specs)
+    jobs = effective_jobs(jobs)
+
+    # Plan: per benchmark, which cells are not already cached?
+    per_bench: Dict[str, Dict[str, float]] = {}
+    pending: List[Tuple[str, TraceRecipe, List[str]]] = []
+    local: List[str] = []
+    for bench, trace in traces.items():
+        tkey = trace_key(trace)
+        cached: Dict[str, float] = {}
+        missing: List[str] = []
+        for spec in specs:
+            hit = cache.get(spec, tkey) if cache is not None else None
+            if hit is not None:
+                cached[spec] = hit
+            else:
+                missing.append(spec)
+        per_bench[bench] = cached
+        if not missing:
+            continue
+        recipe = recipe_of(trace)
+        if jobs > 1 and recipe is not None:
+            pending.append((bench, recipe, missing))
+        else:
+            local.append(bench)
+
+    if pending:
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                futures = [
+                    (bench, pool.submit(_worker_evaluate, recipe, tuple(missing)))
+                    for bench, recipe, missing in pending
+                ]
+                results = {bench: future.result() for bench, future in futures}
+        except (OSError, ValueError, RuntimeError):
+            # Pool unavailable (restricted platform, spawn failure):
+            # compute the pending benchmarks serially instead.
+            results = {}
+            local = list(dict.fromkeys(local + [bench for bench, _, _ in pending]))
+        for bench, (_, rates) in results.items():
+            per_bench[bench].update(rates)
+            if cache is not None:
+                cache.put_many(trace_key(traces[bench]), rates)
+
+    for bench in local:
+        missing = [s for s in specs if s not in per_bench[bench]]
+        per_bench[bench].update(evaluate_specs(missing, traces[bench], cache=cache))
+
+    if progress is not None:
+        for bench in traces:
+            for spec in specs:
+                progress(spec, bench, per_bench[bench][spec])
+
+    return {spec: {bench: per_bench[bench][spec] for bench in traces} for spec in specs}

@@ -6,38 +6,76 @@ memoized on disk as JSON keyed by ``(spec, trace key)``.  The cache
 lives beside the trace cache (``repro.workloads.suite.default_cache_dir``)
 and survives across processes, which makes re-running a figure bench
 after the first time nearly free.
+
+Plain gshare specs are evaluated through the batched lane kernel
+(:mod:`repro.sim.batch`); :func:`evaluate_specs` groups every gshare
+configuration aimed at one trace into a single batched call.  All other
+schemes go through the scalar engine.  Both paths produce bit-identical
+rates (the kernel's equivalence is asserted by the test suite), so cache
+entries are interchangeable between them.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 from repro.core.registry import make_predictor
+from repro.sim.batch import gshare_lane_rates, lane_for_spec
 from repro.sim.engine import run
 from repro.traces.record import BranchTrace
 from repro.workloads.suite import default_cache_dir
 
-__all__ = ["trace_key", "ResultCache", "evaluate", "evaluate_matrix"]
+__all__ = [
+    "trace_key",
+    "ResultCache",
+    "evaluate",
+    "evaluate_specs",
+    "evaluate_matrix",
+]
 
 
 def trace_key(trace: BranchTrace) -> str:
-    """Stable identity of a generated trace for cache keying."""
-    seed = trace.metadata.get("profile_seed", "x")
-    return f"{trace.name or 'anon'}-n{len(trace)}-s{seed}"
+    """Stable identity of a trace for cache keying.
+
+    Generated workload traces carry their ``profile_seed`` in metadata,
+    which (with name and length) pins down their content.  Traces
+    without one — hand-built arrays, recorded captures — fall back to a
+    short content hash so two different anonymous traces of equal
+    length can never collide on a cache cell.
+    """
+    seed = trace.metadata.get("profile_seed")
+    if seed is None:
+        digest = hashlib.sha1()
+        digest.update(trace.pcs.tobytes())
+        digest.update(trace.outcomes.tobytes())
+        suffix = f"h{digest.hexdigest()[:12]}"
+    else:
+        suffix = f"s{seed}"
+    return f"{trace.name or 'anon'}-n{len(trace)}-{suffix}"
 
 
 class ResultCache:
     """Disk-backed ``(spec, trace) -> misprediction rate`` memo.
 
     One JSON file per trace key keeps files small and avoids rewrite
-    contention across benchmarks.
+    contention across benchmarks.  Writes are atomic (temp file +
+    ``os.replace``), so a reader — or a concurrent sweep worker's
+    merge — can never observe a half-written table.  Batch producers
+    should use :meth:`put_many` or the :meth:`deferred` context manager:
+    ``put`` alone rewrites the trace's file on every cell, which is
+    O(cells²) bytes over a sweep.
     """
 
     def __init__(self, root: Optional[Path] = None):
         self.root = (Path(root) if root is not None else default_cache_dir()) / "results"
         self._loaded: Dict[str, Dict[str, float]] = {}
+        self._dirty: Set[str] = set()
+        self._defer_writes = False
 
     def _path(self, tkey: str) -> Path:
         return self.root / f"{tkey}.json"
@@ -58,11 +96,83 @@ class ResultCache:
         return self._table(tkey).get(spec)
 
     def put(self, spec: str, tkey: str, rate: float) -> None:
-        table = self._table(tkey)
-        table[spec] = rate
-        path = self._path(tkey)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(table, indent=0, sort_keys=True))
+        self.put_many(tkey, {spec: rate})
+
+    def put_many(self, tkey: str, rates: Mapping[str, float]) -> None:
+        """Record many cells of one trace, with a single file write."""
+        if not rates:
+            return
+        self._table(tkey).update(rates)
+        self._dirty.add(tkey)
+        if not self._defer_writes:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write every dirty per-trace table atomically."""
+        for tkey in sorted(self._dirty):
+            path = self._path(tkey)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+            tmp.write_text(json.dumps(self._loaded[tkey], indent=0, sort_keys=True))
+            os.replace(tmp, path)
+        self._dirty.clear()
+
+    @contextmanager
+    def deferred(self):
+        """Batch all writes inside the block into one flush per trace.
+
+        Re-entrant: the outermost block flushes.
+        """
+        outermost = not self._defer_writes
+        self._defer_writes = True
+        try:
+            yield self
+        finally:
+            if outermost:
+                self._defer_writes = False
+                self.flush()
+
+
+def evaluate_specs(
+    specs: Sequence[str],
+    trace: BranchTrace,
+    cache: Optional[ResultCache] = None,
+) -> Dict[str, float]:
+    """Misprediction rate of every spec on one trace, batched.
+
+    Plain gshare configurations are simulated together through the
+    batched lane kernel (one counting-sorted pass per lane, shared
+    history streams); other schemes fall back to the scalar engine.
+    Results are memoized through ``cache`` with one write per trace.
+    """
+    tkey = trace_key(trace)
+    rates: Dict[str, float] = {}
+    missing: List[str] = []
+    for spec in specs:
+        if spec in rates or spec in missing:
+            continue
+        hit = cache.get(spec, tkey) if cache is not None else None
+        if hit is not None:
+            rates[spec] = hit
+        else:
+            missing.append(spec)
+
+    computed: Dict[str, float] = {}
+    lane_specs = [(spec, lane_for_spec(spec)) for spec in missing]
+    batched = [(spec, lane) for spec, lane in lane_specs if lane is not None]
+    if batched:
+        for (spec, _), rate in zip(
+            batched, gshare_lane_rates([lane for _, lane in batched], trace)
+        ):
+            computed[spec] = rate
+    for spec, lane in lane_specs:
+        if lane is None:
+            computed[spec] = run(make_predictor(spec), trace).misprediction_rate
+
+    if cache is not None and computed:
+        cache.put_many(tkey, computed)
+    rates.update(computed)
+    return {spec: rates[spec] for spec in specs}
 
 
 def evaluate(
@@ -72,19 +182,11 @@ def evaluate(
 ) -> float:
     """Misprediction rate of the predictor ``spec`` on ``trace``.
 
-    Builds the predictor from its spec string, simulates, and memoizes
-    through ``cache`` when given.
+    Builds the predictor from its spec string, simulates (through the
+    batch kernel when the spec is a plain gshare), and memoizes through
+    ``cache`` when given.
     """
-    tkey = trace_key(trace)
-    if cache is not None:
-        hit = cache.get(spec, tkey)
-        if hit is not None:
-            return hit
-    predictor = make_predictor(spec)
-    rate = run(predictor, trace).misprediction_rate
-    if cache is not None:
-        cache.put(spec, tkey, rate)
-    return rate
+    return evaluate_specs([spec], trace, cache=cache)[spec]
 
 
 def evaluate_matrix(
@@ -92,19 +194,34 @@ def evaluate_matrix(
     traces: Mapping[str, BranchTrace],
     cache: Optional[ResultCache] = None,
     progress=None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Rates for every (spec, benchmark) pair: ``result[spec][bench]``.
 
     ``progress`` (optional) is called with ``(spec, bench, rate)`` after
-    each cell, for CLI feedback on long sweeps.
+    each cell, for CLI feedback on long sweeps.  ``jobs`` selects the
+    process-parallel executor (default: the ``$REPRO_JOBS`` knob, serial
+    when unset); results are identical either way.
     """
-    matrix: Dict[str, Dict[str, float]] = {}
-    for spec in specs:
-        row: Dict[str, float] = {}
+    specs = list(specs)
+    from repro.sim.parallel import effective_jobs, evaluate_matrix_parallel
+
+    if effective_jobs(jobs) > 1:
+        return evaluate_matrix_parallel(
+            specs, traces, cache=cache, progress=progress, jobs=jobs
+        )
+
+    per_bench: Dict[str, Dict[str, float]] = {}
+    maybe_deferred = cache.deferred() if cache is not None else _null_context()
+    with maybe_deferred:
         for bench, trace in traces.items():
-            rate = evaluate(spec, trace, cache=cache)
+            per_bench[bench] = evaluate_specs(specs, trace, cache=cache)
             if progress is not None:
-                progress(spec, bench, rate)
-            row[bench] = rate
-        matrix[spec] = row
-    return matrix
+                for spec in specs:
+                    progress(spec, bench, per_bench[bench][spec])
+    return {spec: {bench: per_bench[bench][spec] for bench in traces} for spec in specs}
+
+
+@contextmanager
+def _null_context():
+    yield None

@@ -94,6 +94,56 @@ class TestBestGshareSearch:
         assert spec == gshare_spec(10, 5)
 
 
+class TestBatchedPathEquivalence:
+    """The sweep's batched kernel / matrix path must be byte-identical
+    to scalar-engine cells, so cached serial results mix freely."""
+
+    def test_sweep_cells_match_scalar_engine(self, tiny_suite, tmp_path):
+        from repro.core.registry import make_predictor
+        from repro.sim.engine import run
+
+        series = paper_sweep(tiny_suite, kb_points=[0.25, 0.5], cache=ResultCache(tmp_path))
+        for sweep in series.values():
+            for point in sweep.points:
+                for bench, rate in point.per_benchmark.items():
+                    scalar = run(
+                        make_predictor(point.spec), tiny_suite[bench]
+                    ).misprediction_rate
+                    assert rate == scalar, (point.spec, bench)
+
+    def test_preseeded_serial_cells_mix_with_batched(self, tiny_suite, tmp_path):
+        from repro.core.registry import make_predictor
+        from repro.sim.engine import run
+        from repro.sim.runner import trace_key
+
+        fresh = paper_sweep(tiny_suite, kb_points=[0.25], cache=ResultCache(tmp_path / "a"))
+
+        # seed a second cache with scalar-engine results for half the cells
+        seeded = ResultCache(tmp_path / "b")
+        for h in (0, 2, 4, 6, 8, 10):
+            spec = gshare_spec(10, h)
+            for bench, trace in tiny_suite.items():
+                rate = run(make_predictor(spec), trace).misprediction_rate
+                seeded.put(spec, trace_key(trace), rate)
+        mixed = paper_sweep(tiny_suite, kb_points=[0.25], cache=seeded)
+
+        for label in fresh:
+            for p_fresh, p_mixed in zip(fresh[label].points, mixed[label].points):
+                assert p_fresh.spec == p_mixed.spec
+                assert p_fresh.per_benchmark == p_mixed.per_benchmark
+
+    def test_best_search_matches_per_spec_evaluate(self, tiny_suite, tmp_path):
+        from repro.sim.runner import evaluate
+
+        spec, rates = best_gshare_at_size(0.25, tiny_suite, cache=ResultCache(tmp_path))
+        for bench, trace in tiny_suite.items():
+            assert rates[bench] == evaluate(spec, trace)
+
+    def test_no_in_range_candidates_raises(self, tiny_suite):
+        with pytest.raises(ValueError, match="in-range"):
+            best_gshare_at_size(0.25, tiny_suite, history_candidates=[99])
+
+
 class TestPaperSweep:
     def test_three_series(self, tiny_suite, tmp_path):
         series = paper_sweep(tiny_suite, kb_points=[0.25, 1.0], cache=ResultCache(tmp_path))

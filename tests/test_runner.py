@@ -4,7 +4,15 @@ import json
 
 import pytest
 
-from repro.sim.runner import ResultCache, evaluate, evaluate_matrix, trace_key
+from repro.core.registry import make_predictor
+from repro.sim.engine import run
+from repro.sim.runner import (
+    ResultCache,
+    evaluate,
+    evaluate_matrix,
+    evaluate_specs,
+    trace_key,
+)
 from tests.conftest import make_toy_trace
 
 
@@ -23,6 +31,112 @@ class TestTraceKey:
         t = make_toy_trace(length=10)
         t.name = ""
         assert trace_key(t).startswith("anon-")
+
+    def test_seedless_traces_keyed_by_content(self):
+        """Two different traces of equal name and length must not share
+        a cache cell when neither carries a profile seed."""
+        a = make_toy_trace(length=300, seed=1)
+        b = make_toy_trace(length=300, seed=2)
+        assert trace_key(a) != trace_key(b)
+        # but the key is a pure function of content
+        assert trace_key(a) == trace_key(make_toy_trace(length=300, seed=1))
+
+    def test_seeded_key_ignores_content_hash(self, trace):
+        assert trace_key(trace).endswith("-s0")
+
+
+class TestResultCacheBatching:
+    def test_put_many_single_write(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_many("tkey", {"a": 0.1, "b": 0.2})
+        data = json.loads((tmp_path / "results" / "tkey.json").read_text())
+        assert data == {"a": 0.1, "b": 0.2}
+
+    def test_put_many_empty_is_noop(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_many("tkey", {})
+        assert not (tmp_path / "results").exists()
+
+    def test_deferred_batches_writes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with cache.deferred():
+            cache.put("a", "tkey", 0.1)
+            cache.put("b", "tkey", 0.2)
+            assert not (tmp_path / "results" / "tkey.json").exists()
+        data = json.loads((tmp_path / "results" / "tkey.json").read_text())
+        assert data == {"a": 0.1, "b": 0.2}
+
+    def test_deferred_is_reentrant(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with cache.deferred():
+            with cache.deferred():
+                cache.put("a", "tkey", 0.1)
+            # inner exit must not flush — only the outermost block does
+            assert not (tmp_path / "results" / "tkey.json").exists()
+        assert (tmp_path / "results" / "tkey.json").exists()
+
+    def test_flush_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with cache.deferred():
+            cache.put_many("t1", {"a": 0.1})
+            cache.put_many("t2", {"b": 0.2})
+        names = sorted(p.name for p in (tmp_path / "results").iterdir())
+        assert names == ["t1.json", "t2.json"]
+
+    def test_flush_preserves_existing_cells(self, tmp_path):
+        ResultCache(tmp_path).put_many("tkey", {"old": 0.9})
+        cache = ResultCache(tmp_path)
+        cache.put_many("tkey", {"new": 0.1})
+        data = json.loads((tmp_path / "results" / "tkey.json").read_text())
+        assert data == {"new": 0.1, "old": 0.9}
+
+
+class TestEvaluateSpecs:
+    def test_batched_gshare_matches_scalar_engine(self, trace):
+        specs = [
+            "gshare:index=7,hist=7",
+            "gshare:index=7,hist=0",
+            "gshare:index=5,hist=3",
+            "bimode:dir=6,hist=6,choice=6",
+            "bimodal:index=6",
+        ]
+        rates = evaluate_specs(specs, trace)
+        for spec in specs:
+            assert rates[spec] == run(make_predictor(spec), trace).misprediction_rate
+
+    def test_preserves_input_order_and_duplicates(self, trace):
+        specs = ["gshare:index=5,hist=5", "bimodal:index=5", "gshare:index=5,hist=5"]
+        rates = evaluate_specs(specs, trace)
+        assert list(rates) == list(dict.fromkeys(specs))
+
+    def test_one_cache_write_for_many_specs(self, trace, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        writes = []
+        original = cache.flush
+
+        def counting_flush():
+            writes.append(1)
+            original()
+
+        monkeypatch.setattr(cache, "flush", counting_flush)
+        evaluate_specs(
+            ["gshare:index=6,hist=6", "gshare:index=6,hist=2", "bimodal:index=6"],
+            trace,
+            cache=cache,
+        )
+        assert len(writes) == 1
+
+    def test_mixed_cached_and_fresh(self, trace, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("gshare:index=6,hist=6", trace_key(trace), 0.777)
+        rates = evaluate_specs(
+            ["gshare:index=6,hist=6", "gshare:index=6,hist=1"], trace, cache=cache
+        )
+        assert rates["gshare:index=6,hist=6"] == 0.777
+        fresh = run(
+            make_predictor("gshare:index=6,hist=1"), trace
+        ).misprediction_rate
+        assert rates["gshare:index=6,hist=1"] == fresh
 
 
 class TestResultCache:

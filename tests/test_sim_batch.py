@@ -1,0 +1,182 @@
+"""Equivalence tests for the batched multi-lane gshare kernel.
+
+The scalar step interface (:func:`repro.sim.engine.run_steps`) is the
+semantic reference; every lane the batch kernel produces must match it
+bit-for-bit — predictions and rates — including degenerate histories
+and traces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.predictors.gshare import GSharePredictor
+from repro.sim.batch import (
+    GShareLane,
+    gshare_lane_predictions,
+    gshare_lane_rates,
+    lane_for_spec,
+)
+from repro.sim.engine import run_steps
+from repro.traces.record import BranchTrace
+from tests.conftest import make_toy_trace
+
+
+def reference(lane: GShareLane, trace: BranchTrace):
+    return run_steps(
+        GSharePredictor(index_bits=lane.index_bits, history_bits=lane.history_bits),
+        trace,
+    )
+
+
+def make_trace(pcs, outcomes):
+    return BranchTrace(
+        pcs=np.asarray(pcs, dtype=np.int64),
+        outcomes=np.asarray(outcomes, dtype=bool),
+        name="t",
+    )
+
+
+class TestGShareLane:
+    def test_spec_round_trip(self):
+        lane = GShareLane(index_bits=10, history_bits=4)
+        assert lane.spec == "gshare:index=10,hist=4"
+        assert lane_for_spec(lane.spec) == lane
+
+    def test_table_size(self):
+        assert GShareLane(index_bits=5, history_bits=0).table_size == 32
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            GShareLane(index_bits=-1, history_bits=0)
+
+    def test_rejects_history_longer_than_index(self):
+        with pytest.raises(ValueError):
+            GShareLane(index_bits=4, history_bits=5)
+
+
+class TestLaneForSpec:
+    def test_plain_gshare(self):
+        assert lane_for_spec("gshare:index=8,hist=3") == GShareLane(8, 3)
+
+    def test_hist_defaults_to_index(self):
+        assert lane_for_spec("gshare:index=8") == GShareLane(8, 8)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "bimodal:index=8",
+            "bimode:dir=7,hist=7,choice=7",
+            "gshare:index=8,hist=3,extra=1",
+            "gshare:hist=3",
+            "gshare:index=4,hist=9",
+            "gshare:index=x",
+            "not a spec",
+        ],
+    )
+    def test_rejects_non_batchable(self, spec):
+        assert lane_for_spec(spec) is None
+
+
+class TestPredictionEquivalence:
+    def test_every_lane_matches_run_steps(self, toy_trace):
+        """All (index_bits, history_bits) lanes up to index 6, in one
+        batch, against the scalar reference."""
+        lanes = [
+            GShareLane(index_bits=i, history_bits=h)
+            for i in range(7)
+            for h in range(i + 1)
+        ]
+        batch = gshare_lane_predictions(lanes, toy_trace)
+        rates = gshare_lane_rates(lanes, toy_trace)
+        for k, lane in enumerate(lanes):
+            ref = reference(lane, toy_trace)
+            np.testing.assert_array_equal(batch[k], ref.predictions, err_msg=lane.spec)
+            assert rates[k] == ref.misprediction_rate, lane.spec
+
+    def test_workload_trace(self, small_workload):
+        lanes = [GShareLane(10, h) for h in (0, 3, 7, 10)]
+        batch = gshare_lane_predictions(lanes, small_workload)
+        rates = gshare_lane_rates(lanes, small_workload)
+        for k, lane in enumerate(lanes):
+            ref = reference(lane, small_workload)
+            np.testing.assert_array_equal(batch[k], ref.predictions, err_msg=lane.spec)
+            assert rates[k] == ref.misprediction_rate, lane.spec
+
+    def test_zero_history(self, toy_trace):
+        """history_bits=0 degenerates to per-PC bimodal."""
+        lane = GShareLane(index_bits=6, history_bits=0)
+        np.testing.assert_array_equal(
+            gshare_lane_predictions([lane], toy_trace)[0],
+            reference(lane, toy_trace).predictions,
+        )
+
+    def test_single_counter(self):
+        """index_bits=0: every branch hammers one counter."""
+        trace = make_trace([4, 8, 12, 4] * 50, [True, False, False, True] * 50)
+        lane = GShareLane(index_bits=0, history_bits=0)
+        ref = reference(lane, trace)
+        np.testing.assert_array_equal(
+            gshare_lane_predictions([lane], trace)[0], ref.predictions
+        )
+        assert gshare_lane_rates([lane], trace) == [ref.misprediction_rate]
+
+    @pytest.mark.parametrize(
+        "outcomes",
+        [
+            [True] * 64,
+            [False] * 64,
+            [True, False] * 32,
+            [True] * 32 + [False] * 32,
+        ],
+        ids=["all-taken", "all-not-taken", "alternating", "flip-once"],
+    )
+    def test_adversarial_outcome_patterns(self, outcomes):
+        trace = make_trace([64 + 4 * (i % 3) for i in range(64)], outcomes)
+        lanes = [GShareLane(2, 0), GShareLane(2, 2), GShareLane(4, 1)]
+        batch = gshare_lane_predictions(lanes, trace)
+        rates = gshare_lane_rates(lanes, trace)
+        for k, lane in enumerate(lanes):
+            ref = reference(lane, trace)
+            np.testing.assert_array_equal(batch[k], ref.predictions, err_msg=lane.spec)
+            assert rates[k] == ref.misprediction_rate, lane.spec
+
+
+class TestEdgeCases:
+    def test_empty_trace(self):
+        trace = make_trace([], [])
+        lanes = [GShareLane(4, 2)]
+        assert gshare_lane_predictions(lanes, trace).shape == (1, 0)
+        assert gshare_lane_rates(lanes, trace) == [0.0]
+
+    def test_length_one(self):
+        trace = make_trace([64], [False])
+        lane = GShareLane(4, 2)
+        ref = reference(lane, trace)
+        np.testing.assert_array_equal(
+            gshare_lane_predictions([lane], trace)[0], ref.predictions
+        )
+        assert gshare_lane_rates([lane], trace) == [ref.misprediction_rate]
+
+    def test_length_two(self):
+        trace = make_trace([64, 64], [False, True])
+        lane = GShareLane(3, 3)
+        ref = reference(lane, trace)
+        np.testing.assert_array_equal(
+            gshare_lane_predictions([lane], trace)[0], ref.predictions
+        )
+        assert gshare_lane_rates([lane], trace) == [ref.misprediction_rate]
+
+    def test_no_lanes(self, toy_trace):
+        assert gshare_lane_predictions([], toy_trace).shape == (0, len(toy_trace))
+        assert gshare_lane_rates([], toy_trace) == []
+
+    def test_rates_match_predictions(self):
+        """The closed-form rate path agrees with counting mispredictions
+        from the materialized prediction path."""
+        trace = make_toy_trace(length=3000, seed=11)
+        lanes = [GShareLane(i, h) for i in (3, 5, 8) for h in (0, i // 2, i)]
+        preds = gshare_lane_predictions(lanes, trace)
+        rates = gshare_lane_rates(lanes, trace)
+        for k in range(len(lanes)):
+            expected = int((preds[k] != trace.outcomes).sum()) / len(trace)
+            assert rates[k] == expected

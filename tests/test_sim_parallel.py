@@ -1,0 +1,146 @@
+"""Unit tests for process-parallel sweep execution."""
+
+import os
+
+import pytest
+
+from repro.sim.parallel import (
+    TraceRecipe,
+    effective_jobs,
+    evaluate_matrix_parallel,
+    parallel_jobs,
+    recipe_of,
+)
+from repro.sim.runner import ResultCache, evaluate_matrix, evaluate_specs, trace_key
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import get_profile
+from tests.conftest import make_toy_trace
+
+SPECS = [
+    "gshare:index=8,hist=8",
+    "gshare:index=8,hist=2",
+    "bimode:dir=6,hist=6,choice=6",
+]
+
+
+@pytest.fixture(scope="module")
+def workload_pair():
+    return {
+        name: generate_trace(get_profile(name), length=8_000, seed=5)
+        for name in ("xlisp", "compress")
+    }
+
+
+class TestTraceRecipe:
+    def test_generated_trace_has_recipe(self, workload_pair):
+        trace = workload_pair["xlisp"]
+        assert recipe_of(trace) == TraceRecipe(name="xlisp", length=8_000, seed=5)
+
+    def test_toy_trace_has_none(self):
+        assert recipe_of(make_toy_trace(length=100)) is None
+
+    def test_unknown_profile_name_has_none(self, workload_pair):
+        trace = workload_pair["xlisp"]
+        renamed = type(trace)(
+            pcs=trace.pcs, outcomes=trace.outcomes, name="not-a-profile"
+        )
+        renamed.metadata.update(trace.metadata)
+        assert recipe_of(renamed) is None
+
+    def test_anonymous_trace_has_none(self, workload_pair):
+        trace = workload_pair["xlisp"]
+        anon = type(trace)(pcs=trace.pcs, outcomes=trace.outcomes, name="")
+        anon.metadata.update(trace.metadata)
+        assert recipe_of(anon) is None
+
+
+class TestJobsKnob:
+    def test_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert parallel_jobs() == 1
+        assert parallel_jobs(default=3) == 3
+
+    def test_explicit_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert parallel_jobs() == 4
+
+    @pytest.mark.parametrize("env", ["0", "-1", "auto", "AUTO"])
+    def test_zero_and_auto_mean_per_cpu(self, monkeypatch, env):
+        monkeypatch.setenv("REPRO_JOBS", env)
+        assert parallel_jobs() == (os.cpu_count() or 1)
+
+    def test_junk_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            parallel_jobs()
+
+    def test_effective_jobs_defers_to_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert effective_jobs(None) == 5
+        assert effective_jobs(2) == 2
+        assert effective_jobs(0) == (os.cpu_count() or 1)
+
+
+class TestParallelMatrix:
+    def test_matches_serial(self, workload_pair, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        serial = evaluate_matrix(
+            SPECS, workload_pair, cache=ResultCache(tmp_path / "a"), jobs=1
+        )
+        parallel = evaluate_matrix_parallel(
+            SPECS, workload_pair, cache=ResultCache(tmp_path / "b"), jobs=2
+        )
+        assert parallel == serial
+
+    def test_evaluate_matrix_dispatches_on_jobs(self, workload_pair, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        via_entry = evaluate_matrix(
+            SPECS, workload_pair, cache=ResultCache(tmp_path / "c"), jobs=2
+        )
+        serial = evaluate_matrix(SPECS, workload_pair, jobs=1)
+        assert via_entry == serial
+
+    def test_recipeless_traces_run_locally(self, tmp_path):
+        toys = {"t1": make_toy_trace(length=500, seed=1), "t2": make_toy_trace(length=500, seed=2)}
+        toys["t1"].name, toys["t2"].name = "t1", "t2"
+        parallel = evaluate_matrix_parallel(SPECS, toys, jobs=4)
+        serial = {
+            spec: {b: evaluate_specs([spec], t)[spec] for b, t in toys.items()}
+            for spec in SPECS
+        }
+        assert parallel == serial
+
+    def test_merges_into_cache(self, workload_pair, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        cache = ResultCache(tmp_path / "d")
+        matrix = evaluate_matrix_parallel(SPECS, workload_pair, cache=cache, jobs=2)
+        for bench, trace in workload_pair.items():
+            for spec in SPECS:
+                assert cache.get(spec, trace_key(trace)) == matrix[spec][bench]
+        # and a fresh instance reads the same cells back from disk
+        reread = ResultCache(tmp_path / "d")
+        tkey = trace_key(workload_pair["xlisp"])
+        assert reread.get(SPECS[0], tkey) == matrix[SPECS[0]]["xlisp"]
+
+    def test_cached_cells_short_circuit(self, workload_pair, tmp_path):
+        cache = ResultCache(tmp_path)
+        poisoned = 0.123456
+        for trace in workload_pair.values():
+            cache.put_many(trace_key(trace), {spec: poisoned for spec in SPECS})
+        matrix = evaluate_matrix_parallel(SPECS, workload_pair, cache=cache, jobs=2)
+        assert all(
+            rate == poisoned for rates in matrix.values() for rate in rates.values()
+        )
+
+    def test_progress_covers_every_cell(self, workload_pair, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        calls = []
+        evaluate_matrix_parallel(
+            SPECS,
+            workload_pair,
+            jobs=2,
+            progress=lambda spec, bench, rate: calls.append((spec, bench)),
+        )
+        assert sorted(calls) == sorted(
+            (spec, bench) for spec in SPECS for bench in workload_pair
+        )
