@@ -14,6 +14,11 @@ Shape checks (paper Section 3.3):
 * at the large end, bi-mode reaches a given misprediction rate at a
   substantially smaller cost than gshare ("less than half the size"
   in the paper; we check a conservative 0.75 factor).
+
+Every cell routes through the batched kernels: gshare specs through
+:mod:`repro.sim.batch`, bi-mode specs through
+:mod:`repro.sim.batch_bimode` (one cross-trace batch per suite).
+``benchmarks/measure_sweep_speedup.py`` quantifies the win.
 """
 
 from __future__ import annotations

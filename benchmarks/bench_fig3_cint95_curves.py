@@ -13,6 +13,10 @@ Shape checks:
   ``xlisp``, single-PHT gshare is *competitive* at large sizes — within
   a modest factor of bi-mode — unlike on aliasing-dominated gcc;
 * go is the hardest benchmark for every scheme.
+
+Bi-mode cells route through the batched kernel
+(:mod:`repro.sim.batch_bimode`), gshare cells through
+:mod:`repro.sim.batch`; rates are bit-identical to the scalar engine.
 """
 
 from __future__ import annotations

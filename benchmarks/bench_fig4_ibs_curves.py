@@ -8,6 +8,10 @@ interleaved by the dispatch walk.
 Shape checks: bi-mode at or below gshare.1PHT on a strong majority of
 cells; ``real_gcc`` (largest footprint) shows the biggest small-table
 penalty; multi-PHT gshare.best beats 1PHT at small sizes on average.
+
+Bi-mode cells route through the batched kernel
+(:mod:`repro.sim.batch_bimode`), gshare cells through
+:mod:`repro.sim.batch`; rates are bit-identical to the scalar engine.
 """
 
 from __future__ import annotations

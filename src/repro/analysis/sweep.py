@@ -18,11 +18,15 @@ memoizing every (spec, trace) cell through the
 The heavy lifting is batched: every gshare cell of a sweep (the 1PHT
 points and the whole ``gshare.best`` candidate family) goes through the
 multi-lane kernel of :mod:`repro.sim.batch` — one counting-sorted pass
-per configuration instead of a per-branch Python loop — and the
-(spec, benchmark) matrix can be split across worker processes with
-``jobs`` / ``$REPRO_JOBS`` (:mod:`repro.sim.parallel`).  Both paths
-return bit-identical rates to the scalar reference engine, so cached
-cells mix freely with freshly computed ones.
+per configuration instead of a per-branch Python loop — every bi-mode
+cell goes through the lane-batched bi-mode kernel of
+:mod:`repro.sim.batch_bimode` (the whole bi-mode portion of the matrix
+in one cross-trace call), and the (spec, benchmark) matrix can be
+split across worker processes with ``jobs`` / ``$REPRO_JOBS``
+(:mod:`repro.sim.parallel`).  All paths return bit-identical rates to
+the scalar reference engine (asserted by the equivalence suites and
+:mod:`repro.verify`), so cached cells mix freely with freshly computed
+ones.
 """
 
 from __future__ import annotations

@@ -251,21 +251,40 @@ def parse_spec(spec: str):
 def make_predictor(spec_or_scheme: str, **kwargs) -> BranchPredictor:
     """Build a predictor from a spec string or scheme name + kwargs.
 
+    Any problem with the spec — unknown scheme, missing or unknown
+    option, out-of-range geometry — raises :class:`ValueError` naming
+    the offending spec string, so a bad spec buried in a sweep's
+    configuration list is identifiable from the message alone.
+
     >>> make_predictor("gshare:index=10,hist=8").name
     'gshare:index=10,hist=8'
     >>> make_predictor("bimode", dir=9).bank_size
     512
     """
     if ":" in spec_or_scheme and not kwargs:
+        spec = spec_or_scheme
         scheme, kwargs = parse_spec(spec_or_scheme)
-    else:
+    elif kwargs:
         scheme = spec_or_scheme
+        spec = f"{scheme}:" + ",".join(f"{k}={v}" for k, v in kwargs.items())
+    else:
+        scheme = spec = spec_or_scheme
     builder = _REGISTRY.get(scheme)
     if builder is None:
-        raise KeyError(
-            f"unknown predictor scheme {scheme!r}; available: {available_schemes()}"
+        raise ValueError(
+            f"unknown predictor scheme {scheme!r} in spec {spec!r}; "
+            f"available: {available_schemes()}"
         )
-    return builder(**kwargs)
+    try:
+        return builder(**kwargs)
+    except KeyError as exc:
+        raise ValueError(
+            f"invalid spec {spec!r}: missing required option {exc.args[0]!r}"
+        ) from exc
+    except TypeError as exc:
+        raise ValueError(f"invalid spec {spec!r}: {exc}") from exc
+    except ValueError as exc:
+        raise ValueError(f"invalid spec {spec!r}: {exc}") from exc
 
 
 # -- paper size-axis helpers -----------------------------------------------------

@@ -1,0 +1,196 @@
+"""Optional compiled step driver for feedback-coupled kernels.
+
+The bi-mode choice/bank feedback defeats counter-major decomposition
+(see :mod:`repro.sim.batch_bimode`), leaving a genuinely sequential
+per-branch automaton.  That automaton is ~10 integer operations per
+branch, so a tiny C loop runs it one to two orders of magnitude faster
+than any Python-level stepping.  This module compiles that loop on
+first use with the *system* C compiler — no build system, no installed
+extension, no new dependency — and loads it through :mod:`ctypes`.
+
+The driver is strictly optional:
+
+* the shared object is built once into the repro cache directory
+  (keyed by a hash of the C source, so edits rebuild automatically);
+* any failure — no compiler on PATH, sandboxed ``cc``, unloadable
+  object — is remembered and reported via :func:`available`, and the
+  callers fall back to the pure-numpy / pure-Python paths with
+  bit-identical results;
+* ``REPRO_NO_CC=1`` disables the driver outright (used by tests to pin
+  a specific execution strategy, and as an escape hatch on platforms
+  where invoking the compiler is unwanted).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["available", "bimode_pair"]
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+/* One (configuration, trace) bi-mode pair.  Index streams are
+ * precomputed by the caller (they depend only on resolved outcomes);
+ * this loop advances only the sequential counter state, mirroring
+ * BiModePredictor.update exactly: partial update of the selected bank
+ * (both banks under full_update), and the choice counter trains unless
+ * it chose wrongly while the selected counter was nevertheless right. */
+void bimode_pair(const int32_t *ci, const int32_t *di, const uint8_t *o,
+                 int64_t n, int8_t *nt_bank, int8_t *tk_bank, int8_t *choice,
+                 int full_update, uint8_t *preds)
+{
+    for (int64_t t = 0; t < n; t++) {
+        int32_t c = ci[t], d = di[t];
+        uint8_t taken = o[t];
+        int8_t cs = choice[c];
+        int ct = cs >= 2;
+        int8_t *bank = ct ? tk_bank : nt_bank;
+        int8_t ds = bank[d];
+        uint8_t fin = ds >= 2;
+        preds[t] = fin;
+        bank[d] = taken ? (ds < 3 ? ds + 1 : 3) : (ds > 0 ? ds - 1 : 0);
+        if (full_update) {
+            int8_t *other = ct ? nt_bank : tk_bank;
+            int8_t os = other[d];
+            other[d] = taken ? (os < 3 ? os + 1 : 3) : (os > 0 ? os - 1 : 0);
+        }
+        if (!((ct != (int)taken) && (fin == taken)))
+            choice[c] = taken ? (cs < 3 ? cs + 1 : 3) : (cs > 0 ? cs - 1 : 0);
+    }
+}
+"""
+
+_lib: Optional[ctypes.CDLL] = None
+_load_attempted = False
+
+
+def _source_digest() -> str:
+    return hashlib.sha1(_C_SOURCE.encode()).hexdigest()[:16]
+
+
+def _build_dir() -> Path:
+    from repro.workloads.suite import default_cache_dir
+
+    return default_cache_dir() / "ckernel"
+
+
+def _compile(so_path: Path) -> bool:
+    """Build the shared object atomically; False on any failure."""
+    compiler = next(
+        (c for c in ("cc", "gcc", "clang") if shutil.which(c)), None
+    )
+    if compiler is None:
+        return False
+    so_path.parent.mkdir(parents=True, exist_ok=True)
+    src = so_path.with_suffix(".c")
+    src.write_text(_C_SOURCE)
+    with tempfile.NamedTemporaryFile(
+        dir=so_path.parent, suffix=".so.tmp", delete=False
+    ) as tmp:
+        tmp_path = Path(tmp.name)
+    try:
+        proc = subprocess.run(
+            [compiler, "-O2", "-shared", "-fPIC", "-o", str(tmp_path), str(src)],
+            capture_output=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            return False
+        os.replace(tmp_path, so_path)
+        return True
+    except (OSError, subprocess.SubprocessError):
+        return False
+    finally:
+        tmp_path.unlink(missing_ok=True)
+
+
+def _load() -> Optional[ctypes.CDLL]:
+    global _lib, _load_attempted
+    if os.environ.get("REPRO_NO_CC", "").strip() not in ("", "0"):
+        return None
+    if _load_attempted:
+        return _lib
+    _load_attempted = True
+    try:
+        so_path = _build_dir() / f"bimode_step-{_source_digest()}.so"
+        if not so_path.exists() and not _compile(so_path):
+            return None
+        lib = ctypes.CDLL(str(so_path))
+        lib.bimode_pair.argtypes = [
+            ctypes.c_void_p,  # ci
+            ctypes.c_void_p,  # di
+            ctypes.c_void_p,  # outcomes
+            ctypes.c_int64,  # n
+            ctypes.c_void_p,  # not-taken bank
+            ctypes.c_void_p,  # taken bank
+            ctypes.c_void_p,  # choice table
+            ctypes.c_int,  # full_update
+            ctypes.c_void_p,  # predictions out
+        ]
+        lib.bimode_pair.restype = None
+        _lib = lib
+    except OSError:
+        _lib = None
+    return _lib
+
+
+def available() -> bool:
+    """Whether the compiled driver can be used in this environment."""
+    return _load() is not None
+
+
+def _ptr(array: np.ndarray) -> ctypes.c_void_p:
+    return ctypes.c_void_p(array.ctypes.data)
+
+
+def bimode_pair(
+    ci: np.ndarray,
+    di: np.ndarray,
+    outcomes: np.ndarray,
+    nt_bank: np.ndarray,
+    tk_bank: np.ndarray,
+    choice: np.ndarray,
+    full_update: bool,
+) -> np.ndarray:
+    """Run one bi-mode pair through the compiled loop.
+
+    ``ci``/``di`` are int32 index streams, ``outcomes`` uint8; the three
+    table arrays are int8 and are updated in place.  Returns the uint8
+    per-branch final predictions.  Call only when :func:`available`.
+    """
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers gate on available()
+        raise RuntimeError("compiled bi-mode driver is not available")
+    n = len(outcomes)
+    preds = np.empty(n, dtype=np.uint8)
+    for arr, dtype in (
+        (ci, np.int32),
+        (di, np.int32),
+        (outcomes, np.uint8),
+        (nt_bank, np.int8),
+        (tk_bank, np.int8),
+        (choice, np.int8),
+    ):
+        assert arr.dtype == dtype and arr.flags["C_CONTIGUOUS"]
+    lib.bimode_pair(
+        _ptr(ci),
+        _ptr(di),
+        _ptr(outcomes),
+        ctypes.c_int64(n),
+        _ptr(nt_bank),
+        _ptr(tk_bank),
+        _ptr(choice),
+        ctypes.c_int(1 if full_update else 0),
+        _ptr(preds),
+    )
+    return preds

@@ -59,6 +59,7 @@ __all__ = [
     "lane_for_spec",
     "gshare_lane_predictions",
     "gshare_lane_rates",
+    "counter_scan",
 ]
 
 try:  # scipy ships a C counting sort (COO->CSR); optional, numpy fallback below
@@ -173,7 +174,31 @@ def _lane_runs(
     seg_id = np.cumsum(seg_start_runs, dtype=np.int64) - 1
     pos = np.arange(num_runs, dtype=np.int64) - seg_first_run[seg_id]
 
-    # Segmented inclusive prefix composition (Hillis–Steele doubling).
+    _compose_segmented(shift, lo, hi, pos)
+
+    # State before each run's first access: init at segment heads,
+    # otherwise the previous run's inclusive composition applied to init.
+    run_s0 = np.full(num_runs, init, dtype=np.int32)
+    interior = np.flatnonzero(~seg_start_runs)
+    prev = interior - 1
+    run_s0[interior] = np.minimum(
+        hi[prev], np.maximum(lo[prev], init + shift[prev])
+    )
+    return order, run_first, run_len, run_out, run_s0
+
+
+def _compose_segmented(
+    shift: np.ndarray, lo: np.ndarray, hi: np.ndarray, pos: np.ndarray
+) -> None:
+    """Segmented inclusive prefix composition (Hillis–Steele doubling).
+
+    ``(shift, lo, hi)`` hold one saturating map
+    ``s -> min(hi, max(lo, s + shift))`` per run and are updated in place
+    to the composition of every map from the segment head through that
+    run; ``pos`` is each run's offset within its segment.
+    """
+    if len(pos) == 0:
+        return
     longest = int(pos.max()) + 1
     dist = 1
     while dist < longest:
@@ -186,15 +211,106 @@ def _lane_runs(
         shift[rows] = shift_f + shift_g
         dist <<= 1
 
-    # State before each run's first access: init at segment heads,
-    # otherwise the previous run's inclusive composition applied to init.
-    run_s0 = np.full(num_runs, init, dtype=np.int32)
+
+def counter_scan(
+    keys: np.ndarray,
+    deltas: np.ndarray,
+    init_states: np.ndarray,
+    num_counters: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generalized counter-major scan over 2-bit saturating counters.
+
+    Extends the gshare run machinery in two directions needed by the
+    feedback-coupled kernels (:mod:`repro.sim.batch_bimode`): each
+    counter starts from its *own* initial state (``init_states``, e.g. a
+    live table snapshot rather than a power-on constant), and each
+    access carries a delta in ``{-1, 0, +1}`` — ``0`` meaning the access
+    reads the counter without training it (a skipped partial update).
+
+    Parameters
+    ----------
+    keys:
+        Per-access counter ids, time order, in ``[0, num_counters)``.
+    deltas:
+        Per-access counter movement, same length as ``keys``.
+    init_states:
+        ``(num_counters,)`` counter states before the first access.
+    num_counters:
+        Size of the counter space.
+
+    Returns
+    -------
+    ``(pre_states, end_states)`` — the state each access *observes*
+    (before its own delta, in time order) and the final state of every
+    counter after all accesses.
+    """
+    keys = np.asarray(keys)
+    deltas = np.asarray(deltas)
+    init_states = np.asarray(init_states, dtype=np.int32)
+    n = len(keys)
+    end_states = init_states.copy()
+    if n == 0:
+        return np.empty(0, dtype=np.int32), end_states
+    keys32 = keys.astype(np.int32, copy=False)
+
+    order = _stable_group_order(keys32, num_counters)
+    grouped_keys = keys32[order]
+    grouped_deltas = deltas[order].astype(np.int32, copy=False)
+
+    seg_start = np.empty(n, dtype=bool)
+    seg_start[0] = True
+    np.not_equal(grouped_keys[1:], grouped_keys[:-1], out=seg_start[1:])
+    run_start = seg_start.copy()
+    run_start[1:] |= grouped_deltas[1:] != grouped_deltas[:-1]
+
+    run_first = np.flatnonzero(run_start)
+    num_runs = len(run_first)
+    run_len = np.empty(num_runs, dtype=np.int32)
+    run_len[:-1] = np.diff(run_first)
+    run_len[-1] = n - run_first[-1]
+    run_delta = grouped_deltas[run_first]
+
+    # Elementary maps: a +1 run of length r is (c=r, lo=min(r,3), hi=3),
+    # a -1 run is (c=-r, lo=0, hi=max(3-r,0)), a 0 run is the identity.
+    shift = run_delta * run_len
+    lo = np.where(run_delta > 0, np.minimum(run_len, 3), 0).astype(np.int32)
+    hi = np.where(run_delta < 0, np.maximum(3 - run_len, 0), 3).astype(np.int32)
+
+    seg_start_runs = seg_start[run_first]
+    seg_first_run = np.flatnonzero(seg_start_runs)
+    seg_id_runs = np.cumsum(seg_start_runs, dtype=np.int64) - 1
+    pos = np.arange(num_runs, dtype=np.int64) - seg_first_run[seg_id_runs]
+
+    _compose_segmented(shift, lo, hi, pos)
+
+    # Per-run start state: the counter's own init at segment heads,
+    # otherwise the previous run's inclusive composition applied to it.
+    seg_init = init_states[grouped_keys[run_first]]
+    run_s0 = seg_init.copy()
     interior = np.flatnonzero(~seg_start_runs)
     prev = interior - 1
     run_s0[interior] = np.minimum(
-        hi[prev], np.maximum(lo[prev], init + shift[prev])
+        hi[prev], np.maximum(lo[prev], seg_init[interior] + shift[prev])
     )
-    return order, run_first, run_len, run_out, run_s0
+
+    # Within a run the automaton moves monotonically (or not at all).
+    run_id = np.cumsum(_starts_mask(n, run_first), dtype=np.int64) - 1
+    offset_in_run = np.arange(n, dtype=np.int64) - run_first[run_id]
+    state_grouped = np.clip(
+        run_s0[run_id] + run_delta[run_id] * offset_in_run, 0, 3
+    ).astype(np.int32)
+    pre_states = np.empty(n, dtype=np.int32)
+    pre_states[order] = state_grouped
+
+    # Final state of every touched counter: the segment's last run's
+    # inclusive composition applied to the segment's initial state.
+    seg_last_run = np.append(seg_first_run[1:], num_runs) - 1
+    touched = grouped_keys[run_first[seg_first_run]]
+    end_states[touched] = np.minimum(
+        hi[seg_last_run],
+        np.maximum(lo[seg_last_run], init_states[touched] + shift[seg_last_run]),
+    )
+    return pre_states, end_states
 
 
 def _lane_keys(

@@ -11,7 +11,11 @@ of paying multi-megabyte pickles per task.
 Workers never touch the result cache.  The parent filters out cached
 cells before dispatch, collects worker rates, and merges them in input
 order — deterministic regardless of completion order — with one atomic
-cache write per trace (:meth:`ResultCache.put_many`).
+cache write per trace (:meth:`ResultCache.put_many`).  Inside a worker
+the cells route exactly as in the serial path — gshare specs through
+the counter-major kernel, bi-mode specs through the batched bi-mode
+kernel (:mod:`repro.sim.batch_bimode`), the rest through the scalar
+engine — so parallel and serial sweeps produce byte-identical tables.
 
 Parallelism is controlled by the ``$REPRO_JOBS`` environment knob (or an
 explicit ``jobs`` argument).  ``REPRO_JOBS=1``, unset ``REPRO_JOBS``, an

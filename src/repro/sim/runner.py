@@ -8,11 +8,17 @@ and survives across processes, which makes re-running a figure bench
 after the first time nearly free.
 
 Plain gshare specs are evaluated through the batched lane kernel
-(:mod:`repro.sim.batch`); :func:`evaluate_specs` groups every gshare
-configuration aimed at one trace into a single batched call.  All other
-schemes go through the scalar engine.  Both paths produce bit-identical
-rates (the kernel's equivalence is asserted by the test suite), so cache
-entries are interchangeable between them.
+(:mod:`repro.sim.batch`) and bi-mode specs through the lane-stepped
+bi-mode kernel (:mod:`repro.sim.batch_bimode`); :func:`evaluate_specs`
+groups every such configuration aimed at one trace into a single
+batched call, and :func:`evaluate_matrix` additionally batches the
+whole bi-mode portion of a sweep matrix — every uncached (spec, bench)
+bi-mode cell — into one cross-trace kernel invocation, which is where
+the stepped strategy gets its width.  All other schemes go through the
+scalar engine.  Every path produces bit-identical rates (asserted by
+the equivalence suites and the differential oracle in
+:mod:`repro.verify`), so cache entries are interchangeable between
+them.
 """
 
 from __future__ import annotations
@@ -26,6 +32,11 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 from repro.core.registry import make_predictor
 from repro.sim.batch import gshare_lane_rates, lane_for_spec
+from repro.sim.batch_bimode import (
+    bimode_lane_for_spec,
+    bimode_lane_rates,
+    bimode_matrix_rates,
+)
 from repro.sim.engine import run
 from repro.traces.record import BranchTrace
 from repro.workloads.suite import default_cache_dir
@@ -137,13 +148,17 @@ def evaluate_specs(
     specs: Sequence[str],
     trace: BranchTrace,
     cache: Optional[ResultCache] = None,
+    precomputed: Optional[Mapping[str, float]] = None,
 ) -> Dict[str, float]:
     """Misprediction rate of every spec on one trace, batched.
 
     Plain gshare configurations are simulated together through the
     batched lane kernel (one counting-sorted pass per lane, shared
-    history streams); other schemes fall back to the scalar engine.
-    Results are memoized through ``cache`` with one write per trace.
+    history streams) and bi-mode configurations through the batched
+    bi-mode kernel; other schemes fall back to the scalar engine.
+    ``precomputed`` rates (from a matrix-level prepass) are honoured
+    like cache hits.  Results are memoized through ``cache`` with one
+    write per trace.
     """
     tkey = trace_key(trace)
     rates: Dict[str, float] = {}
@@ -151,23 +166,42 @@ def evaluate_specs(
     for spec in specs:
         if spec in rates or spec in missing:
             continue
-        hit = cache.get(spec, tkey) if cache is not None else None
+        hit = precomputed.get(spec) if precomputed is not None else None
+        if hit is None and cache is not None:
+            hit = cache.get(spec, tkey)
         if hit is not None:
             rates[spec] = hit
         else:
             missing.append(spec)
 
     computed: Dict[str, float] = {}
-    lane_specs = [(spec, lane_for_spec(spec)) for spec in missing]
-    batched = [(spec, lane) for spec, lane in lane_specs if lane is not None]
-    if batched:
+    gshare_batch = []
+    bimode_batch = []
+    scalar: List[str] = []
+    for spec in missing:
+        glane = lane_for_spec(spec)
+        if glane is not None:
+            gshare_batch.append((spec, glane))
+            continue
+        blane = bimode_lane_for_spec(spec)
+        if blane is not None:
+            bimode_batch.append((spec, blane))
+            continue
+        scalar.append(spec)
+    if gshare_batch:
         for (spec, _), rate in zip(
-            batched, gshare_lane_rates([lane for _, lane in batched], trace)
+            gshare_batch,
+            gshare_lane_rates([lane for _, lane in gshare_batch], trace),
         ):
             computed[spec] = rate
-    for spec, lane in lane_specs:
-        if lane is None:
-            computed[spec] = run(make_predictor(spec), trace).misprediction_rate
+    if bimode_batch:
+        for (spec, _), rate in zip(
+            bimode_batch,
+            bimode_lane_rates([lane for _, lane in bimode_batch], trace),
+        ):
+            computed[spec] = rate
+    for spec in scalar:
+        computed[spec] = run(make_predictor(spec), trace).misprediction_rate
 
     if cache is not None and computed:
         cache.put_many(tkey, computed)
@@ -214,12 +248,53 @@ def evaluate_matrix(
     per_bench: Dict[str, Dict[str, float]] = {}
     maybe_deferred = cache.deferred() if cache is not None else _null_context()
     with maybe_deferred:
+        pre = _bimode_matrix_prepass(specs, traces, cache)
         for bench, trace in traces.items():
-            per_bench[bench] = evaluate_specs(specs, trace, cache=cache)
+            per_bench[bench] = evaluate_specs(
+                specs, trace, cache=cache, precomputed=pre.get(bench)
+            )
             if progress is not None:
                 for spec in specs:
                     progress(spec, bench, per_bench[bench][spec])
     return {spec: {bench: per_bench[bench][spec] for bench in traces} for spec in specs}
+
+
+def _bimode_matrix_prepass(
+    specs: Sequence[str],
+    traces: Mapping[str, BranchTrace],
+    cache: Optional[ResultCache],
+) -> Dict[str, Dict[str, float]]:
+    """Batch every uncached bi-mode cell of a matrix into one kernel call.
+
+    The lane-stepped bi-mode strategy gets faster per cell the more
+    (configuration, benchmark) pairs it advances at once, so collecting
+    the cells here — across *all* traces — rather than per-trace inside
+    ``evaluate_specs`` is what gives sweeps their batch width.  Returns
+    ``{bench: {spec: rate}}``, already written through ``cache``.
+    """
+    cells = []
+    where = []
+    for bench, trace in traces.items():
+        tkey = trace_key(trace)
+        for spec in dict.fromkeys(specs):
+            lane = bimode_lane_for_spec(spec)
+            if lane is None:
+                continue
+            if cache is not None and cache.get(spec, tkey) is not None:
+                continue
+            cells.append((lane, trace))
+            where.append((bench, spec, tkey))
+    if not cells:
+        return {}
+    pre: Dict[str, Dict[str, float]] = {}
+    by_tkey: Dict[str, Dict[str, float]] = {}
+    for (bench, spec, tkey), rate in zip(where, bimode_matrix_rates(cells)):
+        pre.setdefault(bench, {})[spec] = rate
+        by_tkey.setdefault(tkey, {})[spec] = rate
+    if cache is not None:
+        for tkey, found in by_tkey.items():
+            cache.put_many(tkey, found)
+    return pre
 
 
 @contextmanager

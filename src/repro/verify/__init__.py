@@ -1,0 +1,25 @@
+"""Differential verification layer.
+
+Two pieces, built to be the repo-wide correctness backstop for every
+batched/optimized simulation kernel:
+
+* :mod:`repro.verify.oracle` — a deliberately slow, dict-based
+  re-implementation of every registered predictor's step semantics,
+  sharing **no** simulation code with :mod:`repro.core` /
+  :mod:`repro.predictors` / :mod:`repro.sim`;
+* :mod:`repro.verify.differential` — replays a trace through the
+  oracle, the scalar engine, and any applicable batched kernel, and
+  pinpoints the first diverging branch when they disagree.
+"""
+
+from repro.verify.differential import DifferentialReport, EngineRun, diff_spec
+from repro.verify.oracle import oracle_predictions, oracle_rate, oracle_supports
+
+__all__ = [
+    "oracle_predictions",
+    "oracle_rate",
+    "oracle_supports",
+    "diff_spec",
+    "DifferentialReport",
+    "EngineRun",
+]

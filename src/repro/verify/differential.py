@@ -1,0 +1,149 @@
+"""Differential replay: oracle vs scalar engine vs batched kernels.
+
+:func:`diff_spec` runs one spec over one trace through every available
+implementation —
+
+* the dict-based oracle (:mod:`repro.verify.oracle`),
+* the predictor's step interface (``predict``/``update`` per branch),
+* the predictor's batch ``simulate`` loop (what :func:`repro.sim.
+  engine.run` uses),
+* the gshare lane kernel or each available bi-mode kernel strategy,
+  when the spec qualifies for one —
+
+and reports whether all predictions agree, and if not, the index of
+the first diverging branch together with each engine's prediction
+there.  This is the debugging entry point when a kernel regresses: the
+report names the branch to single-step, and the test-suite fuzzers
+shrink their failing traces before producing it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.registry import make_predictor
+from repro.sim import _cstep
+from repro.sim.batch import gshare_lane_predictions, lane_for_spec
+from repro.sim.batch_bimode import bimode_lane_for_spec, bimode_lane_predictions
+from repro.sim.engine import run, run_steps
+from repro.traces.record import BranchTrace
+from repro.verify.oracle import oracle_predictions
+
+__all__ = ["EngineRun", "DifferentialReport", "diff_spec"]
+
+
+@dataclass
+class EngineRun:
+    """One implementation's replay of the trace."""
+
+    engine: str
+    predictions: np.ndarray
+
+    def rate(self, outcomes: np.ndarray) -> float:
+        if len(outcomes) == 0:
+            return 0.0
+        return int(np.count_nonzero(self.predictions != outcomes)) / len(outcomes)
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of replaying one (spec, trace) cell through every engine."""
+
+    spec: str
+    trace_name: str
+    num_branches: int
+    runs: List[EngineRun] = field(default_factory=list)
+    first_divergence: Optional[int] = None
+    divergence_detail: str = ""
+
+    @property
+    def agree(self) -> bool:
+        return self.first_divergence is None
+
+    def summary(self) -> str:
+        engines = ", ".join(r.engine for r in self.runs)
+        head = (
+            f"spec {self.spec!r} on trace {self.trace_name!r} "
+            f"({self.num_branches} branches; engines: {engines})"
+        )
+        if self.agree:
+            return f"{head}: all engines agree"
+        return f"{head}: {self.divergence_detail}"
+
+
+def _bimode_strategies() -> List[str]:
+    strategies = ["numpy", "python"]
+    if _cstep.available():
+        strategies.insert(0, "c")
+    return strategies
+
+
+def diff_spec(
+    spec: str, trace: BranchTrace, include_kernels: bool = True
+) -> DifferentialReport:
+    """Replay ``spec`` over ``trace`` through every implementation.
+
+    The oracle is always run and is the reference ordering: the report's
+    ``first_divergence`` is the smallest branch index where *any* engine
+    disagrees with any other (they either all match or the earliest
+    mismatch is against the oracle, since agreement is transitive).
+    """
+    report = DifferentialReport(
+        spec=spec, trace_name=trace.name or "anon", num_branches=len(trace)
+    )
+    report.runs.append(EngineRun("oracle", oracle_predictions(spec, trace)))
+    report.runs.append(
+        EngineRun("step", run_steps(make_predictor(spec), trace).predictions)
+    )
+    report.runs.append(
+        EngineRun("scalar", run(make_predictor(spec), trace).predictions)
+    )
+    if include_kernels:
+        glane = lane_for_spec(spec)
+        if glane is not None:
+            report.runs.append(
+                EngineRun(
+                    "batch:gshare", gshare_lane_predictions([glane], trace)[0]
+                )
+            )
+        blane = bimode_lane_for_spec(spec)
+        if blane is not None:
+            saved = os.environ.get("REPRO_BIMODE_KERNEL")
+            try:
+                for strategy in _bimode_strategies():
+                    os.environ["REPRO_BIMODE_KERNEL"] = strategy
+                    report.runs.append(
+                        EngineRun(
+                            f"batch:bimode[{strategy}]",
+                            bimode_lane_predictions([blane], trace)[0],
+                        )
+                    )
+            finally:
+                if saved is None:
+                    os.environ.pop("REPRO_BIMODE_KERNEL", None)
+                else:
+                    os.environ["REPRO_BIMODE_KERNEL"] = saved
+
+    reference = report.runs[0]
+    first: Optional[int] = None
+    for other in report.runs[1:]:
+        diverging = np.flatnonzero(reference.predictions != other.predictions)
+        if diverging.size and (first is None or diverging[0] < first):
+            first = int(diverging[0])
+    if first is not None:
+        report.first_divergence = first
+        pc = int(trace.pcs[first])
+        outcome = bool(trace.outcomes[first])
+        votes = ", ".join(
+            f"{r.engine}={'T' if r.predictions[first] else 'NT'}"
+            for r in report.runs
+        )
+        report.divergence_detail = (
+            f"first divergence at branch {first} "
+            f"(pc={pc:#x}, outcome={'taken' if outcome else 'not-taken'}): {votes}"
+        )
+    return report

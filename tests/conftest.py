@@ -1,13 +1,31 @@
-"""Shared fixtures: small deterministic traces and predictor specs."""
+"""Shared fixtures: small deterministic traces and predictor specs.
+
+Also registers hypothesis profiles: ``dev`` (the default, fast) and
+``ci`` (derandomized with a fixed seed and a larger example budget, for
+the dedicated CI fuzzing job).  Select with ``HYPOTHESIS_PROFILE=ci``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.traces.record import BranchTrace
 from repro.workloads.generator import generate_trace
 from repro.workloads.profiles import get_profile
+
+settings.register_profile(
+    "ci",
+    max_examples=200,
+    derandomize=True,  # fixed seed: CI failures reproduce locally
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", settings.default)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 #: Every registered predictor spec exercised by the equivalence and

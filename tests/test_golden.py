@@ -1,0 +1,127 @@
+"""Golden regression fixtures: canonical traces, frozen rates.
+
+``tests/golden/rates.json`` pins the exact misprediction rate of a
+representative spec per predictor scheme on small canonical traces
+(rebuilt deterministically from their recorded recipes).  Rates are
+exact rational numbers (miss count / length) computed by deterministic
+code, so comparison is **equality**, not approximation: any drift —
+however small — is a semantic change to a predictor and must be either
+fixed or consciously re-frozen.
+
+On mismatch the failure message lists every drifted cell as
+``spec | trace: expected ... got ...`` so the blast radius is readable
+at a glance.
+
+Regenerate (after an *intentional* semantic change) with::
+
+    PYTHONPATH=src:. python tests/test_golden.py --regen
+
+and eyeball the JSON diff before committing it.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+
+from repro.core.registry import make_predictor, parse_spec
+from repro.sim.engine import run
+
+from tests.conftest import make_toy_trace
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "rates.json"
+
+#: One spec per scheme under regression pinning (12+ schemes).
+GOLDEN_SPECS = [
+    "bimode:dir=7,hist=5,choice=6",
+    "bimode:dir=6,hist=6,choice=5,full_update=1,choice_hist=1",
+    "gshare:index=8,hist=6",
+    "bimodal:index=7",
+    "gag:hist=7",
+    "pag:hist=5,bht=5",
+    "gselect:hist=4,addr=4",
+    "perceptron:index=5,hist=8",
+    "agree:index=8,hist=6,bias=8",
+    "gskew:bank=6,hist=6",
+    "yags:choice=7,cache=5,hist=5,tag=5",
+    "tournament:index=7,meta=7",
+    "trimode:dir=6,hist=4,choice=5",
+    "biasfilter:table=6,run=2,sub_index=7,sub_hist=5",
+]
+
+#: Canonical trace recipes — regenerated bit-identically by
+#: :func:`tests.conftest.make_toy_trace` from these parameters.
+GOLDEN_TRACES = {
+    "toy-mixed": {"length": 2000, "seed": 7, "num_branches": 24},
+    "toy-aliasing": {"length": 1500, "seed": 13, "num_branches": 96},
+    "toy-small": {"length": 600, "seed": 3, "num_branches": 8},
+}
+
+
+def _build_traces():
+    return {name: make_toy_trace(**recipe) for name, recipe in GOLDEN_TRACES.items()}
+
+
+def _compute_rates() -> dict:
+    traces = _build_traces()
+    return {
+        spec: {
+            name: str(
+                Fraction(
+                    run(make_predictor(spec), trace).num_mispredictions, len(trace)
+                )
+            )
+            for name, trace in traces.items()
+        }
+        for spec in GOLDEN_SPECS
+    }
+
+
+def test_golden_covers_at_least_12_schemes():
+    assert len({parse_spec(spec)[0] for spec in GOLDEN_SPECS}) >= 12
+
+
+def test_fixture_recipes_match_checked_in_file():
+    data = json.loads(GOLDEN_PATH.read_text())
+    assert data["traces"] == GOLDEN_TRACES, (
+        "golden trace recipes changed; regenerate with "
+        "`PYTHONPATH=src:. python tests/test_golden.py --regen`"
+    )
+    assert sorted(data["rates"]) == sorted(GOLDEN_SPECS), (
+        "golden spec list changed; regenerate the fixtures"
+    )
+
+
+def test_rates_match_golden_fixtures():
+    expected = json.loads(GOLDEN_PATH.read_text())["rates"]
+    got = _compute_rates()
+    drifted = []
+    for spec in GOLDEN_SPECS:
+        for name in GOLDEN_TRACES:
+            want = expected.get(spec, {}).get(name)
+            have = got[spec][name]
+            if want != have:
+                drifted.append(f"  {spec} | {name}: expected {want}  got {have}")
+    assert not drifted, (
+        "misprediction rates drifted from tests/golden/rates.json "
+        "(intentional? regenerate with "
+        "`PYTHONPATH=src:. python tests/test_golden.py --regen`):\n"
+        + "\n".join(drifted)
+    )
+
+
+def _regen() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"traces": GOLDEN_TRACES, "rates": _compute_rates()}
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(GOLDEN_SPECS)} specs x {len(GOLDEN_TRACES)} traces)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        sys.exit("usage: PYTHONPATH=src:. python tests/test_golden.py --regen")

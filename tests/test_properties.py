@@ -1,5 +1,6 @@
 """Property-based tests (hypothesis) on core data structures and
-predictor invariants."""
+predictor invariants, plus differential fuzzing of every registered
+predictor against the dict-based oracle (:mod:`repro.verify`)."""
 
 import numpy as np
 from hypothesis import given, settings
@@ -9,9 +10,10 @@ from repro.core.counters import CounterTable, SaturatingCounter
 from repro.core.history import GlobalHistoryRegister, global_history_stream
 from repro.core.indexing import gshare_index, mask
 from repro.core.interfaces import SimulationResult
-from repro.core.registry import make_predictor
+from repro.core.registry import available_schemes, make_predictor, parse_spec
 from repro.sim.engine import run, run_steps
 from repro.traces.record import BranchTrace
+from repro.verify import diff_spec
 
 outcome_lists = st.lists(st.booleans(), min_size=0, max_size=300)
 
@@ -145,6 +147,59 @@ class TestPredictorProperties:
         for spec in ("bimode:dir=5,hist=5,choice=5", "gskew:bank=5"):
             rate = run(make_predictor(spec), trace).misprediction_rate
             assert 0.0 <= rate <= 1.0
+
+
+# One small configuration per registered scheme; the coverage test
+# below fails when a new scheme registers without a differential entry.
+DIFFERENTIAL_SPECS = [
+    "bimode:dir=5,hist=3,choice=4",
+    "bimode:dir=4,hist=4,choice=3,full_update=1,choice_hist=1",
+    "gshare:index=6,hist=4",
+    "bimodal:index=5",
+    "gag:hist=5",
+    "gas:hist=4,select=2",
+    "gap:hist=4,addr=2",
+    "gselect:hist=3,addr=3",
+    "pag:hist=4,bht=4",
+    "pas:hist=3,select=2,bht=4",
+    "pap:hist=3,addr=2,bht=4",
+    "perceptron:index=4,hist=6",
+    "agree:index=6,hist=4,bias=6",
+    "gskew:bank=5,hist=5",
+    "gskew:bank=4,hist=4,update=total",
+    "yags:choice=6,cache=4,hist=4,tag=4",
+    "tournament:index=6,meta=5",
+    "trimode:dir=5,hist=3,choice=4",
+    "biasfilter:table=5,run=2,sub_index=6,sub_hist=4",
+    "always-taken",
+    "always-not-taken",
+    "btfnt",
+]
+
+
+class TestDifferentialFuzzing:
+    """Random traces through oracle == step loop == batch simulate ==
+    batched kernels (where the spec qualifies for one), for every
+    registered predictor.  A failure message carries the first
+    diverging branch index; hypothesis shrinks the trace around it."""
+
+    def test_every_registered_scheme_is_fuzzed(self):
+        fuzzed = {parse_spec(spec)[0] for spec in DIFFERENTIAL_SPECS}
+        assert fuzzed == set(available_schemes())
+
+    @given(trace=traces())
+    @settings(max_examples=15, deadline=None)
+    def test_all_engines_agree_on_arbitrary_traces(self, trace):
+        for spec in DIFFERENTIAL_SPECS:
+            report = diff_spec(spec, trace)
+            assert report.agree, report.summary()
+
+    @given(trace=traces(min_size=0, max_size=40))
+    @settings(max_examples=10, deadline=None)
+    def test_agreement_holds_on_tiny_and_empty_traces(self, trace):
+        for spec in ("bimode:dir=3,hist=2,choice=2", "yags:choice=4,cache=3"):
+            report = diff_spec(spec, trace)
+            assert report.agree, report.summary()
 
 
 class TestSimulationResultProperties:

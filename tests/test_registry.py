@@ -48,7 +48,7 @@ class TestMakePredictor:
         assert p.history_bits == 5
 
     def test_unknown_scheme(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="tage"):
             make_predictor("tage")
 
     def test_every_scheme_is_buildable(self):
@@ -86,6 +86,38 @@ class TestMakePredictor:
     def test_bimode_ablation_flags(self):
         p = make_predictor("bimode:dir=6,full_update=1,choice_hist=1")
         assert p.full_update and p.choice_uses_history
+
+
+class TestSpecErrorMessages:
+    """Malformed specs must raise ValueError naming the offending spec,
+    so a bad entry in a sweep's spec list is identifiable from the
+    message alone."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "tage:index=10",  # unknown predictor
+            "gshare:index=-3",  # negative bits
+            "gshare:index=8,hist=12",  # hist > index
+            "bimode:dir=6,hist=9",  # hist > dir
+            "bimode:hist=4",  # missing required option
+            "gshare:index=8,flavor=mild",  # unknown option
+            "gshare:index=ten",  # non-numeric value
+            "bimodal:index=30",  # absurd size (allocation guard)
+        ],
+    )
+    def test_bad_spec_raises_valueerror_naming_spec(self, spec):
+        with pytest.raises(ValueError) as excinfo:
+            make_predictor(spec)
+        assert spec in str(excinfo.value)
+
+    def test_unknown_scheme_lists_alternatives(self):
+        with pytest.raises(ValueError, match="available"):
+            make_predictor("tage:index=10")
+
+    def test_kwargs_form_also_reports_spec(self):
+        with pytest.raises(ValueError, match="gshare:index=-3"):
+            make_predictor("gshare", index=-3)
 
 
 class TestSizeHelpers:
