@@ -31,6 +31,7 @@ from benchmarks.common import (
     emit_table,
     load_bench_suite,
     result_cache,
+    sweep_journal,
 )
 from repro.analysis.report import ascii_chart
 from repro.analysis.sweep import paper_sweep
@@ -44,6 +45,7 @@ def _run_suite(suite_name: str):
         kb_points=PAPER_SIZE_POINTS_KB,
         cache=result_cache(),
         jobs=bench_jobs(),
+        journal=sweep_journal(f"fig2_{suite_name}"),
     )
 
 

@@ -23,7 +23,13 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import bench_jobs, emit_table, load_bench_suite, result_cache
+from benchmarks.common import (
+    bench_jobs,
+    emit_table,
+    load_bench_suite,
+    result_cache,
+    sweep_journal,
+)
 from repro.analysis.report import ascii_chart
 from repro.analysis.sweep import paper_sweep
 from repro.core.hardware import PAPER_SIZE_POINTS_KB
@@ -36,6 +42,7 @@ def _run():
         kb_points=PAPER_SIZE_POINTS_KB,
         cache=result_cache(),
         jobs=bench_jobs(),
+        journal=sweep_journal("fig3_cint95"),
     )
     return traces, series
 

@@ -20,6 +20,9 @@ Environment knobs:
   use e.g. 0.1 for a quick smoke pass of the whole harness).
 * ``REPRO_JOBS`` — worker processes for sweep-shaped benches (default
   serial; ``0``/``auto`` means one per CPU).
+* ``REPRO_RESUME`` — resume interrupted figure sweeps from their
+  journal (default ``1``; set ``0`` to discard a stale journal and
+  start the sweep from scratch).
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ __all__ = [
     "load_bench_trace",
     "load_bench_suite",
     "result_cache",
+    "sweep_journal",
     "results_dir",
     "emit_table",
     "PAPER_EXPECTED",
@@ -77,6 +81,21 @@ def load_bench_suite(suite: str) -> Dict[str, BranchTrace]:
 def result_cache() -> ResultCache:
     """The shared (spec, trace) -> rate memo."""
     return ResultCache()
+
+
+def sweep_journal(stem: str):
+    """Crash-safe resume journal for one figure sweep.
+
+    Keyed by the figure stem and the bench scale, so a killed sweep
+    rerun at the same scale picks up exactly where it stopped
+    (``$REPRO_RESUME=0`` discards the journal and starts over).
+    """
+    from repro.sim.journal import SweepJournal
+
+    journal = SweepJournal.for_name(f"{stem}-scale{bench_scale():g}")
+    if os.environ.get("REPRO_RESUME", "1").strip() in ("0", "false", "no"):
+        journal.discard()
+    return journal
 
 
 def results_dir() -> Path:

@@ -113,9 +113,10 @@ def _rates_by_spec(
     traces: Mapping[str, BranchTrace],
     cache: Optional[ResultCache],
     jobs: Optional[int] = None,
+    journal=None,
 ) -> Dict[str, Dict[str, float]]:
     """``result[spec][bench]`` for the whole spec set, batched per trace."""
-    return evaluate_matrix(specs, traces, cache=cache, jobs=jobs)
+    return evaluate_matrix(specs, traces, cache=cache, jobs=jobs, journal=journal)
 
 
 def _argmin_spec(
@@ -192,6 +193,7 @@ def paper_sweep(
     kb_points: Sequence[float] = PAPER_SIZE_POINTS_KB,
     cache: Optional[ResultCache] = None,
     jobs: Optional[int] = None,
+    journal=None,
 ) -> Dict[str, SweepSeries]:
     """The three curves of Figures 2–4 for one benchmark suite.
 
@@ -203,7 +205,10 @@ def paper_sweep(
     matrix: gshare cells batch through the multi-lane kernel, and
     ``jobs`` (default: ``$REPRO_JOBS``) splits benchmarks across worker
     processes.  Rates are bit-identical to evaluating each cell with the
-    scalar engine.
+    scalar engine.  ``journal`` (a
+    :class:`repro.sim.journal.SweepJournal`) makes the sweep resumable
+    after a crash or interrupt: completed cells are appended as they
+    finish and never re-simulated on the next run.
     """
     candidates = {kbytes: _candidate_specs(kbytes, None) for kbytes in kb_points}
     all_specs: List[str] = []
@@ -211,7 +216,9 @@ def paper_sweep(
         all_specs.append(gshare_1pht_spec(kbytes))
         all_specs.extend(candidates[kbytes])
         all_specs.append(bimode_spec(kbytes))
-    matrix = _rates_by_spec(list(dict.fromkeys(all_specs)), traces, cache, jobs=jobs)
+    matrix = _rates_by_spec(
+        list(dict.fromkeys(all_specs)), traces, cache, jobs=jobs, journal=journal
+    )
 
     one_pht = []
     best = []

@@ -75,6 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=list(PAPER_SIZE_POINTS_KB),
         help="size points in KB",
     )
+    fig2.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep from its journal instead of "
+        "starting fresh (cells already completed are not re-simulated)",
+    )
 
     bias = sub.add_parser("bias", help="per-counter bias breakdown (Figs 5-6)")
     bias.add_argument("spec", help="predictor spec (must support detailed simulation)")
@@ -144,6 +150,12 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_figure2(args) -> int:
+    import hashlib
+    import json as _json
+
+    from repro import health
+    from repro.sim.journal import SweepJournal
+
     if args.benchmark:
         traces = {
             args.benchmark: load_benchmark(
@@ -155,7 +167,23 @@ def _cmd_figure2(args) -> int:
         traces = load_suite(suite_names(args.suite), length=args.length, seed=args.seed)
         title = f"{args.suite.upper()}-AVERAGE"
     cache = ResultCache()
-    series = paper_sweep(traces, kb_points=args.sizes, cache=cache, jobs=args.jobs)
+
+    # One journal per distinct sweep shape: same suite/sizes/length/seed
+    # resumes the same file, anything else gets its own.
+    shape = _json.dumps(
+        [sorted(traces), sorted(args.sizes), args.length, args.seed], sort_keys=True
+    )
+    journal = SweepJournal.for_name(
+        f"figure2-{title}-{hashlib.sha1(shape.encode()).hexdigest()[:10]}"
+    )
+    if not args.resume:
+        journal.discard()
+    elif len(journal):
+        print(f"[resuming: {len(journal)} completed cells from {journal.path}]")
+
+    series = paper_sweep(
+        traces, kb_points=args.sizes, cache=cache, jobs=args.jobs, journal=journal
+    )
 
     headers = ["scheme"] + [f"{kb:g}KB" for kb in args.sizes]
     rows = []
@@ -166,6 +194,11 @@ def _cmd_figure2(args) -> int:
     print(ascii_table(headers, rows, title=f"Misprediction rates — {title}"))
     print()
     print(ascii_chart(chart, title=f"Figure 2 style chart — {title}"))
+    report = health.summary(degraded_only=True)
+    if report:
+        print()
+        print("execution health (degradations only):")
+        print(report)
     if args.csv:
         csv_rows = [
             [label, p.size_kb, p.spec, p.average]

@@ -34,7 +34,7 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["available", "bimode_pair"]
+__all__ = ["available", "unavailable_reason", "bimode_pair"]
 
 _C_SOURCE = r"""
 #include <stdint.h>
@@ -72,6 +72,7 @@ void bimode_pair(const int32_t *ci, const int32_t *di, const uint8_t *o,
 
 _lib: Optional[ctypes.CDLL] = None
 _load_attempted = False
+_failure: Optional[str] = None
 
 
 def _source_digest() -> str:
@@ -115,7 +116,7 @@ def _compile(so_path: Path) -> bool:
 
 
 def _load() -> Optional[ctypes.CDLL]:
-    global _lib, _load_attempted
+    global _lib, _load_attempted, _failure
     if os.environ.get("REPRO_NO_CC", "").strip() not in ("", "0"):
         return None
     if _load_attempted:
@@ -124,6 +125,11 @@ def _load() -> Optional[ctypes.CDLL]:
     try:
         so_path = _build_dir() / f"bimode_step-{_source_digest()}.so"
         if not so_path.exists() and not _compile(so_path):
+            _failure = (
+                "no C compiler on PATH"
+                if not any(shutil.which(c) for c in ("cc", "gcc", "clang"))
+                else "compiler invocation failed"
+            )
             return None
         lib = ctypes.CDLL(str(so_path))
         lib.bimode_pair.argtypes = [
@@ -139,7 +145,8 @@ def _load() -> Optional[ctypes.CDLL]:
         ]
         lib.bimode_pair.restype = None
         _lib = lib
-    except OSError:
+    except OSError as exc:
+        _failure = f"shared object failed to load: {exc}"
         _lib = None
     return _lib
 
@@ -147,6 +154,20 @@ def _load() -> Optional[ctypes.CDLL]:
 def available() -> bool:
     """Whether the compiled driver can be used in this environment."""
     return _load() is not None
+
+
+def unavailable_reason() -> Optional[str]:
+    """Why the compiled driver cannot run, or ``None`` if it can.
+
+    Feeds the degradation events of the kernel dispatch chain
+    (:mod:`repro.health`): a sweep report can then state *why* cells
+    fell back from the compiled loop to numpy/Python stepping.
+    """
+    if os.environ.get("REPRO_NO_CC", "").strip() not in ("", "0"):
+        return "REPRO_NO_CC is set"
+    if _load() is not None:
+        return None
+    return _failure or "compiled driver unavailable"
 
 
 def _ptr(array: np.ndarray) -> ctypes.c_void_p:

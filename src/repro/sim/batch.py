@@ -387,6 +387,9 @@ def gshare_lane_rates(
     n = len(trace)
     if n == 0:
         return [0.0] * len(lanes)
+    from repro import health
+
+    health.engine_used("gshare-kernel", "numpy", cells=len(lanes))
     outcomes = np.ascontiguousarray(trace.outcomes)
     histories_cache: Dict[int, np.ndarray] = {}
     rates: List[float] = []

@@ -552,7 +552,15 @@ def _kernel_mode() -> str:
 def _simulate_pairs(
     pairs: Sequence[Tuple[BiModeLane, BranchTrace]], want_preds: bool
 ) -> List:
-    """Per-pair predictions (or misprediction counts) for a batch."""
+    """Per-pair predictions (or misprediction counts) for a batch.
+
+    Every dispatch decision is reported through :mod:`repro.health`:
+    which engine actually ran the batch and — when the auto chain fell
+    back from the compiled loop — why, so a sweep's final report can
+    state what executed each cell.
+    """
+    from repro import health
+
     mode = _kernel_mode()
     if mode == "c" and not _cstep.available():
         raise RuntimeError(
@@ -560,6 +568,21 @@ def _simulate_pairs(
             "(no C compiler, or REPRO_NO_CC is set)"
         )
     use_c = mode == "c" or (mode == "auto" and _cstep.available())
+    if not use_c:
+        engine = (
+            "numpy"
+            if mode == "numpy" or (mode == "auto" and len(pairs) >= _step_min_pairs())
+            else "python"
+        )
+    else:
+        engine = "c"
+    health.engine_used(
+        "bimode-kernel",
+        engine,
+        expected="c" if mode == "auto" else mode,
+        cells=len(pairs),
+        reason=(_cstep.unavailable_reason() or "") if mode == "auto" and not use_c else "",
+    )
     if use_c:
         results = []
         for lane, trace in pairs:
@@ -570,7 +593,7 @@ def _simulate_pairs(
                 else int(np.count_nonzero(preds != trace.outcomes))
             )
         return results
-    if mode == "numpy" or (mode == "auto" and len(pairs) >= _step_min_pairs()):
+    if engine == "numpy":
         return _run_pairs_stepped(pairs, want_preds)
     results = []
     for lane, trace in pairs:

@@ -1,0 +1,197 @@
+"""Append-only sweep journal: crash-safe resume for long sweeps.
+
+The result cache (:class:`repro.sim.runner.ResultCache`) batches its
+writes — inside a ``deferred()`` block a SIGINT can lose every rate
+computed since the last flush, and a paper-scale Figure-3/Figure-4
+sweep holds hours of work in that window.  The journal closes the gap:
+every completed ``(trace key, spec) -> rate`` cell is appended to a
+JSONL file *as it completes*, with one ``O_APPEND`` write (plus fsync)
+per batch, so lines are never interleaved or half-visible.  A crashed
+or killed sweep can then be rerun with resume enabled and only the
+cells missing from the journal are re-simulated; rates round-trip
+through JSON exactly (``repr`` floats), so the resumed table is
+bit-identical to an uninterrupted run.
+
+A torn final line (the one write a hard kill can truncate) is detected
+and skipped on load, as is any line whose rate is not a float in
+[0, 1] — the journal trusts nothing it reads.
+
+:meth:`SweepJournal.guard` additionally installs SIGINT/SIGTERM
+handlers for the duration of a sweep that flush the deferred result
+cache before the signal is re-delivered, so even the cache loses
+nothing on a polite kill.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import re
+import signal
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = ["SweepJournal"]
+
+logger = logging.getLogger(__name__)
+
+
+class SweepJournal:
+    """Append-only JSONL record of completed sweep cells."""
+
+    def __init__(self, path: os.PathLike):
+        self.path = Path(path)
+        self._completed: Optional[Dict[Tuple[str, str], float]] = None
+        self.corrupt_lines = 0
+        self.resumed_cells = 0
+
+    @classmethod
+    def for_name(cls, name: str, root: Optional[os.PathLike] = None) -> "SweepJournal":
+        """Journal under the shared cache directory, keyed by sweep name."""
+        if root is None:
+            from repro.workloads.suite import default_cache_dir
+
+            root = default_cache_dir() / "journal"
+        safe = re.sub(r"[^A-Za-z0-9._-]+", "_", name.strip()) or "sweep"
+        return cls(Path(root) / f"{safe}.jsonl")
+
+    # -- reading ------------------------------------------------------------
+
+    def _load(self) -> Dict[Tuple[str, str], float]:
+        if self._completed is not None:
+            return self._completed
+        table: Dict[Tuple[str, str], float] = {}
+        raw = ""
+        if self.path.exists():
+            try:
+                raw = self.path.read_text()
+            except OSError as exc:
+                logger.warning("sweep journal %s unreadable (%s); starting empty", self.path, exc)
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                tkey = entry["tkey"]
+                spec = entry["spec"]
+                rate = entry["rate"]
+                if not (
+                    isinstance(tkey, str)
+                    and isinstance(spec, str)
+                    and isinstance(rate, (int, float))
+                    and not isinstance(rate, bool)
+                    and 0.0 <= rate <= 1.0
+                ):
+                    raise ValueError(f"invalid journal cell {entry!r}")
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                self.corrupt_lines += 1
+                continue
+            table[(tkey, spec)] = float(rate)
+        if self.corrupt_lines:
+            logger.warning(
+                "sweep journal %s: ignored %d corrupt line(s)",
+                self.path,
+                self.corrupt_lines,
+            )
+        self._completed = table
+        self.resumed_cells = len(table)
+        return table
+
+    def lookup(self, tkey: str, spec: str) -> Optional[float]:
+        """The journalled rate of one cell, or ``None``."""
+        return self._load().get((tkey, spec))
+
+    def completed(self, tkey: str) -> Dict[str, float]:
+        """Every journalled ``spec -> rate`` for one trace key."""
+        return {
+            spec: rate for (key, spec), rate in self._load().items() if key == tkey
+        }
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    # -- writing ------------------------------------------------------------
+
+    def record_many(self, tkey: str, rates: Mapping[str, float]) -> int:
+        """Append the cells not already journalled; returns how many."""
+        table = self._load()
+        fresh = {
+            spec: float(rate)
+            for spec, rate in rates.items()
+            if (tkey, spec) not in table
+        }
+        if not fresh:
+            return 0
+        payload = "".join(
+            json.dumps({"tkey": tkey, "spec": spec, "rate": rate}, sort_keys=True)
+            + "\n"
+            for spec, rate in sorted(fresh.items())
+        ).encode()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        for spec, rate in fresh.items():
+            table[(tkey, spec)] = rate
+        return len(fresh)
+
+    def record(self, tkey: str, spec: str, rate: float) -> int:
+        return self.record_many(tkey, {spec: rate})
+
+    def discard(self) -> None:
+        """Delete the journal file and forget everything loaded."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+        self._completed = None
+        self.corrupt_lines = 0
+        self.resumed_cells = 0
+
+    # -- signal safety ------------------------------------------------------
+
+    @contextmanager
+    def guard(self, cache=None):
+        """SIGINT/SIGTERM-safe region around a sweep.
+
+        On either signal the deferred result cache is flushed first,
+        then the interruption proceeds normally (``KeyboardInterrupt``
+        for SIGINT, ``SystemExit(128 + signum)`` for SIGTERM).  Outside
+        the main thread — where Python forbids installing handlers —
+        this degrades to a no-op wrapper; the journal itself is already
+        durable line-by-line.
+        """
+        previous = {}
+
+        def _flush() -> None:
+            if cache is not None:
+                try:
+                    cache.flush()
+                except Exception:  # pragma: no cover - last-ditch flush
+                    logger.exception("cache flush on signal failed")
+
+        def _handler(signum, frame):
+            _flush()
+            if signum == signal.SIGINT:
+                raise KeyboardInterrupt
+            raise SystemExit(128 + signum)
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, _handler)
+            except (ValueError, OSError):  # not the main thread / unsupported
+                pass
+        try:
+            yield self
+        finally:
+            for signum, old in previous.items():
+                try:
+                    signal.signal(signum, old)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass

@@ -1,4 +1,4 @@
-"""Process-parallel sweep execution.
+"""Process-parallel sweep execution with supervised, fault-tolerant workers.
 
 Design-space sweeps (specs x benchmarks) are embarrassingly parallel
 across traces, so :func:`evaluate_matrix_parallel` ships one work item
@@ -8,14 +8,32 @@ arrays themselves: workloads are deterministic in their recipe, so
 workers regenerate (or load from the shared on-disk trace cache) instead
 of paying multi-megabyte pickles per task.
 
+Every task is individually supervised (:class:`TaskPolicy`):
+
+* a configurable per-task timeout (``$REPRO_TASK_TIMEOUT`` seconds) —
+  an expired task's pool is abandoned and reseeded so stragglers cannot
+  wedge the sweep;
+* bounded retries with exponential backoff (``$REPRO_TASK_RETRIES``,
+  ``$REPRO_TASK_BACKOFF``), including a reseeded pool after a
+  ``BrokenProcessPool`` (a worker killed mid-task);
+* completed results are always salvaged — one crashed worker never
+  discards, or recomputes, a benchmark whose worker already finished;
+* a task that exhausts its retries gets one final in-parent serial
+  attempt, and if that also fails it is quarantined into a structured
+  :class:`FailedCell` (exception type, message, traceback, attempt
+  count) attached to the returned :class:`SweepResult` instead of
+  poisoning the matrix.
+
 Workers never touch the result cache.  The parent filters out cached
-cells before dispatch, collects worker rates, and merges them in input
-order — deterministic regardless of completion order — with one atomic
-cache write per trace (:meth:`ResultCache.put_many`).  Inside a worker
-the cells route exactly as in the serial path — gshare specs through
-the counter-major kernel, bi-mode specs through the batched bi-mode
-kernel (:mod:`repro.sim.batch_bimode`), the rest through the scalar
-engine — so parallel and serial sweeps produce byte-identical tables.
+(and journalled — see :class:`repro.sim.journal.SweepJournal`) cells
+before dispatch, merges each worker's rates *as it completes* — into
+the matrix, the cache, and the journal — and the final matrix is
+assembled in input order, deterministic regardless of completion order.
+Inside a worker the cells route exactly as in the serial path, so
+parallel and serial sweeps produce byte-identical tables.
+
+Degradations (pool unavailable -> serial, worker retries, quarantined
+cells) are reported through :mod:`repro.health`.
 
 Parallelism is controlled by the ``$REPRO_JOBS`` environment knob (or an
 explicit ``jobs`` argument).  ``REPRO_JOBS=1``, unset ``REPRO_JOBS``, an
@@ -26,14 +44,24 @@ the serial path, which computes bit-identical rates.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import time
+import traceback as _tb
+from collections import deque
+from contextlib import contextmanager
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import health
+from repro.faults import fault_point
 from repro.traces.record import BranchTrace
 
 __all__ = [
     "TraceRecipe",
+    "TaskPolicy",
+    "FailedCell",
+    "SweepResult",
     "recipe_of",
     "parallel_jobs",
     "effective_jobs",
@@ -100,6 +128,96 @@ def effective_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+# -- supervision policy and fault reports -------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaskPolicy:
+    """Per-task supervision knobs for the worker pool.
+
+    ``timeout`` is wall-clock seconds a task may run before its pool is
+    abandoned and the task retried (``None`` disables); ``retries`` is
+    how many *additional* pool attempts a failing task gets before the
+    final in-parent serial attempt; ``backoff`` is the base of the
+    exponential sleep between retries.
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.1
+
+    @classmethod
+    def from_env(cls) -> "TaskPolicy":
+        """Policy from ``$REPRO_TASK_TIMEOUT`` / ``_RETRIES`` / ``_BACKOFF``."""
+
+        def _number(name: str, default: float) -> float:
+            raw = os.environ.get(name, "").strip()
+            if not raw:
+                return default
+            try:
+                return float(raw)
+            except ValueError:
+                raise ValueError(f"{name} must be a number, got {raw!r}")
+
+        timeout = _number("REPRO_TASK_TIMEOUT", 0.0)
+        retries = int(_number("REPRO_TASK_RETRIES", 2))
+        backoff = _number("REPRO_TASK_BACKOFF", 0.1)
+        return cls(
+            timeout=timeout if timeout > 0 else None,
+            retries=max(0, retries),
+            backoff=max(0.0, backoff),
+        )
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """A quarantined (benchmark, specs) task that exhausted every retry."""
+
+    bench: str
+    specs: Tuple[str, ...]
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.bench} [{len(self.specs)} specs]: {self.error_type}: "
+            f"{self.message} (after {self.attempts} attempts)"
+        )
+
+
+class SweepResult(Dict[str, Dict[str, float]]):
+    """An ``evaluate_matrix`` result dict plus fault metadata.
+
+    Equality, iteration, and indexing behave exactly like the plain
+    ``{spec: {bench: rate}}`` dict, so existing callers are unaffected;
+    ``failures`` lists the quarantined cells (empty on a clean sweep).
+    """
+
+    def __init__(self, data=None, failures: Optional[Sequence[FailedCell]] = None):
+        super().__init__(data or {})
+        self.failures: List[FailedCell] = list(failures or [])
+
+    @property
+    def quarantined_benches(self) -> List[str]:
+        return sorted({cell.bench for cell in self.failures})
+
+
+class _Task:
+    """One supervised (benchmark, specs) work item."""
+
+    __slots__ = ("bench", "recipe", "missing", "attempts", "last_error", "last_tb")
+
+    def __init__(self, bench: str, recipe: TraceRecipe, missing: List[str]):
+        self.bench = bench
+        self.recipe = recipe
+        self.missing = list(missing)
+        self.attempts = 0
+        self.last_error: Optional[BaseException] = None
+        self.last_tb = ""
+
+
 def _worker_evaluate(
     recipe: TraceRecipe, specs: Tuple[str, ...]
 ) -> Tuple[str, Dict[str, float]]:
@@ -107,8 +225,183 @@ def _worker_evaluate(
     from repro.sim.runner import evaluate_specs
     from repro.workloads.suite import load_benchmark
 
+    fault_point("worker", bench=recipe.name)
     trace = load_benchmark(recipe.name, length=recipe.length, seed=recipe.seed)
     return recipe.name, evaluate_specs(tuple(specs), trace, cache=None)
+
+
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on wedged or dying workers."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # pragma: no cover - cancel_futures needs 3.9+
+        pool.shutdown(wait=False)
+    # Best effort: reclaim workers stuck in a timed-out task so they do
+    # not linger until interpreter exit.  Internal attribute, so guarded.
+    try:
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            proc.terminate()
+    except Exception:  # pragma: no cover - cleanup must never raise
+        pass
+
+
+def _run_supervised(
+    tasks: Sequence[_Task],
+    jobs: int,
+    policy: TaskPolicy,
+    on_done=None,
+) -> Tuple[Dict[str, Dict[str, float]], List[_Task], List[_Task]]:
+    """Drive every task through the pool under per-task supervision.
+
+    Returns ``(done, exhausted, leftover)``: completed rates by
+    benchmark, tasks that failed every pool attempt (candidates for the
+    caller's serial salvage), and tasks never attempted because the pool
+    itself could not be (re)created (the caller runs those through the
+    ordinary serial path, no attempts charged).
+    """
+    done: Dict[str, Dict[str, float]] = {}
+    exhausted: List[_Task] = []
+    queue = deque(tasks)
+    inflight: Dict[object, Tuple[_Task, float]] = {}
+    pool: Optional[ProcessPoolExecutor] = None
+    max_workers = max(1, min(jobs, len(tasks)))
+
+    def _note_failure(task: _Task, exc: BaseException, kind: str) -> None:
+        task.attempts += 1
+        task.last_error = exc
+        task.last_tb = "".join(
+            _tb.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        health.emit(
+            "parallel-pool",
+            "worker-ok",
+            kind,
+            reason=f"{task.bench}: {type(exc).__name__}: {exc}",
+            severity="degraded",
+            attempt=task.attempts,
+        )
+        if task.attempts > policy.retries:
+            exhausted.append(task)
+        else:
+            if policy.backoff:
+                time.sleep(policy.backoff * (2 ** max(0, task.attempts - 1)))
+            queue.append(task)
+
+    try:
+        while queue or inflight:
+            if pool is None:
+                try:
+                    pool = ProcessPoolExecutor(max_workers=max_workers)
+                except (OSError, ValueError, RuntimeError) as exc:
+                    # Pool unavailable (restricted platform, spawn
+                    # failure): hand everything still outstanding back
+                    # for serial execution.
+                    health.emit(
+                        "parallel-pool",
+                        "pool",
+                        "serial",
+                        reason=f"{type(exc).__name__}: {exc}",
+                        severity="degraded",
+                        cells=len(queue) + len(inflight),
+                    )
+                    leftover = [task for task, _ in inflight.values()]
+                    leftover.extend(queue)
+                    return done, exhausted, leftover
+            try:
+                while queue:
+                    task = queue.popleft()
+                    future = pool.submit(
+                        _worker_evaluate, task.recipe, tuple(task.missing)
+                    )
+                    inflight[future] = (task, time.monotonic())
+            except (BrokenProcessPool, RuntimeError) as exc:
+                queue.appendleft(task)
+                for fut, (pending_task, _) in list(inflight.items()):
+                    _note_failure(pending_task, exc, "pool-broken")
+                inflight.clear()
+                _abandon_pool(pool)
+                pool = None
+                continue
+
+            tick = 0.05 if policy.timeout is not None else None
+            ready, _ = wait(
+                list(inflight), timeout=tick, return_when=FIRST_COMPLETED
+            )
+            broken: Optional[BaseException] = None
+            for future in ready:
+                task, _started = inflight.pop(future)
+                try:
+                    _, rates = future.result()
+                except BrokenProcessPool as exc:
+                    broken = exc
+                    _note_failure(task, exc, "pool-broken")
+                except Exception as exc:
+                    _note_failure(task, exc, "worker-raised")
+                else:
+                    done[task.bench] = rates
+                    if on_done is not None:
+                        on_done(task, rates)
+            if broken is not None:
+                # The pool is poisoned: every other in-flight task is
+                # charged one attempt (we cannot attribute the crash)
+                # and retried on a fresh pool.
+                for future, (task, _) in list(inflight.items()):
+                    _note_failure(task, broken, "pool-broken")
+                inflight.clear()
+                _abandon_pool(pool)
+                pool = None
+                continue
+            if policy.timeout is not None and inflight:
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, (_, started) in inflight.items()
+                    if now - started > policy.timeout
+                ]
+                if expired:
+                    for future in expired:
+                        task, _ = inflight.pop(future)
+                        future.cancel()
+                        _note_failure(
+                            task,
+                            TimeoutError(
+                                f"task exceeded REPRO_TASK_TIMEOUT={policy.timeout}s"
+                            ),
+                            "task-timeout",
+                        )
+                    # Innocent in-flight neighbours go back untouched:
+                    # their pool is being abandoned, not their work.
+                    for future, (task, _) in list(inflight.items()):
+                        future.cancel()
+                        queue.append(task)
+                    inflight.clear()
+                    _abandon_pool(pool)
+                    pool = None
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+    return done, exhausted, []
+
+
+def _quarantine(task: _Task, exc: BaseException) -> FailedCell:
+    cell = FailedCell(
+        bench=task.bench,
+        specs=tuple(task.missing),
+        error_type=type(exc).__name__,
+        message=str(exc),
+        traceback="".join(_tb.format_exception(type(exc), exc, exc.__traceback__)),
+        attempts=task.attempts,
+    )
+    health.emit(
+        "sweep",
+        "computed",
+        "quarantined",
+        reason=f"{cell.bench}: {cell.error_type}: {cell.message}",
+        severity="error",
+        cells=len(cell.specs),
+        attempts=cell.attempts,
+    )
+    return cell
 
 
 def evaluate_matrix_parallel(
@@ -117,67 +410,124 @@ def evaluate_matrix_parallel(
     cache=None,
     progress=None,
     jobs: Optional[int] = None,
-) -> Dict[str, Dict[str, float]]:
+    journal=None,
+    policy: Optional[TaskPolicy] = None,
+) -> SweepResult:
     """Parallel :func:`repro.sim.runner.evaluate_matrix`.
 
-    Splits the matrix by benchmark, evaluates missing cells in worker
-    processes, and merges deterministically.  Falls back to the serial
-    path (same results) when only one worker is requested or the pool
-    cannot be created.
+    Splits the matrix by benchmark, evaluates missing cells in
+    supervised worker processes, and merges deterministically.  Cells
+    already recorded in ``cache`` or ``journal`` are never recomputed;
+    each completed task is merged (matrix + cache + journal) as soon as
+    it finishes, so a crash or interrupt loses at most the in-flight
+    tasks.  Tasks that exhaust every retry and the final serial attempt
+    are quarantined on ``SweepResult.failures`` — their cells are
+    omitted from the matrix rather than poisoning it.
     """
     from repro.sim.runner import evaluate_specs, trace_key
 
     specs = list(specs)
     jobs = effective_jobs(jobs)
+    if policy is None:
+        policy = TaskPolicy.from_env()
 
-    # Plan: per benchmark, which cells are not already cached?
+    # Plan: per benchmark, which cells are not already cached/journalled?
     per_bench: Dict[str, Dict[str, float]] = {}
-    pending: List[Tuple[str, TraceRecipe, List[str]]] = []
+    tasks: List[_Task] = []
     local: List[str] = []
+    tkeys = {bench: trace_key(trace) for bench, trace in traces.items()}
     for bench, trace in traces.items():
-        tkey = trace_key(trace)
-        cached: Dict[str, float] = {}
+        tkey = tkeys[bench]
+        known: Dict[str, float] = {}
         missing: List[str] = []
         for spec in specs:
             hit = cache.get(spec, tkey) if cache is not None else None
+            if hit is None and journal is not None:
+                hit = journal.lookup(tkey, spec)
+                if hit is not None and cache is not None:
+                    cache.put_many(tkey, {spec: hit})
             if hit is not None:
-                cached[spec] = hit
+                known[spec] = hit
             else:
                 missing.append(spec)
-        per_bench[bench] = cached
+        per_bench[bench] = known
         if not missing:
             continue
         recipe = recipe_of(trace)
         if jobs > 1 and recipe is not None:
-            pending.append((bench, recipe, missing))
+            tasks.append(_Task(bench, recipe, missing))
         else:
             local.append(bench)
 
-    if pending:
-        try:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                futures = [
-                    (bench, pool.submit(_worker_evaluate, recipe, tuple(missing)))
-                    for bench, recipe, missing in pending
-                ]
-                results = {bench: future.result() for bench, future in futures}
-        except (OSError, ValueError, RuntimeError):
-            # Pool unavailable (restricted platform, spawn failure):
-            # compute the pending benchmarks serially instead.
-            results = {}
-            local = list(dict.fromkeys(local + [bench for bench, _, _ in pending]))
-        for bench, (_, rates) in results.items():
-            per_bench[bench].update(rates)
-            if cache is not None:
-                cache.put_many(trace_key(traces[bench]), rates)
+    failures: List[FailedCell] = []
 
-    for bench in local:
-        missing = [s for s in specs if s not in per_bench[bench]]
-        per_bench[bench].update(evaluate_specs(missing, traces[bench], cache=cache))
+    def _merge(bench: str, rates: Dict[str, float]) -> None:
+        per_bench[bench].update(rates)
+        if cache is not None:
+            cache.put_many(tkeys[bench], rates)
+        if journal is not None:
+            journal.record_many(tkeys[bench], rates)
+
+    guard = journal.guard(cache) if journal is not None else _null()
+    with guard:
+        if tasks:
+            _, exhausted, leftover = _run_supervised(
+                tasks,
+                jobs,
+                policy,
+                on_done=lambda task, rates: _merge(task.bench, rates),
+            )
+            local.extend(task.bench for task in leftover)
+            # Final in-parent serial attempt, then quarantine.
+            for task in exhausted:
+                try:
+                    rates = evaluate_specs(task.missing, traces[task.bench], cache=None)
+                except Exception as exc:
+                    task.attempts += 1
+                    failures.append(_quarantine(task, exc))
+                else:
+                    health.emit(
+                        "parallel-pool",
+                        "pool",
+                        "serial-salvage",
+                        reason=f"{task.bench} recovered after {task.attempts} failed attempts",
+                        severity="degraded",
+                        cells=len(task.missing),
+                    )
+                    _merge(task.bench, rates)
+
+        for bench in dict.fromkeys(local):
+            missing = [s for s in specs if s not in per_bench[bench]]
+            if not missing:
+                continue
+            try:
+                rates = evaluate_specs(missing, traces[bench], cache=None)
+            except Exception as exc:
+                task = _Task(bench, recipe_of(traces[bench]), missing)
+                task.attempts = 1
+                failures.append(_quarantine(task, exc))
+            else:
+                _merge(bench, rates)
 
     if progress is not None:
         for bench in traces:
             for spec in specs:
-                progress(spec, bench, per_bench[bench][spec])
+                if spec in per_bench[bench]:
+                    progress(spec, bench, per_bench[bench][spec])
 
-    return {spec: {bench: per_bench[bench][spec] for bench in traces} for spec in specs}
+    return SweepResult(
+        {
+            spec: {
+                bench: per_bench[bench][spec]
+                for bench in traces
+                if spec in per_bench[bench]
+            }
+            for spec in specs
+        },
+        failures=failures,
+    )
+
+
+@contextmanager
+def _null():
+    yield None

@@ -25,12 +25,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
+from repro import health
 from repro.core.registry import make_predictor
+from repro.faults import fault_point
 from repro.sim.batch import gshare_lane_rates, lane_for_spec
 from repro.sim.batch_bimode import (
     bimode_lane_for_spec,
@@ -48,6 +51,8 @@ __all__ = [
     "evaluate_specs",
     "evaluate_matrix",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 def trace_key(trace: BranchTrace) -> str:
@@ -93,15 +98,62 @@ class ResultCache:
 
     def _table(self, tkey: str) -> Dict[str, float]:
         if tkey not in self._loaded:
-            path = self._path(tkey)
-            if path.exists():
-                try:
-                    self._loaded[tkey] = json.loads(path.read_text())
-                except (json.JSONDecodeError, OSError):
-                    self._loaded[tkey] = {}
-            else:
-                self._loaded[tkey] = {}
+            self._loaded[tkey] = self._load_table(tkey)
         return self._loaded[tkey]
+
+    def _load_table(self, tkey: str) -> Dict[str, float]:
+        """Load one per-trace table, distrusting everything on disk.
+
+        A file that is not valid JSON (a crash mid-write of a foreign
+        tool, bit rot) is quarantined to ``<name>.json.corrupt-<pid>``
+        — preserved for inspection, out of the cache's way — rather
+        than silently treated as empty.  Loaded cells are validated:
+        anything that is not a float in [0, 1] is dropped with a
+        warning, so a poisoned cache cannot leak NaNs or garbage into
+        a sweep table.
+        """
+        path = self._path(tkey)
+        if not path.exists():
+            return {}
+        try:
+            loaded = json.loads(path.read_text())
+            if not isinstance(loaded, dict):
+                raise ValueError(f"expected a JSON object, got {type(loaded).__name__}")
+        except OSError as exc:
+            logger.warning("result cache %s unreadable (%s); treating as empty", path, exc)
+            return {}
+        except (json.JSONDecodeError, ValueError) as exc:
+            quarantine = path.with_name(f"{path.name}.corrupt-{os.getpid()}")
+            try:
+                os.replace(path, quarantine)
+                where = quarantine.name
+            except OSError:
+                where = "<unmovable>"
+            logger.warning(
+                "quarantined corrupt result cache %s -> %s (%s)", path, where, exc
+            )
+            health.emit(
+                "result-cache",
+                "load",
+                "quarantined",
+                reason=f"{path.name}: {exc}",
+                severity="degraded",
+            )
+            return {}
+        table: Dict[str, float] = {}
+        for spec, rate in loaded.items():
+            if (
+                isinstance(spec, str)
+                and isinstance(rate, (int, float))
+                and not isinstance(rate, bool)
+                and 0.0 <= rate <= 1.0
+            ):
+                table[spec] = float(rate)
+            else:
+                logger.warning(
+                    "dropping invalid cache cell %r=%r in %s", spec, rate, path.name
+                )
+        return table
 
     def get(self, spec: str, tkey: str) -> Optional[float]:
         return self._table(tkey).get(spec)
@@ -118,15 +170,42 @@ class ResultCache:
         if not self._defer_writes:
             self.flush()
 
-    def flush(self) -> None:
-        """Write every dirty per-trace table atomically."""
+    def flush(self) -> List[str]:
+        """Write every dirty per-trace table atomically.
+
+        Exception-safe per trace key: one unwritable file does not drop
+        the remaining dirty tables.  Keys that failed stay dirty (a
+        later flush retries them) and are returned, warned about, and
+        reported as degradation events.
+        """
+        failed: List[str] = []
         for tkey in sorted(self._dirty):
             path = self._path(tkey)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-            tmp.write_text(json.dumps(self._loaded[tkey], indent=0, sort_keys=True))
-            os.replace(tmp, path)
-        self._dirty.clear()
+            tmp = None
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+                tmp.write_text(
+                    json.dumps(self._loaded[tkey], indent=0, sort_keys=True)
+                )
+                os.replace(tmp, path)
+            except OSError as exc:
+                if tmp is not None:
+                    try:
+                        tmp.unlink()
+                    except OSError:
+                        pass
+                failed.append(tkey)
+                logger.warning("could not flush result cache %s (%s)", path, exc)
+                health.emit(
+                    "result-cache",
+                    "flush",
+                    "kept-dirty",
+                    reason=f"{tkey}: {exc}",
+                    severity="error",
+                )
+        self._dirty = set(failed)
+        return failed
 
     @contextmanager
     def deferred(self):
@@ -175,6 +254,11 @@ def evaluate_specs(
             missing.append(spec)
 
     computed: Dict[str, float] = {}
+    if missing:
+        # Injectable (and countable) point: fires only when this call
+        # actually simulates cells, so fault-injection tests can assert
+        # exactly which benchmarks were recomputed, in which process.
+        fault_point("evaluate", bench=trace.name or "anon", cells=len(missing))
     gshare_batch = []
     bimode_batch = []
     scalar: List[str] = []
@@ -229,40 +313,62 @@ def evaluate_matrix(
     cache: Optional[ResultCache] = None,
     progress=None,
     jobs: Optional[int] = None,
+    journal=None,
 ) -> Dict[str, Dict[str, float]]:
     """Rates for every (spec, benchmark) pair: ``result[spec][bench]``.
 
     ``progress`` (optional) is called with ``(spec, bench, rate)`` after
     each cell, for CLI feedback on long sweeps.  ``jobs`` selects the
     process-parallel executor (default: the ``$REPRO_JOBS`` knob, serial
-    when unset); results are identical either way.
+    when unset); results are identical either way.  ``journal``
+    (optional, a :class:`repro.sim.journal.SweepJournal`) makes the
+    sweep resumable: completed cells are appended to the journal as
+    they finish, cells already journalled are never re-simulated, and
+    SIGINT/SIGTERM flush the deferred cache before interrupting.
     """
     specs = list(specs)
-    from repro.sim.parallel import effective_jobs, evaluate_matrix_parallel
+    from repro.sim.parallel import (
+        SweepResult,
+        effective_jobs,
+        evaluate_matrix_parallel,
+    )
 
     if effective_jobs(jobs) > 1:
         return evaluate_matrix_parallel(
-            specs, traces, cache=cache, progress=progress, jobs=jobs
+            specs, traces, cache=cache, progress=progress, jobs=jobs, journal=journal
         )
 
     per_bench: Dict[str, Dict[str, float]] = {}
     maybe_deferred = cache.deferred() if cache is not None else _null_context()
-    with maybe_deferred:
-        pre = _bimode_matrix_prepass(specs, traces, cache)
+    guard = journal.guard(cache) if journal is not None else _null_context()
+    with guard, maybe_deferred:
+        pre = _bimode_matrix_prepass(specs, traces, cache, journal=journal)
+        if journal is not None:
+            for bench, trace in traces.items():
+                known = journal.completed(trace_key(trace))
+                if known:
+                    merged = dict(pre.get(bench, {}))
+                    merged.update({s: known[s] for s in specs if s in known})
+                    pre[bench] = merged
         for bench, trace in traces.items():
             per_bench[bench] = evaluate_specs(
                 specs, trace, cache=cache, precomputed=pre.get(bench)
             )
+            if journal is not None:
+                journal.record_many(trace_key(trace), per_bench[bench])
             if progress is not None:
                 for spec in specs:
                     progress(spec, bench, per_bench[bench][spec])
-    return {spec: {bench: per_bench[bench][spec] for bench in traces} for spec in specs}
+    return SweepResult(
+        {spec: {bench: per_bench[bench][spec] for bench in traces} for spec in specs}
+    )
 
 
 def _bimode_matrix_prepass(
     specs: Sequence[str],
     traces: Mapping[str, BranchTrace],
     cache: Optional[ResultCache],
+    journal=None,
 ) -> Dict[str, Dict[str, float]]:
     """Batch every uncached bi-mode cell of a matrix into one kernel call.
 
@@ -270,7 +376,9 @@ def _bimode_matrix_prepass(
     (configuration, benchmark) pairs it advances at once, so collecting
     the cells here — across *all* traces — rather than per-trace inside
     ``evaluate_specs`` is what gives sweeps their batch width.  Returns
-    ``{bench: {spec: rate}}``, already written through ``cache``.
+    ``{bench: {spec: rate}}``, already written through ``cache`` (and
+    ``journal``, when given); cells the journal already holds are
+    skipped like cache hits.
     """
     cells = []
     where = []
@@ -282,6 +390,8 @@ def _bimode_matrix_prepass(
                 continue
             if cache is not None and cache.get(spec, tkey) is not None:
                 continue
+            if journal is not None and journal.lookup(tkey, spec) is not None:
+                continue
             cells.append((lane, trace))
             where.append((bench, spec, tkey))
     if not cells:
@@ -291,9 +401,11 @@ def _bimode_matrix_prepass(
     for (bench, spec, tkey), rate in zip(where, bimode_matrix_rates(cells)):
         pre.setdefault(bench, {})[spec] = rate
         by_tkey.setdefault(tkey, {})[spec] = rate
-    if cache is not None:
-        for tkey, found in by_tkey.items():
+    for tkey, found in by_tkey.items():
+        if cache is not None:
             cache.put_many(tkey, found)
+        if journal is not None:
+            journal.record_many(tkey, found)
     return pre
 
 

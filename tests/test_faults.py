@@ -1,0 +1,166 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import os
+import signal
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultInjected, FaultRule, fault_point, parse_faults
+
+
+class TestParsing:
+    def test_site_and_action(self):
+        (rule,) = parse_faults("worker:raise")
+        assert rule == FaultRule(site="worker", action="raise")
+
+    def test_all_options(self):
+        (rule,) = parse_faults("evaluate:sleep:nth=3,bench=gcc,where=worker,seconds=0.25")
+        assert rule.nth == 3
+        assert rule.bench == "gcc"
+        assert rule.where == "worker"
+        assert rule.seconds == 0.25
+
+    def test_multiple_directives(self):
+        rules = parse_faults("worker:exit:bench=gcc; evaluate:raise:nth=2")
+        assert [r.site for r in rules] == ["worker", "evaluate"]
+
+    def test_empty_spec_is_empty(self):
+        assert parse_faults("") == []
+        assert parse_faults(" ; ") == []
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "worker",  # no action
+            "worker:detonate",  # unknown action
+            "worker:raise:nth=0",  # nth must be >= 1
+            "worker:raise:where=elsewhere",
+            "worker:raise:frobnicate=1",
+            "worker:raise:nth",  # option without value
+            "a:b:c:d",  # too many fields
+        ],
+    )
+    def test_junk_raises(self, spec):
+        with pytest.raises(ValueError):
+            parse_faults(spec)
+
+
+class TestFaultPoint:
+    def test_unarmed_is_noop(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        fault_point("worker", bench="gcc")  # must not raise
+
+    def test_raise_action(self):
+        with faults.inject("worker:raise"):
+            with pytest.raises(FaultInjected):
+                fault_point("worker")
+
+    def test_site_mismatch_does_not_fire(self):
+        with faults.inject("worker:raise"):
+            fault_point("evaluate")
+
+    def test_bench_filter(self):
+        with faults.inject("worker:raise:bench=gcc"):
+            fault_point("worker", bench="xlisp")
+            with pytest.raises(FaultInjected):
+                fault_point("worker", bench="gcc")
+
+    def test_nth_fires_only_on_that_hit(self):
+        with faults.inject("worker:raise:nth=3"):
+            fault_point("worker")
+            fault_point("worker")
+            with pytest.raises(FaultInjected):
+                fault_point("worker")
+            fault_point("worker")  # counter moved past nth
+
+    def test_inject_reenter_resets_counters(self):
+        with faults.inject("worker:raise:nth=2"):
+            fault_point("worker")
+        with faults.inject("worker:raise:nth=2"):
+            fault_point("worker")  # first hit again, not second
+            with pytest.raises(FaultInjected):
+                fault_point("worker")
+
+    def test_inject_restores_environment(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "worker:raise:nth=99")
+        with faults.inject("worker:raise"):
+            assert os.environ[faults.ENV_VAR] == "worker:raise"
+        assert os.environ[faults.ENV_VAR] == "worker:raise:nth=99"
+
+    def test_inject_rejects_junk_before_arming(self):
+        with pytest.raises(ValueError):
+            with faults.inject("worker:detonate"):
+                pass
+
+    def test_where_worker_does_not_fire_in_parent(self):
+        with faults.inject("worker:raise:where=worker"):
+            fault_point("worker")  # this test runs in the parent
+
+    def test_where_parent_fires_in_parent(self):
+        with faults.inject("worker:raise:where=parent"):
+            with pytest.raises(FaultInjected):
+                fault_point("worker")
+
+    def test_exit_never_kills_the_parent(self):
+        with faults.inject("worker:exit"):
+            fault_point("worker")  # would have killed pytest otherwise
+
+    def test_sleep_action(self):
+        import time
+
+        with faults.inject("worker:sleep:seconds=0.01"):
+            start = time.monotonic()
+            fault_point("worker")
+            assert time.monotonic() - start >= 0.01
+
+    def test_sigint_action(self):
+        previous = signal.signal(signal.SIGINT, signal.default_int_handler)
+        try:
+            with faults.inject("worker:sigint"):
+                with pytest.raises(KeyboardInterrupt):
+                    fault_point("worker")
+        finally:
+            signal.signal(signal.SIGINT, previous)
+
+
+class TestTracing:
+    def test_counts_by_site_and_bench(self, tmp_path):
+        with faults.traced(tmp_path):
+            fault_point("evaluate", bench="gcc", cells=3)
+            fault_point("evaluate", bench="gcc", cells=2)
+            fault_point("evaluate", bench="xlisp")
+            fault_point("worker", bench="gcc")
+        counts = faults.trace_counts(tmp_path)
+        assert counts[("evaluate", "gcc")] == 2
+        assert counts[("evaluate", "xlisp")] == 1
+        assert counts[("worker", "gcc")] == 1
+
+    def test_site_filter(self, tmp_path):
+        with faults.traced(tmp_path):
+            fault_point("evaluate", bench="gcc")
+            fault_point("worker", bench="gcc")
+        assert faults.trace_counts(tmp_path, site="worker") == {("worker", "gcc"): 1}
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        assert faults.trace_counts(tmp_path / "nope") == {}
+
+
+class TestHelpers:
+    def test_corrupt_cache_file(self, tmp_path):
+        from repro.sim.runner import ResultCache
+
+        cache = ResultCache(tmp_path)
+        cache.put("spec", "tkey", 0.5)
+        path = faults.corrupt_cache_file(cache, "tkey")
+        assert path.read_text().startswith("{corrupt")
+        assert cache.get("spec", "tkey") is None  # reload sees the corruption
+
+    def test_deny_compiler(self, monkeypatch):
+        from repro.sim import _cstep
+
+        monkeypatch.delenv("REPRO_NO_CC", raising=False)
+        with faults.deny_compiler():
+            assert not _cstep.available()
+            assert _cstep.unavailable_reason() == "REPRO_NO_CC is set"
+        assert os.environ.get("REPRO_NO_CC") is None

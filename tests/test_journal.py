@@ -1,0 +1,180 @@
+"""Unit tests for the append-only sweep journal."""
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.sim.journal import SweepJournal
+from repro.sim.runner import ResultCache
+
+
+@pytest.fixture()
+def journal(tmp_path):
+    return SweepJournal(tmp_path / "sweep.jsonl")
+
+
+class TestRecordAndLookup:
+    def test_round_trip(self, journal):
+        assert journal.record("t1", "spec-a", 0.125) == 1
+        assert journal.lookup("t1", "spec-a") == 0.125
+        assert journal.lookup("t1", "spec-b") is None
+        assert journal.lookup("t2", "spec-a") is None
+
+    def test_float_repr_round_trips_exactly(self, journal):
+        rate = 1 / 3
+        journal.record("t1", "spec", rate)
+        fresh = SweepJournal(journal.path)
+        assert fresh.lookup("t1", "spec") == rate  # bit-identical
+
+    def test_record_many_skips_already_journalled(self, journal):
+        journal.record_many("t1", {"a": 0.1, "b": 0.2})
+        appended = journal.record_many("t1", {"a": 0.9, "b": 0.9, "c": 0.3})
+        assert appended == 1  # only "c" was fresh
+        # first write wins: the journal is append-only, not last-write-wins
+        assert journal.lookup("t1", "a") == 0.1
+        assert journal.lookup("t1", "c") == 0.3
+
+    def test_record_many_empty_writes_nothing(self, journal):
+        assert journal.record_many("t1", {}) == 0
+        assert not journal.path.exists()
+
+    def test_completed_collects_one_trace(self, journal):
+        journal.record_many("t1", {"a": 0.1, "b": 0.2})
+        journal.record_many("t2", {"a": 0.5})
+        assert journal.completed("t1") == {"a": 0.1, "b": 0.2}
+        assert journal.completed("t2") == {"a": 0.5}
+        assert journal.completed("t3") == {}
+
+    def test_len_counts_cells(self, journal):
+        assert len(journal) == 0
+        journal.record_many("t1", {"a": 0.1, "b": 0.2})
+        journal.record("t2", "a", 0.3)
+        assert len(SweepJournal(journal.path)) == 3
+
+    def test_one_line_per_cell_jsonl(self, journal):
+        journal.record_many("t1", {"b": 0.2, "a": 0.1})
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 2
+        entries = [json.loads(line) for line in lines]
+        assert entries[0] == {"tkey": "t1", "spec": "a", "rate": 0.1}
+        assert entries[1] == {"tkey": "t1", "spec": "b", "rate": 0.2}
+
+
+class TestResilience:
+    def test_missing_file_is_empty(self, journal):
+        assert len(journal) == 0
+        assert journal.lookup("t", "s") is None
+
+    def test_torn_final_line_skipped(self, journal):
+        journal.record_many("t1", {"a": 0.1, "b": 0.2})
+        with open(journal.path, "a") as fh:
+            fh.write('{"tkey": "t1", "spec": "c", "ra')  # hard-kill torn write
+        fresh = SweepJournal(journal.path)
+        assert fresh.completed("t1") == {"a": 0.1, "b": 0.2}
+        assert fresh.corrupt_lines == 1
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json at all",
+            '{"tkey": "t", "spec": "s"}',  # missing rate
+            '{"tkey": "t", "spec": "s", "rate": 1.5}',  # out of range
+            '{"tkey": "t", "spec": "s", "rate": "fast"}',  # not a number
+            '{"tkey": "t", "spec": "s", "rate": true}',  # bool is not a rate
+            '{"tkey": 3, "spec": "s", "rate": 0.5}',  # non-string key
+            '[0.5]',  # not an object
+        ],
+    )
+    def test_garbage_lines_ignored(self, journal, line):
+        journal.record("t1", "good", 0.25)
+        with open(journal.path, "a") as fh:
+            fh.write(line + "\n")
+        fresh = SweepJournal(journal.path)
+        assert fresh.completed("t1") == {"good": 0.25}
+        assert fresh.corrupt_lines == 1
+        assert len(fresh) == 1
+
+    def test_record_after_corrupt_line_still_appends(self, journal):
+        journal.record("t1", "a", 0.1)
+        with open(journal.path, "a") as fh:
+            fh.write("garbage\n")
+        fresh = SweepJournal(journal.path)
+        fresh.record("t1", "b", 0.2)
+        assert SweepJournal(journal.path).completed("t1") == {"a": 0.1, "b": 0.2}
+
+    def test_discard(self, journal):
+        journal.record("t1", "a", 0.1)
+        journal.discard()
+        assert not journal.path.exists()
+        assert len(journal) == 0
+        journal.discard()  # idempotent on a missing file
+
+
+class TestForName:
+    def test_sanitizes_name(self, tmp_path):
+        journal = SweepJournal.for_name("fig2 cint95/scale 0.1!", root=tmp_path)
+        assert journal.path.parent == tmp_path
+        assert journal.path.name == "fig2_cint95_scale_0.1_.jsonl"
+
+    def test_empty_name_falls_back(self, tmp_path):
+        assert SweepJournal.for_name("  ", root=tmp_path).path.name.startswith("sweep")
+
+    def test_default_root_under_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        journal = SweepJournal.for_name("fig3")
+        assert journal.path == tmp_path / "journal" / "fig3.jsonl"
+
+    def test_resumed_cells_reported(self, tmp_path):
+        journal = SweepJournal.for_name("x", root=tmp_path)
+        journal.record_many("t", {"a": 0.1, "b": 0.2})
+        fresh = SweepJournal.for_name("x", root=tmp_path)
+        len(fresh)  # force the load
+        assert fresh.resumed_cells == 2
+
+
+class TestGuard:
+    def test_sigint_flushes_cache_then_interrupts(self, journal, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        # Defer writes *without* the context manager, so the signal
+        # handler installed by guard() is the only thing that can flush.
+        cache._defer_writes = True
+        with pytest.raises(KeyboardInterrupt):
+            with journal.guard(cache):
+                cache.put("spec", "tkey", 0.5)
+                assert ResultCache(tmp_path / "cache").get("spec", "tkey") is None
+                os.kill(os.getpid(), signal.SIGINT)
+        # the handler flushed the deferred cache before interrupting
+        assert ResultCache(tmp_path / "cache").get("spec", "tkey") == 0.5
+
+    def test_sigterm_raises_systemexit(self, journal):
+        with pytest.raises(SystemExit) as excinfo:
+            with journal.guard():
+                os.kill(os.getpid(), signal.SIGTERM)
+        assert excinfo.value.code == 128 + signal.SIGTERM
+
+    def test_handlers_restored(self, journal):
+        before_int = signal.getsignal(signal.SIGINT)
+        before_term = signal.getsignal(signal.SIGTERM)
+        with journal.guard():
+            assert signal.getsignal(signal.SIGINT) is not before_int
+        assert signal.getsignal(signal.SIGINT) is before_int
+        assert signal.getsignal(signal.SIGTERM) is before_term
+
+    def test_noop_outside_main_thread(self, journal):
+        import threading
+
+        outcome = {}
+
+        def _run():
+            try:
+                with journal.guard():
+                    outcome["ok"] = True
+            except Exception as exc:  # pragma: no cover - the failure mode
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=_run)
+        thread.start()
+        thread.join()
+        assert outcome == {"ok": True}

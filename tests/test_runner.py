@@ -158,6 +158,84 @@ class TestResultCache:
         (tmp_path / "results" / "tkey.json").write_text("{not json")
         assert ResultCache(tmp_path).get("spec", "tkey") is None
 
+    def test_corrupt_file_quarantined_not_deleted(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        cache.put("spec", "tkey", 0.5)
+        path = tmp_path / "results" / "tkey.json"
+        path.write_text("{not json")
+        assert ResultCache(tmp_path).get("spec", "tkey") is None
+        assert not path.exists()
+        quarantined = path.with_name(f"tkey.json.corrupt-{os.getpid()}")
+        assert quarantined.read_text() == "{not json"
+        # the cache is usable again immediately
+        fresh = ResultCache(tmp_path)
+        fresh.put("spec", "tkey", 0.25)
+        assert ResultCache(tmp_path).get("spec", "tkey") == 0.25
+
+    def test_non_object_json_quarantined(self, tmp_path):
+        (tmp_path / "results").mkdir(parents=True)
+        (tmp_path / "results" / "tkey.json").write_text("[0.5, 0.6]")
+        assert ResultCache(tmp_path).get("spec", "tkey") is None
+        assert list((tmp_path / "results").glob("tkey.json.corrupt-*"))
+
+    @pytest.mark.parametrize(
+        "bad", [-0.1, 1.5, "fast", True, None, [0.5], float("nan")]
+    )
+    def test_invalid_cells_dropped(self, tmp_path, bad):
+        (tmp_path / "results").mkdir(parents=True)
+        payload = {"good": 0.25, "bad": bad}
+        (tmp_path / "results" / "tkey.json").write_text(
+            json.dumps(payload, allow_nan=True)
+        )
+        cache = ResultCache(tmp_path)
+        assert cache.get("good", "tkey") == 0.25
+        assert cache.get("bad", "tkey") is None
+
+    def test_flush_failure_keeps_other_tables(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with cache.deferred():
+            cache.put("spec", "ok", 0.1)
+            cache.put("spec", "blocked", 0.2)
+            # a directory squatting on the table path makes os.replace fail
+            (tmp_path / "results").mkdir(parents=True, exist_ok=True)
+            (tmp_path / "results" / "blocked.json").mkdir()
+        # the deferred exit flushed: the healthy table landed …
+        assert ResultCache(tmp_path).get("spec", "ok") == 0.1
+        # … the blocked one failed but stayed dirty for a later retry
+        assert cache._dirty == {"blocked"}
+        assert cache.get("spec", "blocked") == 0.2  # still served from memory
+        (tmp_path / "results" / "blocked.json").rmdir()
+        assert cache.flush() == []
+        assert ResultCache(tmp_path).get("spec", "blocked") == 0.2
+
+    def test_flush_failure_reports_and_returns_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "results").mkdir(parents=True)
+        (tmp_path / "results" / "t1.json").mkdir()
+        with cache.deferred():
+            cache.put("spec", "t1", 0.5)
+        failed = cache.flush()  # retry outside the deferred block
+        assert failed == ["t1"]
+        from repro import health
+
+        assert any(
+            e.severity == "error" for e in health.events(component="result-cache")
+        )
+        health.clear()
+
+    def test_flush_failure_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "results").mkdir(parents=True)
+        (tmp_path / "results" / "t1.json").mkdir()
+        with cache.deferred():
+            cache.put("spec", "t1", 0.5)
+        leftovers = [
+            p for p in (tmp_path / "results").iterdir() if ".tmp" in p.name
+        ]
+        assert leftovers == []
+
     def test_one_file_per_trace(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put("a", "t1", 0.1)

@@ -5,6 +5,7 @@ import os
 import pytest
 
 from repro.sim.parallel import (
+    TaskPolicy,
     TraceRecipe,
     effective_jobs,
     evaluate_matrix_parallel,
@@ -69,16 +70,36 @@ class TestJobsKnob:
         monkeypatch.setenv("REPRO_JOBS", env)
         assert parallel_jobs() == (os.cpu_count() or 1)
 
-    def test_junk_raises(self, monkeypatch):
-        monkeypatch.setenv("REPRO_JOBS", "many")
+    @pytest.mark.parametrize("env", ["many", "2.5", "1 2", "0x2"])
+    def test_junk_raises(self, monkeypatch, env):
+        monkeypatch.setenv("REPRO_JOBS", env)
         with pytest.raises(ValueError, match="REPRO_JOBS"):
             parallel_jobs()
+
+    def test_whitespace_means_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "   ")
+        assert parallel_jobs() == 1
+        assert parallel_jobs(default=4) == 4
+
+    def test_surrounding_whitespace_stripped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", " 3 ")
+        assert parallel_jobs() == 3
+
+    def test_default_never_below_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert parallel_jobs(default=0) == 1
+        assert parallel_jobs(default=-2) == 1
 
     def test_effective_jobs_defers_to_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "5")
         assert effective_jobs(None) == 5
         assert effective_jobs(2) == 2
         assert effective_jobs(0) == (os.cpu_count() or 1)
+
+    def test_effective_jobs_negative_means_per_cpu(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert effective_jobs(-3) == (os.cpu_count() or 1)
+        assert effective_jobs(None) == 1
 
 
 class TestParallelMatrix:
@@ -144,3 +165,76 @@ class TestParallelMatrix:
         assert sorted(calls) == sorted(
             (spec, bench) for spec in SPECS for bench in workload_pair
         )
+
+
+class TestSerialFallback:
+    def test_pool_unavailable_falls_back_to_serial(self, workload_pair, monkeypatch):
+        """A platform without working process pools degrades to the
+        serial path — same rates, no attempts charged, event recorded."""
+        import repro.sim.parallel as par
+        from repro import health
+
+        def _no_pool(*args, **kwargs):
+            raise OSError("process pools unavailable")
+
+        monkeypatch.setattr(par, "ProcessPoolExecutor", _no_pool)
+        health.clear()
+        try:
+            result = par.evaluate_matrix_parallel(SPECS, workload_pair, jobs=2)
+            events = health.events(component="parallel-pool")
+        finally:
+            health.clear()
+        serial = evaluate_matrix(SPECS, workload_pair, jobs=1)
+        assert result == serial
+        assert result.failures == []
+        assert any(
+            e.actual == "serial" and e.severity == "degraded" for e in events
+        )
+
+    def test_mixed_recipe_and_recipeless_traces(self, workload_pair, tmp_path, monkeypatch):
+        """Recipe-less traces run in-parent while recipe traces use the
+        pool; the merged matrix covers both."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        toy = make_toy_trace(length=500, seed=3)
+        toy.name = "toy"
+        mixed = dict(workload_pair)
+        mixed["toy"] = toy
+        parallel = evaluate_matrix_parallel(SPECS, mixed, jobs=2)
+        serial = evaluate_matrix(SPECS, mixed, jobs=1)
+        assert parallel == serial
+        assert parallel.failures == []
+
+
+class TestTaskPolicy:
+    def test_defaults(self, monkeypatch):
+        for var in ("REPRO_TASK_TIMEOUT", "REPRO_TASK_RETRIES", "REPRO_TASK_BACKOFF"):
+            monkeypatch.delenv(var, raising=False)
+        policy = TaskPolicy.from_env()
+        assert policy.timeout is None
+        assert policy.retries == 2
+        assert policy.backoff == 0.1
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "12.5")
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "5")
+        monkeypatch.setenv("REPRO_TASK_BACKOFF", "0")
+        policy = TaskPolicy.from_env()
+        assert policy.timeout == 12.5
+        assert policy.retries == 5
+        assert policy.backoff == 0.0
+
+    def test_zero_timeout_means_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "0")
+        assert TaskPolicy.from_env().timeout is None
+
+    def test_negative_retries_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "-4")
+        assert TaskPolicy.from_env().retries == 0
+
+    @pytest.mark.parametrize(
+        "var", ["REPRO_TASK_TIMEOUT", "REPRO_TASK_RETRIES", "REPRO_TASK_BACKOFF"]
+    )
+    def test_junk_raises_with_knob_name(self, monkeypatch, var):
+        monkeypatch.setenv(var, "soonish")
+        with pytest.raises(ValueError, match=var):
+            TaskPolicy.from_env()
