@@ -74,8 +74,23 @@ def load_bench_trace(name: str) -> BranchTrace:
 
 
 def load_bench_suite(suite: str) -> Dict[str, BranchTrace]:
-    """All traces of a suite (``"cint95"`` / ``"ibs"`` / ``"all"``)."""
-    return {name: load_bench_trace(name) for name in suite_names(suite)}
+    """All traces of a suite (``"cint95"`` / ``"ibs"`` / ``"all"``).
+
+    With ``$REPRO_JOBS`` > 1, cold traces are materialized into the
+    store by the supervised worker pool first; warm traces are simply
+    memory-mapped.
+    """
+    names = suite_names(suite)
+    if bench_jobs() > 1:
+        from repro.sim.parallel import materialize_parallel
+        from repro.workloads.suite import trace_store
+
+        store = trace_store()
+        lengths = {name: bench_length(name) for name in names}
+        cold = [name for name in names if not store.has(name, lengths[name], 0)]
+        if len(cold) > 1:
+            materialize_parallel(cold, length=lengths)
+    return {name: load_bench_trace(name) for name in names}
 
 
 def result_cache() -> ResultCache:

@@ -23,14 +23,17 @@ explicit measurement run::
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 import tempfile
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-from benchmarks.common import bench_scale, emit_table, load_bench_suite
+from benchmarks.common import bench_scale, emit_table, load_bench_suite, results_dir
 from repro.analysis.sweep import (
     _candidate_specs,
     bimode_spec,
@@ -94,6 +97,223 @@ def measure_bimode_portion():
     return baseline_s, batched_s, len(specs) * len(traces), mismatches
 
 
+@contextmanager
+def _env(**overrides):
+    """Temporarily set (or unset, via ``None``) environment variables."""
+    saved = {key: os.environ.get(key) for key in overrides}
+    try:
+        for key, value in overrides.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _scaled_length(name: str, scale: float) -> int:
+    from repro.workloads.profiles import get_profile
+
+    return max(20_000, int(get_profile(name).default_length * scale))
+
+
+def _fresh_programs() -> None:
+    """Drop the program cache so each timed path pays its own build."""
+    from repro.workloads import generator
+
+    generator._PROGRAM_CACHE.clear()
+
+
+def measure_trace_pipeline():
+    """Time the trace pipeline: generation, persistence, and load.
+
+    Covers the PR-4 acceptance rows:
+
+    * per-benchmark scalar vs fastgen generation wall-clock, traces
+      asserted bit-identical;
+    * the cold Figure-3 *trace-pipeline* portion — everything before the
+      first simulated branch (generate + persist + load all CINT95
+      traces) — old path (scalar gen + compressed ``.npz``) at scale
+      0.1 vs new path (fastgen + mmap store) at scale 0.25;
+    * warm trace load: ``.npz`` decompress-and-copy vs store mmap open.
+
+    Returns ``(rows, summary, mismatches)`` where ``rows`` extend the
+    ``sweep_speedup`` table and ``summary`` is the machine-readable
+    payload for ``results/BENCH_trace_pipeline.json``.
+    """
+    import numpy as np
+
+    from repro.traces.io import load_npz, save_npz
+    from repro.traces.store import TraceStore
+    from repro.workloads.generator import generate_trace
+    from repro.workloads.profiles import get_profile
+    from repro.workloads.suite import suite_names
+
+    names = suite_names("cint95")
+    new_scale, old_scale = 0.25, 0.1
+    mismatches = 0
+
+    # Warm the code paths once (C driver compile, numpy imports) so the
+    # timings below measure the pipeline, not one-time process setup.
+    with _env(REPRO_TRACEGEN="fast"):
+        generate_trace(get_profile(names[0]), length=20_000, seed=987)
+
+    # -- generation: scalar vs fastgen, bit-identity asserted ---------------
+    # Program construction and the fastgen plan are one-time per-process
+    # costs (cached), so warm them outside the timers; the cold-pipeline
+    # section below charges them where a one-shot run really pays them.
+    generation = []
+    for name in names:
+        length = _scaled_length(name, new_scale)
+        profile = get_profile(name)
+        with _env(REPRO_TRACEGEN="fast"):
+            generate_trace(profile, length=20_000, seed=0)
+        with _env(REPRO_TRACEGEN="scalar"):
+            t0 = time.perf_counter()
+            slow = generate_trace(profile, length=length, seed=0)
+            scalar_s = time.perf_counter() - t0
+        with _env(REPRO_TRACEGEN="fast"):
+            t0 = time.perf_counter()
+            fast = generate_trace(profile, length=length, seed=0)
+            fast_s = time.perf_counter() - t0
+        identical = bool(
+            np.array_equal(slow.pcs, fast.pcs)
+            and np.array_equal(slow.outcomes, fast.outcomes)
+        )
+        if not identical:
+            mismatches += 1
+            print(f"MISMATCH fastgen vs scalar on {name} (n={length})")
+        generation.append(
+            {
+                "bench": name,
+                "length": length,
+                "scalar_s": round(scalar_s, 4),
+                "fastgen_s": round(fast_s, 4),
+                "speedup": round(scalar_s / fast_s, 2) if fast_s else None,
+                "identical": identical,
+            }
+        )
+
+    gen_scalar_s = sum(row["scalar_s"] for row in generation)
+    gen_fast_s = sum(row["fastgen_s"] for row in generation)
+    gen_identical = all(row["identical"] for row in generation)
+
+    # -- cold pipeline: old npz path @ 0.1 vs new store path @ 0.25 ---------
+    with tempfile.TemporaryDirectory() as tmp:
+        npz_dir = Path(tmp)
+        _fresh_programs()
+        with _env(REPRO_TRACEGEN="scalar"):
+            t0 = time.perf_counter()
+            for name in names:
+                length = _scaled_length(name, old_scale)
+                trace = generate_trace(get_profile(name), length=length, seed=0)
+                save_npz(trace, npz_dir / f"{name}.npz")
+                load_npz(npz_dir / f"{name}.npz")
+            old_cold_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for name in names:
+            load_npz(npz_dir / f"{name}.npz")
+        warm_npz_s = time.perf_counter() - t0
+        npz_bytes = sum(
+            (npz_dir / f"{name}.npz").stat().st_size for name in names
+        )
+
+        # Old-path traces double as the identity reference: the new
+        # pipeline at the *same* lengths must publish identical bytes.
+        cross_store = TraceStore(npz_dir / "cross-check-store")
+        _fresh_programs()
+        with _env(REPRO_TRACEGEN="fast"):
+            for name in names:
+                length = _scaled_length(name, old_scale)
+                mapped = cross_store.materialize(name, length, 0)
+                reference = load_npz(npz_dir / f"{name}.npz")
+                if not (
+                    np.array_equal(mapped.pcs, reference.pcs)
+                    and np.array_equal(mapped.outcomes, reference.outcomes)
+                ):
+                    mismatches += 1
+                    print(f"MISMATCH store pipeline vs npz pipeline on {name}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = TraceStore(tmp)
+        _fresh_programs()
+        with _env(REPRO_TRACEGEN="fast"):
+            t0 = time.perf_counter()
+            for name in names:
+                store.materialize(name, _scaled_length(name, new_scale), 0)
+            new_cold_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for name in names:
+            store.open(name, _scaled_length(name, new_scale), 0)
+        warm_mmap_s = time.perf_counter() - t0
+
+        store_bytes = sum(
+            f.stat().st_size for f in Path(tmp).rglob("*") if f.is_file()
+        )
+        store_branches = sum(_scaled_length(name, new_scale) for name in names)
+
+    summary = {
+        "suite": "cint95",
+        "generation": {
+            "scale": new_scale,
+            "per_bench": generation,
+            "scalar_total_s": round(gen_scalar_s, 3),
+            "fastgen_total_s": round(gen_fast_s, 3),
+            "speedup": round(gen_scalar_s / gen_fast_s, 2),
+            "identical": gen_identical,
+        },
+        "cold_pipeline": {
+            "what": "generate + persist + load all CINT95 traces "
+                    "(the pre-simulation portion of a cold Figure-3 sweep)",
+            "old_path": {
+                "scale": old_scale, "engine": "scalar", "format": "npz",
+                "seconds": round(old_cold_s, 3),
+            },
+            "new_path": {
+                "scale": new_scale, "engine": "fastgen", "format": "store",
+                "seconds": round(new_cold_s, 3),
+            },
+            "new_faster": bool(new_cold_s < old_cold_s),
+            "rates_identical_at_matched_lengths": mismatches == 0,
+        },
+        "warm_load": {
+            "npz_decompress_s": round(warm_npz_s, 4),
+            "store_mmap_open_s": round(warm_mmap_s, 4),
+            "speedup": round(warm_npz_s / warm_mmap_s, 2) if warm_mmap_s else None,
+        },
+        "footprint": {
+            "store_bytes_per_branch": round(store_bytes / store_branches, 2),
+            "npz_bytes_per_branch": round(
+                npz_bytes / sum(_scaled_length(n, old_scale) for n in names), 2
+            ),
+        },
+    }
+
+    verdict = "identical" if mismatches == 0 else "DIVERGED"
+    rows = [
+        ["tracegen scalar (CINT95 @ scale 0.25)",
+         f"{gen_scalar_s:.2f}", "1.00x", verdict],
+        ["tracegen fastgen (CINT95 @ scale 0.25)",
+         f"{gen_fast_s:.2f}", f"{gen_scalar_s / gen_fast_s:.2f}x", verdict],
+        ["cold trace pipeline: scalar gen + npz (scale 0.1)",
+         f"{old_cold_s:.2f}", "1.00x", verdict],
+        ["cold trace pipeline: fastgen + store (scale 0.25)",
+         f"{new_cold_s:.2f}", f"{old_cold_s / new_cold_s:.2f}x", verdict],
+        ["warm trace load: npz decompress (CINT95)",
+         f"{warm_npz_s:.3f}", "1.00x", verdict],
+        ["warm trace load: store mmap open (CINT95)",
+         f"{warm_mmap_s:.3f}", f"{warm_npz_s / warm_mmap_s:.2f}x", verdict],
+    ]
+    return rows, summary, mismatches
+
+
 def main() -> int:
     suite = "cint95"
     traces = load_bench_suite(suite)
@@ -136,6 +356,9 @@ def main() -> int:
     print(f"scalar {bm_base_s:.2f}s vs batched {bm_batch_s:.2f}s over {bm_cells} "
           f"cells -> {bm_speedup:.2f}x")
 
+    print("\nTrace pipeline (generation / persistence / load):")
+    tp_rows, tp_summary, tp_mismatches = measure_trace_pipeline()
+
     emit_table(
         "sweep_speedup",
         f"Sweep wall-clock, cold cache, scale={bench_scale():g}; "
@@ -147,15 +370,35 @@ def main() -> int:
             ["fig3 batched kernel (paper_sweep)", f"{batched_s:.2f}", f"{speedup:.2f}x", verdict],
             ["fig2 bi-mode scalar engine (per-cell)", f"{bm_base_s:.2f}", "1.00x", bm_verdict],
             ["fig2 bi-mode batched kernel (evaluate_matrix)", f"{bm_batch_s:.2f}", f"{bm_speedup:.2f}x", bm_verdict],
-        ],
+        ] + tp_rows,
     )
+
+    tp_summary["sweeps"] = {
+        "scale": bench_scale(),
+        "fig3_scalar_s": round(baseline_s, 2),
+        "fig3_batched_s": round(batched_s, 2),
+        "fig3_speedup": round(speedup, 2),
+        "fig2_bimode_scalar_s": round(bm_base_s, 2),
+        "fig2_bimode_batched_s": round(bm_batch_s, 2),
+        "fig2_bimode_speedup": round(bm_speedup, 2),
+        "rates_identical": mismatches + bm_mismatches == 0,
+    }
+    json_path = results_dir() / "BENCH_trace_pipeline.json"
+    json_path.write_text(json.dumps(tp_summary, indent=2) + "\n")
+    print(f"[written {json_path}]")
+
+    gen_speedup = tp_summary["generation"]["speedup"]
     print(f"\nfig3 speedup: {speedup:.2f}x (target >= 3x)  "
           f"fig2 bi-mode speedup: {bm_speedup:.2f}x (target >= 2x)  "
-          f"mismatches={mismatches + bm_mismatches}")
-    if mismatches or bm_mismatches:
+          f"tracegen speedup: {gen_speedup:.2f}x (target >= 5x)  "
+          f"mismatches={mismatches + bm_mismatches + tp_mismatches}")
+    if mismatches or bm_mismatches or tp_mismatches:
         return 1
-    if speedup < 3.0 or bm_speedup < 2.0:
+    if speedup < 3.0 or bm_speedup < 2.0 or gen_speedup < 5.0:
         print("WARNING: below target on this machine")
+        return 2
+    if not tp_summary["cold_pipeline"]["new_faster"]:
+        print("WARNING: cold store pipeline @0.25 not faster than npz @0.1")
         return 2
     return 0
 

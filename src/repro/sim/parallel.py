@@ -3,10 +3,15 @@
 Design-space sweeps (specs x benchmarks) are embarrassingly parallel
 across traces, so :func:`evaluate_matrix_parallel` ships one work item
 per benchmark to a ``ProcessPoolExecutor``.  Work items carry a
-:class:`TraceRecipe` — ``(name, length, seed)`` — rather than the trace
-arrays themselves: workloads are deterministic in their recipe, so
-workers regenerate (or load from the shared on-disk trace cache) instead
-of paying multi-megabyte pickles per task.
+:class:`TraceRecipe` — ``(name, length, seed)`` plus an optional trace
+store root — rather than the trace arrays themselves: workers map the
+published trace out of the zero-copy store
+(:class:`repro.traces.store.TraceStore`, shared OS page cache across
+the pool) and materialize it on first use, instead of paying
+multi-megabyte pickles or a regeneration per task.  Cold-store
+materialization itself fans out into the pool as first-class
+supervised tasks (:func:`materialize_parallel`, or recipe-valued
+``traces`` in :func:`evaluate_matrix_parallel`).
 
 Every task is individually supervised (:class:`TaskPolicy`):
 
@@ -65,17 +70,30 @@ __all__ = [
     "recipe_of",
     "parallel_jobs",
     "effective_jobs",
+    "materialize_parallel",
     "evaluate_matrix_parallel",
 ]
 
 
 @dataclass(frozen=True)
 class TraceRecipe:
-    """Everything a worker needs to regenerate a benchmark trace."""
+    """Everything a worker needs to materialize a benchmark trace.
+
+    ``store_root`` (optional) pins the trace store the worker should
+    materialize into/load from; ``None`` defers to the environment's
+    default cache root, which pool workers inherit.
+    """
 
     name: str
     length: int
     seed: int
+    store_root: Optional[str] = None
+
+    @property
+    def tkey(self) -> str:
+        """The same cache key :func:`repro.sim.runner.trace_key` derives
+        from the materialized trace, computed without the arrays."""
+        return f"{self.name}-n{self.length}-s{self.seed}"
 
 
 def recipe_of(trace: BranchTrace) -> Optional[TraceRecipe]:
@@ -205,29 +223,78 @@ class SweepResult(Dict[str, Dict[str, float]]):
 
 
 class _Task:
-    """One supervised (benchmark, specs) work item."""
+    """One supervised work item: evaluate a benchmark, or materialize
+    its trace into the store (``kind``)."""
 
-    __slots__ = ("bench", "recipe", "missing", "attempts", "last_error", "last_tb")
+    __slots__ = (
+        "bench",
+        "recipe",
+        "missing",
+        "kind",
+        "attempts",
+        "last_error",
+        "last_tb",
+    )
 
-    def __init__(self, bench: str, recipe: TraceRecipe, missing: List[str]):
+    def __init__(
+        self,
+        bench: str,
+        recipe: TraceRecipe,
+        missing: List[str],
+        kind: str = "evaluate",
+    ):
         self.bench = bench
         self.recipe = recipe
         self.missing = list(missing)
+        self.kind = kind
         self.attempts = 0
         self.last_error: Optional[BaseException] = None
         self.last_tb = ""
 
 
+def _recipe_store(recipe: TraceRecipe):
+    if recipe.store_root is None:
+        return None
+    from pathlib import Path
+
+    from repro.traces.store import TraceStore
+
+    return TraceStore(Path(recipe.store_root))
+
+
+def _load_recipe(recipe: TraceRecipe) -> BranchTrace:
+    from repro.workloads.suite import load_benchmark
+
+    return load_benchmark(
+        recipe.name,
+        length=recipe.length,
+        seed=recipe.seed,
+        store=_recipe_store(recipe),
+    )
+
+
 def _worker_evaluate(
     recipe: TraceRecipe, specs: Tuple[str, ...]
 ) -> Tuple[str, Dict[str, float]]:
-    """Regenerate one trace and evaluate every spec on it (worker side)."""
+    """Map (or materialize) one trace and evaluate every spec on it."""
     from repro.sim.runner import evaluate_specs
-    from repro.workloads.suite import load_benchmark
 
     fault_point("worker", bench=recipe.name)
-    trace = load_benchmark(recipe.name, length=recipe.length, seed=recipe.seed)
+    trace = _load_recipe(recipe)
     return recipe.name, evaluate_specs(tuple(specs), trace, cache=None)
+
+
+def _worker_materialize(recipe: TraceRecipe) -> Tuple[str, None]:
+    """Materialize one cold trace into the store (worker side).
+
+    Returns no rates — the value of the task is the published trace.
+    The store's single-flight lock makes overlapping materializers (a
+    retried task, or an evaluate task racing ahead) generate at most
+    once between them.
+    """
+    fault_point("worker", bench=recipe.name)
+    _load_recipe(recipe)
+    return recipe.name, None
 
 
 def _abandon_pool(pool: ProcessPoolExecutor) -> None:
@@ -310,9 +377,12 @@ def _run_supervised(
             try:
                 while queue:
                     task = queue.popleft()
-                    future = pool.submit(
-                        _worker_evaluate, task.recipe, tuple(task.missing)
-                    )
+                    if task.kind == "materialize":
+                        future = pool.submit(_worker_materialize, task.recipe)
+                    else:
+                        future = pool.submit(
+                            _worker_evaluate, task.recipe, tuple(task.missing)
+                        )
                     inflight[future] = (task, time.monotonic())
             except (BrokenProcessPool, RuntimeError) as exc:
                 queue.appendleft(task)
@@ -338,7 +408,8 @@ def _run_supervised(
                 except Exception as exc:
                     _note_failure(task, exc, "worker-raised")
                 else:
-                    done[task.bench] = rates
+                    if rates is not None:
+                        done[task.bench] = rates
                     if on_done is not None:
                         on_done(task, rates)
             if broken is not None:
@@ -404,6 +475,74 @@ def _quarantine(task: _Task, exc: BaseException) -> FailedCell:
     return cell
 
 
+def materialize_parallel(
+    names: Sequence[str],
+    length=None,
+    seed: int = 0,
+    cache_dir=None,
+    jobs: Optional[int] = None,
+    policy: Optional[TaskPolicy] = None,
+) -> None:
+    """Materialize cold traces into the store over the worker pool.
+
+    ``length`` is one length for every benchmark, a ``{name: length}``
+    mapping, or ``None`` for each profile's default.  Each benchmark
+    becomes one supervised materialize task (retries, pool reseeding,
+    timeout — the full :class:`TaskPolicy` treatment).  Tasks that
+    exhaust every retry are retried once serially in the parent; the
+    store's single-flight lock guarantees that overlapping attempts
+    generate each trace at most once between them.
+    """
+    from repro.workloads.profiles import get_profile
+    from repro.workloads.suite import trace_store
+
+    jobs = effective_jobs(jobs)
+    if policy is None:
+        policy = TaskPolicy.from_env()
+    store_root = str(trace_store(cache_dir).root) if cache_dir is not None else None
+
+    def _length(name: str) -> int:
+        if isinstance(length, Mapping):
+            return int(length[name])
+        if length is not None:
+            return int(length)
+        return get_profile(name).default_length
+
+    tasks = [
+        _Task(
+            name,
+            TraceRecipe(
+                name=name,
+                length=_length(name),
+                seed=seed,
+                store_root=store_root,
+            ),
+            [],
+            kind="materialize",
+        )
+        for name in names
+    ]
+    if not tasks:
+        return
+    if jobs <= 1:
+        for task in tasks:
+            _load_recipe(task.recipe)
+        return
+    _, exhausted, leftover = _run_supervised(tasks, jobs, policy)
+    for task in exhausted + leftover:
+        # Serial fallback in the parent; failures surface to the caller.
+        _load_recipe(task.recipe)
+
+
+def _is_recipe(value) -> bool:
+    return isinstance(value, TraceRecipe)
+
+
+def _resolve_trace(value) -> BranchTrace:
+    """A real trace for serial evaluation (maps recipes via the store)."""
+    return _load_recipe(value) if _is_recipe(value) else value
+
+
 def evaluate_matrix_parallel(
     specs: Sequence[str],
     traces: Mapping[str, BranchTrace],
@@ -423,6 +562,11 @@ def evaluate_matrix_parallel(
     tasks.  Tasks that exhaust every retry and the final serial attempt
     are quarantined on ``SweepResult.failures`` — their cells are
     omitted from the matrix rather than poisoning it.
+
+    ``traces`` values may be :class:`TraceRecipe` instead of loaded
+    arrays: the sweep then fans cold-store materialization out into the
+    pool as first-class supervised tasks ahead of the evaluate tasks,
+    and workers map the published trace instead of regenerating it.
     """
     from repro.sim.runner import evaluate_specs, trace_key
 
@@ -434,9 +578,13 @@ def evaluate_matrix_parallel(
     # Plan: per benchmark, which cells are not already cached/journalled?
     per_bench: Dict[str, Dict[str, float]] = {}
     tasks: List[_Task] = []
+    materialize: List[_Task] = []
     local: List[str] = []
-    tkeys = {bench: trace_key(trace) for bench, trace in traces.items()}
-    for bench, trace in traces.items():
+    tkeys = {
+        bench: value.tkey if _is_recipe(value) else trace_key(value)
+        for bench, value in traces.items()
+    }
+    for bench, value in traces.items():
         tkey = tkeys[bench]
         known: Dict[str, float] = {}
         missing: List[str] = []
@@ -453,8 +601,16 @@ def evaluate_matrix_parallel(
         per_bench[bench] = known
         if not missing:
             continue
-        recipe = recipe_of(trace)
+        recipe = value if _is_recipe(value) else recipe_of(value)
         if jobs > 1 and recipe is not None:
+            if _is_recipe(value):
+                store = _recipe_store(recipe)
+                if store is None:
+                    from repro.workloads.suite import trace_store
+
+                    store = trace_store()
+                if not store.has(recipe.name, recipe.length, recipe.seed):
+                    materialize.append(_Task(bench, recipe, [], kind="materialize"))
             tasks.append(_Task(bench, recipe, missing))
         else:
             local.append(bench)
@@ -468,20 +624,44 @@ def evaluate_matrix_parallel(
         if journal is not None:
             journal.record_many(tkeys[bench], rates)
 
+    def _on_done(task: _Task, rates) -> None:
+        if rates is not None:
+            _merge(task.bench, rates)
+
     guard = journal.guard(cache) if journal is not None else _null()
     with guard:
-        if tasks:
+        if tasks or materialize:
+            # Materialize tasks go first so cold generation fans out
+            # across the pool; an evaluate task reaching a still-cold
+            # trace simply joins the store's single-flight wait.
             _, exhausted, leftover = _run_supervised(
-                tasks,
+                materialize + tasks,
                 jobs,
                 policy,
-                on_done=lambda task, rates: _merge(task.bench, rates),
+                on_done=_on_done,
             )
-            local.extend(task.bench for task in leftover)
-            # Final in-parent serial attempt, then quarantine.
+            local.extend(
+                task.bench for task in leftover if task.kind == "evaluate"
+            )
+            # Final in-parent serial attempt, then quarantine.  A failed
+            # materialize task is never quarantined: its bench's
+            # evaluate task materializes on demand, so the sweep only
+            # lost a head start.
             for task in exhausted:
+                if task.kind == "materialize":
+                    health.emit(
+                        "trace-store",
+                        "pool-materialize",
+                        "deferred-to-evaluate",
+                        reason=f"{task.bench}: {type(task.last_error).__name__}: "
+                        f"{task.last_error}",
+                        severity="degraded",
+                    )
+                    continue
                 try:
-                    rates = evaluate_specs(task.missing, traces[task.bench], cache=None)
+                    rates = evaluate_specs(
+                        task.missing, _resolve_trace(traces[task.bench]), cache=None
+                    )
                 except Exception as exc:
                     task.attempts += 1
                     failures.append(_quarantine(task, exc))
@@ -501,9 +681,14 @@ def evaluate_matrix_parallel(
             if not missing:
                 continue
             try:
-                rates = evaluate_specs(missing, traces[bench], cache=None)
+                rates = evaluate_specs(
+                    missing, _resolve_trace(traces[bench]), cache=None
+                )
             except Exception as exc:
-                task = _Task(bench, recipe_of(traces[bench]), missing)
+                value = traces[bench]
+                task = _Task(
+                    bench, value if _is_recipe(value) else recipe_of(value), missing
+                )
                 task.attempts = 1
                 failures.append(_quarantine(task, exc))
             else:

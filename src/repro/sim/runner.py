@@ -62,8 +62,13 @@ def trace_key(trace: BranchTrace) -> str:
     which (with name and length) pins down their content.  Traces
     without one — hand-built arrays, recorded captures — fall back to a
     short content hash so two different anonymous traces of equal
-    length can never collide on a cache cell.
+    length can never collide on a cache cell.  A
+    :class:`~repro.sim.parallel.TraceRecipe` carries the same identity
+    without the arrays and is accepted directly.
     """
+    tkey = getattr(trace, "tkey", None)
+    if tkey is not None:
+        return tkey
     seed = trace.metadata.get("profile_seed")
     if seed is None:
         digest = hashlib.sha1()
@@ -337,6 +342,12 @@ def evaluate_matrix(
         return evaluate_matrix_parallel(
             specs, traces, cache=cache, progress=progress, jobs=jobs, journal=journal
         )
+
+    # Recipe-valued entries (store-backed sweeps) are materialized here
+    # on the serial path; the parallel path fans them out instead.
+    from repro.sim.parallel import _resolve_trace
+
+    traces = {bench: _resolve_trace(value) for bench, value in traces.items()}
 
     per_bench: Dict[str, Dict[str, float]] = {}
     maybe_deferred = cache.deferred() if cache is not None else _null_context()

@@ -69,6 +69,31 @@ class BranchTrace:
     # -- constructors ---------------------------------------------------------
 
     @classmethod
+    def trusted(
+        cls,
+        pcs: np.ndarray,
+        outcomes: np.ndarray,
+        name: str = "",
+        metadata: dict | None = None,
+    ) -> "BranchTrace":
+        """Wrap already-validated arrays without copying or scanning them.
+
+        The regular constructor normalizes dtypes (a copy for anything
+        foreign) and validates ``pcs.min() >= 0`` — which faults in every
+        page of a memory-mapped array.  Store readers
+        (:class:`repro.traces.store.TraceStore`) validated the arrays at
+        publish time, so they use this constructor to keep opening a
+        trace at mmap cost.  The arrays must already be 1-D, equal
+        length, ``int64``/``bool``.
+        """
+        trace = object.__new__(cls)
+        trace.pcs = pcs
+        trace.outcomes = outcomes
+        trace.name = name
+        trace.metadata = {} if metadata is None else metadata
+        return trace
+
+    @classmethod
     def from_records(
         cls, records: Sequence[BranchRecord] | Sequence[Tuple[int, bool]], name: str = ""
     ) -> "BranchTrace":

@@ -20,8 +20,9 @@ Construction sketch:
 
 from __future__ import annotations
 
+import os
 from random import Random
-from typing import List
+from typing import Dict, List, Tuple
 from zlib import crc32
 
 import numpy as np
@@ -241,6 +242,36 @@ def build_program(profile: BenchmarkProfile, seed: int = 0) -> Program:
     )
 
 
+# Programs are deterministic in (profile, seed) and their construction
+# (plus the fast path's replay plan, cached on the instance) costs tens
+# of milliseconds — noticeable once generation itself is fast.  Warm
+# generations reuse the built program; ``Program.run`` resets behaviour
+# state on entry, so reuse cannot change any trace.
+_PROGRAM_CACHE: Dict[Tuple[str, int], Program] = {}
+_PROGRAM_CACHE_MAX = 32
+
+
+def _cached_program(profile: BenchmarkProfile, seed: int) -> Program:
+    key = (profile.name, seed)
+    program = _PROGRAM_CACHE.get(key)
+    if program is None:
+        program = build_program(profile, seed=seed)
+        if len(_PROGRAM_CACHE) >= _PROGRAM_CACHE_MAX:
+            _PROGRAM_CACHE.pop(next(iter(_PROGRAM_CACHE)))
+        _PROGRAM_CACHE[key] = program
+    return program
+
+
+def _tracegen_mode() -> str:
+    """Engine choice from ``$REPRO_TRACEGEN`` (``fast`` or ``scalar``)."""
+    mode = os.environ.get("REPRO_TRACEGEN", "").strip().lower() or "fast"
+    if mode not in ("fast", "scalar"):
+        raise ValueError(
+            f"REPRO_TRACEGEN must be 'fast' or 'scalar', got {mode!r}"
+        )
+    return mode
+
+
 def generate_trace(
     profile: BenchmarkProfile, length: int | None = None, seed: int = 0
 ) -> BranchTrace:
@@ -249,11 +280,42 @@ def generate_trace(
     ``length`` defaults to the profile's scaled dynamic count.  The
     program-build seed and the run seed are derived from ``seed`` so one
     integer reproduces the whole trace.
+
+    Generation dispatches on ``$REPRO_TRACEGEN``: ``fast`` (the
+    default) runs the vectorized two-pass generator of
+    :mod:`repro.workloads.fastgen`, which is bit-identical to the
+    scalar path; ``scalar`` forces ``Program.run``.  A program outside
+    the fast path's envelope falls back to scalar with a
+    :mod:`repro.health` degradation event, never an error.
     """
+    from repro import health
+
     if length is None:
         length = profile.default_length
-    program = build_program(profile, seed=seed)
-    trace = program.run(length=length, seed=seed * 2 + 1)
+    mode = _tracegen_mode()
+    program = _cached_program(profile, seed)
+    run_seed = seed * 2 + 1
+    trace: BranchTrace | None = None
+    if mode == "fast":
+        from repro.workloads import fastgen
+
+        if fastgen.supports(program):
+            trace = fastgen.fast_run(program, length, seed=run_seed)
+            health.engine_used(
+                "tracegen", fastgen.engine_name(), expected="fastgen-c"
+            )
+        else:
+            health.emit(
+                "tracegen",
+                "fastgen",
+                "scalar",
+                reason=f"{profile.name}: program outside the fast-path envelope",
+                severity="degraded",
+            )
+    if trace is None:
+        trace = program.run(length=length, seed=run_seed)
+        if mode == "scalar":
+            health.engine_used("tracegen", "scalar", expected="scalar")
     trace.metadata.update(
         {
             "paper_static": profile.paper_static,

@@ -1,20 +1,33 @@
-"""Benchmark-suite builders with on-disk trace caching.
+"""Benchmark-suite builders backed by the memory-mapped trace store.
 
-Generating a 500 K-branch trace takes a couple of seconds; the figure
-benchmarks run every benchmark many times, so generated traces are
-cached as ``.npz`` under a cache directory (default
+Generated traces are materialized once into the
+:class:`repro.traces.store.TraceStore` under a cache directory (default
 ``~/.cache/repro-bimode`` or ``$REPRO_CACHE_DIR``), keyed by
-``(benchmark, length, seed)``.
+``(benchmark, length, seed)`` plus the generator version, and every
+subsequent load is an ``np.load(mmap_mode="r")`` — two file opens, no
+decompression, no copy, shared page cache across worker processes.
+
+The store's atomic publish and single-flight lock make concurrent
+``load_benchmark`` calls safe: exactly one process generates a cold
+trace, everyone else maps the published bytes.  (The pre-store layout —
+compressed ``.npz`` written non-atomically — could tear under
+concurrent writers; those legacy files are still read, once, and
+migrated into the store.)
+
+``load_suite(jobs=...)`` fans cold materialization out over the
+supervised worker pool of :mod:`repro.sim.parallel`, so generating a
+whole suite scales with ``$REPRO_JOBS`` and inherits the pool's
+retry/quarantine machinery.
 """
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
-from repro.traces.io import load_npz, save_npz
 from repro.traces.record import BranchTrace
+from repro.traces.store import TraceStore
 from repro.workloads.generator import generate_trace
 from repro.workloads.profiles import (
     ALL_PROFILES,
@@ -25,6 +38,7 @@ from repro.workloads.profiles import (
 
 __all__ = [
     "default_cache_dir",
+    "trace_store",
     "load_benchmark",
     "load_suite",
     "cint95_suite",
@@ -41,26 +55,45 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-bimode"
 
 
+def trace_store(cache_dir: Optional[Path] = None) -> TraceStore:
+    """The trace store under ``cache_dir`` (default: the shared root)."""
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    return TraceStore(root / "store")
+
+
+def _legacy_npz(cache_dir: Path, name: str, length: int, seed: int) -> Path:
+    """Pre-store compressed cache location, still honoured for migration."""
+    return cache_dir / "traces" / f"{name}-n{length}-s{seed}.npz"
+
+
 def load_benchmark(
     name: str,
     length: int | None = None,
     seed: int = 0,
     cache_dir: Path | None = None,
     use_cache: bool = True,
+    store: Optional[TraceStore] = None,
 ) -> BranchTrace:
-    """Generate (or load the cached) trace for one benchmark."""
+    """Generate (or map the stored) trace for one benchmark.
+
+    With caching enabled the trace comes back memory-mapped read-only
+    from the store — materialized on first use, a pair of file opens
+    ever after.
+    """
     profile = get_profile(name)
     if length is None:
         length = profile.default_length
     if not use_cache:
         return generate_trace(profile, length=length, seed=seed)
     cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
-    cache_path = cache_dir / "traces" / f"{name}-n{length}-s{seed}.npz"
-    if cache_path.exists():
-        return load_npz(cache_path)
-    trace = generate_trace(profile, length=length, seed=seed)
-    save_npz(trace, cache_path)
-    return trace
+    if store is None:
+        store = trace_store(cache_dir)
+    return store.materialize(
+        name,
+        length,
+        seed,
+        legacy_npz=_legacy_npz(cache_dir, name, length, seed),
+    )
 
 
 def load_suite(
@@ -69,8 +102,32 @@ def load_suite(
     seed: int = 0,
     cache_dir: Path | None = None,
     use_cache: bool = True,
+    jobs: int | None = None,
 ) -> Dict[str, BranchTrace]:
-    """Traces for several benchmarks, keyed by name."""
+    """Traces for several benchmarks, keyed by name.
+
+    ``jobs`` (default: the ``$REPRO_JOBS`` knob) fans cold-store
+    materialization out over the supervised worker pool; traces already
+    in the store are simply mapped.  Serial and parallel loads produce
+    identical traces.
+    """
+    names = list(names)
+    if use_cache:
+        from repro.sim.parallel import effective_jobs, materialize_parallel
+
+        if effective_jobs(jobs) > 1:
+            store = trace_store(cache_dir)
+            cold = [
+                name
+                for name in names
+                if not store.has(
+                    name, length or get_profile(name).default_length, seed
+                )
+            ]
+            if len(cold) > 1:
+                materialize_parallel(
+                    cold, length=length, seed=seed, cache_dir=cache_dir, jobs=jobs
+                )
     return {
         name: load_benchmark(
             name, length=length, seed=seed, cache_dir=cache_dir, use_cache=use_cache

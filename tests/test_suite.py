@@ -8,6 +8,7 @@ from repro.workloads.suite import (
     load_benchmark,
     load_suite,
     suite_names,
+    trace_store,
 )
 
 
@@ -33,16 +34,34 @@ class TestLoadBenchmark:
 
     def test_cache_roundtrip(self, tmp_path):
         a = load_benchmark("xlisp", length=1500, cache_dir=tmp_path)
-        cache_file = tmp_path / "traces" / "xlisp-n1500-s0.npz"
-        assert cache_file.exists()
+        assert trace_store(tmp_path).has("xlisp", 1500, 0)
         b = load_benchmark("xlisp", length=1500, cache_dir=tmp_path)
         assert a == b
+        assert b.metadata == a.metadata
+
+    def test_cached_trace_is_read_only_mmap(self, tmp_path):
+        import pytest
+
+        trace = load_benchmark("xlisp", length=1500, cache_dir=tmp_path)
+        with pytest.raises(ValueError):
+            trace.outcomes[0] = not trace.outcomes[0]
 
     def test_cache_key_includes_seed(self, tmp_path):
         load_benchmark("xlisp", length=1000, seed=1, cache_dir=tmp_path)
         load_benchmark("xlisp", length=1000, seed=2, cache_dir=tmp_path)
-        files = list((tmp_path / "traces").iterdir())
+        files = list((tmp_path / "store").iterdir())
         assert len(files) == 2
+
+    def test_legacy_npz_migrated_into_store(self, tmp_path):
+        from repro.traces.io import save_npz
+        from repro.workloads.generator import generate_trace
+        from repro.workloads.profiles import get_profile
+
+        legacy = generate_trace(get_profile("xlisp"), length=1200, seed=0)
+        save_npz(legacy, tmp_path / "traces" / "xlisp-n1200-s0.npz")
+        loaded = load_benchmark("xlisp", length=1200, cache_dir=tmp_path)
+        assert loaded == legacy
+        assert trace_store(tmp_path).has("xlisp", 1200, 0)
 
     def test_load_suite(self, tmp_path):
         traces = load_suite(["xlisp", "compress"], length=1000, cache_dir=tmp_path)

@@ -42,6 +42,25 @@ class TestText:
             pcs=trace.pcs, outcomes=trace.outcomes, name="demo"
         )
 
+    def test_metadata_header_roundtrip(self, trace, tmp_path):
+        path = save_text(trace, tmp_path / "t.txt")
+        assert "# meta:" in path.read_text()
+        loaded = load_text(path)
+        assert loaded.metadata == trace.metadata  # cache identity survives
+
+    def test_no_metadata_no_header(self, trace, tmp_path):
+        bare = BranchTrace(pcs=trace.pcs, outcomes=trace.outcomes, name="demo")
+        path = save_text(bare, tmp_path / "t.txt")
+        assert "# meta:" not in path.read_text()
+        assert load_text(path).metadata == {}
+
+    def test_malformed_meta_ignored(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("# meta: {not json\n# meta: [1, 2]\n100 T\n")
+        loaded = load_text(path)  # both bad headers skipped like comments
+        assert loaded.metadata == {}
+        assert loaded.pcs.tolist() == [100]
+
     def test_accepts_decimal_and_tokens(self, tmp_path):
         path = tmp_path / "t.txt"
         path.write_text("# comment\n100 T\n0x10 0\n12 taken\n13 nt\n")
@@ -70,3 +89,40 @@ class TestText:
         path = tmp_path / "t.txt"
         path.write_text("100 T\n")
         assert load_text(path, name="zz").name == "zz"
+
+
+class TestStoreInterchange:
+    """npz <-> store conversion: the store keeps generated traces as
+    mmap'd .npy pairs, npz stays the portable interchange format."""
+
+    def _store(self, tmp_path):
+        from repro.traces.store import TraceStore
+
+        return TraceStore(tmp_path / "store")
+
+    def test_import_npz(self, trace, tmp_path):
+        store = self._store(tmp_path)
+        npz = save_npz(trace, tmp_path / "ext.npz")
+        mapped = store.import_npz(npz, seed=3)
+        assert mapped == trace
+        assert mapped.metadata == trace.metadata
+        assert store.has(trace.name, len(trace), 3)
+
+    def test_import_gives_read_only_views(self, trace, tmp_path):
+        store = self._store(tmp_path)
+        mapped = store.import_npz(save_npz(trace, tmp_path / "e.npz"), seed=3)
+        with pytest.raises(ValueError):
+            mapped.outcomes[0] = False
+
+    def test_export_npz_roundtrip(self, trace, tmp_path):
+        store = self._store(tmp_path)
+        store.put(trace, 3)
+        out = store.export_npz(trace.name, len(trace), 3, tmp_path / "out.npz")
+        exported = load_npz(out)
+        assert exported == trace
+        assert exported.metadata == trace.metadata
+
+    def test_export_missing_raises(self, tmp_path):
+        store = self._store(tmp_path)
+        with pytest.raises(FileNotFoundError):
+            store.export_npz("demo", 4, 3, tmp_path / "out.npz")
