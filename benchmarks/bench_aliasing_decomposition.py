@@ -18,11 +18,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import emit_table, load_bench_trace
-from repro.analysis.aliasing import aliasing_stats, sharing_decomposition
-from repro.analysis.bias import analyze_substreams
-from repro.core.registry import make_predictor
-from repro.sim.engine import run_detailed
+from benchmarks.common import detailed_summaries, emit_table, load_bench_trace
 
 SCHEMES = [
     ("gshare 2^8", "gshare:index=8,hist=8"),
@@ -37,12 +33,13 @@ def test_aliasing_decomposition(benchmark):
     trace = load_bench_trace("gcc")
 
     def compute():
-        out = {}
-        for label, spec in SCHEMES:
-            detailed = run_detailed(make_predictor(spec), trace)
-            analysis = analyze_substreams(detailed)
-            out[label] = (aliasing_stats(analysis), sharing_decomposition(analysis))
-        return out
+        summaries = detailed_summaries(
+            [spec for _, spec in SCHEMES], {"gcc": trace}, stem="aliasing_gcc"
+        )
+        return {
+            label: (summaries[spec]["gcc"]["aliasing"], summaries[spec]["gcc"]["sharing"])
+            for label, spec in SCHEMES
+        }
 
     results = benchmark.pedantic(compute, rounds=1, iterations=1)
 
@@ -51,12 +48,12 @@ def test_aliasing_decomposition(benchmark):
         rows.append(
             [
                 label,
-                stats.counters_used,
-                f"{100 * stats.aliased_access_fraction:.1f}%",
-                f"{100 * stats.destructive_access_fraction:.1f}%",
-                f"{100 * stats.harmless_access_fraction:.1f}%",
-                f"{100 * decomposition.capacity_share:.1f}%",
-                f"{100 * decomposition.conflict_share:.1f}%",
+                stats["counters_used"],
+                f"{100 * stats['aliased_access_fraction']:.1f}%",
+                f"{100 * stats['destructive_access_fraction']:.1f}%",
+                f"{100 * stats['harmless_access_fraction']:.1f}%",
+                f"{100 * decomposition['capacity_share']:.1f}%",
+                f"{100 * decomposition['conflict_share']:.1f}%",
             ]
         )
     emit_table(
@@ -70,10 +67,10 @@ def test_aliasing_decomposition(benchmark):
     for n in ("2^8", "2^12"):
         g = results[f"gshare {n}"][0]
         b = results[f"bi-mode 2x{n}"][0]
-        assert b.destructive_access_fraction < g.destructive_access_fraction, n
+        assert b["destructive_access_fraction"] < g["destructive_access_fraction"], n
 
     # bigger tables reduce destructive aliasing for both schemes
     assert (
-        results["gshare 2^12"][0].destructive_access_fraction
-        < results["gshare 2^8"][0].destructive_access_fraction
+        results["gshare 2^12"][0]["destructive_access_fraction"]
+        < results["gshare 2^8"][0]["destructive_access_fraction"]
     )

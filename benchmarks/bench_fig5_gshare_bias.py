@@ -18,14 +18,15 @@ data behind the stacked-area plot).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from benchmarks.common import emit_table, load_bench_trace, results_dir
-from repro.analysis.bias import analyze_substreams, counter_bias_table
+from benchmarks.common import (
+    detailed_summaries,
+    emit_table,
+    load_detailed_trace,
+    results_dir,
+)
 from repro.analysis.report import write_csv
-from repro.core.registry import make_predictor
-from repro.sim.engine import run_detailed
 
 SCHEMES = [
     ("history-indexed", "gshare:index=8,hist=8"),
@@ -33,34 +34,28 @@ SCHEMES = [
 ]
 
 
-def _areas(table: np.ndarray) -> dict:
-    return {
-        "dominant": float(table[:, 0].mean()),
-        "non_dominant": float(table[:, 1].mean()),
-        "wb": float(table[:, 2].mean()),
-    }
-
-
 @pytest.mark.benchmark(group="fig5")
 def test_fig5_gshare_bias_breakdown(benchmark):
-    trace = load_bench_trace("gcc")
+    trace = load_detailed_trace("gcc")
 
     def compute():
-        out = {}
-        for label, spec in SCHEMES:
-            detailed = run_detailed(make_predictor(spec), trace)
-            out[label] = counter_bias_table(analyze_substreams(detailed))
-        return out
+        summaries = detailed_summaries(
+            [spec for _, spec in SCHEMES],
+            {"gcc": trace},
+            stem="fig5_gcc",
+            include_bias_table=True,
+        )
+        return {label: summaries[spec]["gcc"] for label, spec in SCHEMES}
 
-    tables = benchmark.pedantic(compute, rounds=1, iterations=1)
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
 
     rows = []
-    for label, table in tables.items():
-        areas = _areas(table)
+    for label, summary in results.items():
+        areas = summary["bias_areas"]
         rows.append(
             [
                 label,
-                len(table),
+                len(summary["bias_table"]),
                 f"{100 * areas['dominant']:.1f}%",
                 f"{100 * areas['non_dominant']:.1f}%",
                 f"{100 * areas['wb']:.1f}%",
@@ -69,7 +64,7 @@ def test_fig5_gshare_bias_breakdown(benchmark):
         write_csv(
             results_dir() / f"fig5_{label.replace('-', '_')}_counters.csv",
             ["dominant", "non_dominant", "wb"],
-            [list(map(float, row)) for row in table],
+            summary["bias_table"],
         )
     emit_table(
         "fig5_bias_areas",
@@ -78,8 +73,8 @@ def test_fig5_gshare_bias_breakdown(benchmark):
         rows,
     )
 
-    history = _areas(tables["history-indexed"])
-    address = _areas(tables["address-indexed"])
+    history = results["history-indexed"]["bias_areas"]
+    address = results["address-indexed"]["bias_areas"]
     # the paper's two observations
     assert history["wb"] < address["wb"], "more history must shrink the WB area"
     assert history["non_dominant"] > address["non_dominant"], (

@@ -18,47 +18,51 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import emit_table, load_bench_trace, results_dir
-from repro.analysis.bias import analyze_substreams, counter_bias_table
+from benchmarks.common import (
+    detailed_summaries,
+    emit_table,
+    load_detailed_trace,
+    results_dir,
+)
 from repro.analysis.report import write_csv
-from repro.core.registry import make_predictor
-from repro.sim.engine import run_detailed
 
 BIMODE_SPEC = "bimode:dir=7,hist=7,choice=7"  # 2x128 direction + 128 choice
 GSHARE_SPEC = "gshare:index=8,hist=8"  # the Figure 5 history-indexed reference
 ADDRESS_SPEC = "gshare:index=8,hist=2"
 
-
-def _areas(table):
-    return (
-        float(table[:, 0].mean()),
-        float(table[:, 1].mean()),
-        float(table[:, 2].mean()),
-    )
+SCHEMES = [
+    ("bi-mode", BIMODE_SPEC),
+    ("history-indexed", GSHARE_SPEC),
+    ("address-indexed", ADDRESS_SPEC),
+]
 
 
 @pytest.mark.benchmark(group="fig6")
 def test_fig6_bimode_bias_breakdown(benchmark):
-    trace = load_bench_trace("gcc")
+    trace = load_detailed_trace("gcc")
 
     def compute():
-        tables = {}
-        for label, spec in (
-            ("bi-mode", BIMODE_SPEC),
-            ("history-indexed", GSHARE_SPEC),
-            ("address-indexed", ADDRESS_SPEC),
-        ):
-            detailed = run_detailed(make_predictor(spec), trace)
-            tables[label] = counter_bias_table(analyze_substreams(detailed))
-        return tables
+        summaries = detailed_summaries(
+            [spec for _, spec in SCHEMES],
+            {"gcc": trace},
+            stem="fig6_gcc",
+            include_bias_table=True,
+        )
+        return {label: summaries[spec]["gcc"] for label, spec in SCHEMES}
 
-    tables = benchmark.pedantic(compute, rounds=1, iterations=1)
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
 
     rows = []
-    for label, table in tables.items():
-        dom, non, wb = _areas(table)
+    for label, summary in results.items():
+        areas = summary["bias_areas"]
         rows.append(
-            [label, len(table), f"{100 * dom:.1f}%", f"{100 * non:.1f}%", f"{100 * wb:.1f}%"]
+            [
+                label,
+                len(summary["bias_table"]),
+                f"{100 * areas['dominant']:.1f}%",
+                f"{100 * areas['non_dominant']:.1f}%",
+                f"{100 * areas['wb']:.1f}%",
+            ]
         )
     emit_table(
         "fig6_bias_areas",
@@ -69,17 +73,21 @@ def test_fig6_bimode_bias_breakdown(benchmark):
     write_csv(
         results_dir() / "fig6_bimode_counters.csv",
         ["dominant", "non_dominant", "wb"],
-        [list(map(float, row)) for row in tables["bi-mode"]],
+        results["bi-mode"]["bias_table"],
     )
 
-    b_dom, b_non, b_wb = _areas(tables["bi-mode"])
-    g_dom, g_non, g_wb = _areas(tables["history-indexed"])
-    a_dom, a_non, a_wb = _areas(tables["address-indexed"])
+    bimode = results["bi-mode"]["bias_areas"]
+    history = results["history-indexed"]["bias_areas"]
+    address = results["address-indexed"]["bias_areas"]
 
-    assert b_non < g_non, "bi-mode must reduce the non-dominant area"
-    assert b_dom > g_dom, "bi-mode must enlarge the dominant area"
+    assert bimode["non_dominant"] < history["non_dominant"], (
+        "bi-mode must reduce the non-dominant area"
+    )
+    assert bimode["dominant"] > history["dominant"], (
+        "bi-mode must enlarge the dominant area"
+    )
     # WB advantage of history preserved: bi-mode's WB area stays well
     # below the address-indexed scheme's
-    assert b_wb < a_wb
+    assert bimode["wb"] < address["wb"]
     # and in the history-indexed scheme's neighbourhood (paper: "as small")
-    assert b_wb < 1.5 * g_wb
+    assert bimode["wb"] < 1.5 * history["wb"]

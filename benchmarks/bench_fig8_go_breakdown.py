@@ -17,14 +17,14 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.bench_fig7_gcc_breakdown import SIZES, compute_breakdowns
-from benchmarks.common import emit_table, load_bench_trace
+from benchmarks.common import emit_table, load_detailed_trace
 
 BENCHMARK = "go"
 
 
 @pytest.mark.benchmark(group="fig8")
 def test_fig8_go_breakdown(benchmark):
-    trace = load_bench_trace(BENCHMARK)
+    trace = load_detailed_trace(BENCHMARK)
     results = benchmark.pedantic(
         compute_breakdowns, args=(trace, SIZES), rounds=1, iterations=1
     )
@@ -33,10 +33,10 @@ def test_fig8_go_breakdown(benchmark):
         [
             counters,
             label,
-            f"{100 * b.snt:.2f}%",
-            f"{100 * b.st:.2f}%",
-            f"{100 * b.wb:.2f}%",
-            f"{100 * b.overall:.2f}%",
+            f"{100 * b['snt']:.2f}%",
+            f"{100 * b['st']:.2f}%",
+            f"{100 * b['wb']:.2f}%",
+            f"{100 * b['overall']:.2f}%",
         ]
         for counters, label, b in results
     ]
@@ -56,24 +56,24 @@ def test_fig8_go_breakdown(benchmark):
     # error at small sizes on the scaled traces; the paper's full traces
     # show WB dominating everywhere)
     for counters, (few_b, _full_b, _bimode_b) in by_size.items():
-        assert few_b.wb > few_b.snt and few_b.wb > few_b.st, counters
-        assert few_b.wb > 0.35 * few_b.overall, counters
+        assert few_b["wb"] > few_b["snt"] and few_b["wb"] > few_b["st"], counters
+        assert few_b["wb"] > 0.35 * few_b["overall"], counters
 
     # more history shrinks the WB share: at every size, the full-history
     # gshare has less WB error than the few-history gshare
     for counters, (few_b, full_b, _bimode_b) in by_size.items():
-        assert full_b.wb <= few_b.wb + 1e-9, counters
+        assert full_b["wb"] <= few_b["wb"] + 1e-9, counters
 
     # bi-mode has little room on go: its overall win over full-history
     # gshare is proportionally smaller than the WB floor it cannot touch
     for counters, (_few_b, full_b, bimode_b) in by_size.items():
-        assert bimode_b.wb > 0.25 * bimode_b.overall, counters
+        assert bimode_b["wb"] > 0.25 * bimode_b["overall"], counters
 
     # go is much harder than gcc: compare overall at the largest size
     from benchmarks.bench_fig7_gcc_breakdown import BENCHMARK as GCC
 
-    gcc_trace = load_bench_trace(GCC)
+    gcc_trace = load_detailed_trace(GCC)
     gcc_results = compute_breakdowns(gcc_trace, SIZES[-1:])
-    go_best = min(b.overall for _, _, b in results[-3:])
-    gcc_best = min(b.overall for _, _, b in gcc_results)
+    go_best = min(b["overall"] for _, _, b in results[-3:])
+    gcc_best = min(b["overall"] for _, _, b in gcc_results)
     assert go_best > 1.5 * gcc_best

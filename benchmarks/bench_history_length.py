@@ -21,38 +21,24 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import emit_table, load_bench_trace
-from repro.analysis.bias import WB, analyze_substreams
-from repro.core.registry import make_predictor
-from repro.sim.engine import run_detailed
+from benchmarks.common import detailed_summaries, emit_table, load_bench_trace
 
 INDEX_BITS = 14
 HISTORY_LENGTHS = (0, 2, 4, 6, 8, 10, 12, 14)
 BENCHMARKS = ("go", "xlisp")
 
 
-def _wb_share(analysis) -> float:
-    """Dynamic fraction of accesses belonging to WB substreams."""
-    import numpy as np
-
-    total = analysis.stream_total.sum()
-    if total == 0:
-        return 0.0
-    wb = analysis.stream_total[analysis.stream_class == WB].sum()
-    return float(wb / total)
-
-
 def _run():
+    specs = [f"gshare:index={INDEX_BITS},hist={hist}" for hist in HISTORY_LENGTHS]
+    traces = {name: load_bench_trace(name) for name in BENCHMARKS}
+    summaries = detailed_summaries(specs, traces, stem="history_length")
     out = {}
     for name in BENCHMARKS:
-        trace = load_bench_trace(name)
-        for hist in HISTORY_LENGTHS:
-            spec = f"gshare:index={INDEX_BITS},hist={hist}"
-            detailed = run_detailed(make_predictor(spec), trace)
-            analysis = analyze_substreams(detailed)
+        for hist, spec in zip(HISTORY_LENGTHS, specs):
+            summary = summaries[spec][name]
             out[(name, hist)] = (
-                detailed.result.misprediction_rate,
-                _wb_share(analysis),
+                summary["misprediction_rate"],
+                summary["wb_dynamic_share"],
             )
     return out
 

@@ -14,11 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import emit_table, load_bench_trace
-from repro.analysis.bias import analyze_substreams
-from repro.analysis.interference import count_class_changes
-from repro.core.registry import make_predictor
-from repro.sim.engine import run_detailed
+from benchmarks.common import detailed_summaries, emit_table, load_detailed_trace
 
 INDEX_BITS = 12
 SCHEMES = [
@@ -29,20 +25,18 @@ SCHEMES = [
 
 @pytest.mark.benchmark(group="table4")
 def test_table4_class_changes(benchmark):
-    trace = load_bench_trace("gcc")
+    trace = load_detailed_trace("gcc")
 
     def compute():
-        out = {}
-        for label, spec in SCHEMES:
-            detailed = run_detailed(make_predictor(spec), trace)
-            analysis = analyze_substreams(detailed)
-            out[label] = count_class_changes(detailed, analysis)
-        return out
+        summaries = detailed_summaries(
+            [spec for _, spec in SCHEMES], {"gcc": trace}, stem="table4_gcc"
+        )
+        return {label: summaries[spec]["gcc"]["class_changes"] for label, spec in SCHEMES}
 
     changes = benchmark.pedantic(compute, rounds=1, iterations=1)
 
     rows = [
-        [label, c.dominant, c.non_dominant, c.wb, c.total]
+        [label, c["dominant"], c["non_dominant"], c["wb"], c["total"]]
         for label, c in changes.items()
     ]
     emit_table(
@@ -56,5 +50,5 @@ def test_table4_class_changes(benchmark):
     gshare = changes["history-indexed"]
     # the paper's Table 4: bi-mode has fewer changes overall, and in the
     # interference-critical non-dominant column
-    assert bimode.total < gshare.total
-    assert bimode.non_dominant < gshare.non_dominant
+    assert bimode["total"] < gshare["total"]
+    assert bimode["non_dominant"] < gshare["non_dominant"]

@@ -43,9 +43,13 @@ __all__ = [
     "bench_length",
     "bench_jobs",
     "load_bench_trace",
+    "detailed_scale",
+    "load_detailed_trace",
     "load_bench_suite",
     "result_cache",
     "sweep_journal",
+    "payload_journal",
+    "detailed_summaries",
     "results_dir",
     "emit_table",
     "PAPER_EXPECTED",
@@ -73,6 +77,24 @@ def load_bench_trace(name: str) -> BranchTrace:
     return load_benchmark(name, length=bench_length(name))
 
 
+def detailed_scale() -> float:
+    """Extra length factor for the detailed (Section-4) figure benches.
+
+    The batch attribution kernels make the detailed path cheap enough to
+    run the bias/breakdown figures on longer traces than the rate
+    sweeps; ``$REPRO_DETAILED_SCALE`` (default 4.0) multiplies on top of
+    ``$REPRO_BENCH_SCALE`` for those benches only.
+    """
+    return float(os.environ.get("REPRO_DETAILED_SCALE", "4.0"))
+
+
+def load_detailed_trace(name: str) -> BranchTrace:
+    """The benchmark's trace at detailed-bench scale (disk-cached)."""
+    base = get_profile(name).default_length
+    length = max(20_000, int(base * bench_scale() * detailed_scale()))
+    return load_benchmark(name, length=length)
+
+
 def load_bench_suite(suite: str) -> Dict[str, BranchTrace]:
     """All traces of a suite (``"cint95"`` / ``"ibs"`` / ``"all"``).
 
@@ -98,6 +120,10 @@ def result_cache() -> ResultCache:
     return ResultCache()
 
 
+def _resume_disabled() -> bool:
+    return os.environ.get("REPRO_RESUME", "1").strip() in ("0", "false", "no")
+
+
 def sweep_journal(stem: str):
     """Crash-safe resume journal for one figure sweep.
 
@@ -108,9 +134,59 @@ def sweep_journal(stem: str):
     from repro.sim.journal import SweepJournal
 
     journal = SweepJournal.for_name(f"{stem}-scale{bench_scale():g}")
-    if os.environ.get("REPRO_RESUME", "1").strip() in ("0", "false", "no"):
+    if _resume_disabled():
         journal.discard()
     return journal
+
+
+def payload_journal(stem: str):
+    """Resume journal for a detailed (Section-4) analysis sweep.
+
+    Same keying and ``$REPRO_RESUME`` behaviour as :func:`sweep_journal`,
+    but cell values are summary dicts (:class:`repro.sim.journal.
+    PayloadJournal`).
+    """
+    from repro.sim.journal import PayloadJournal
+
+    journal = PayloadJournal.for_name(f"{stem}-detailed-scale{bench_scale():g}")
+    if _resume_disabled():
+        journal.discard()
+    return journal
+
+
+def detailed_summaries(
+    specs: Sequence[str],
+    traces: Dict[str, BranchTrace],
+    stem: str,
+    include_bias_table: bool = False,
+) -> Dict[str, Dict[str, dict]]:
+    """Section-4 summaries for ``specs`` x ``traces``: the benches' shared
+    path into :func:`repro.sim.parallel.detailed_matrix`.
+
+    Runs serially under the default ``$REPRO_JOBS`` and fans out across
+    the supervised worker pool otherwise; either way each completed cell
+    lands in the figure's payload journal, so an interrupted analysis
+    bench resumes instead of re-simulating, and each cell's
+    misprediction rate is fed into the shared result cache as a
+    byproduct.  Quarantined cells fail the bench loudly — a figure
+    computed from a partial matrix would assert against garbage.
+    """
+    from repro.sim.parallel import detailed_matrix
+
+    result = detailed_matrix(
+        specs,
+        traces,
+        cache=result_cache(),
+        jobs=bench_jobs(),
+        journal=payload_journal(stem),
+        include_bias_table=include_bias_table,
+    )
+    if result.failures:
+        raise RuntimeError(
+            "detailed sweep quarantined cells: "
+            + "; ".join(str(cell) for cell in result.failures)
+        )
+    return result
 
 
 def results_dir() -> Path:

@@ -1,6 +1,6 @@
 """Measure the sweep speedup of the batched kernel paths.
 
-Two cold-cache measurements, both asserted bit-identical to the scalar
+Cold-cache measurements, all asserted bit-identical to the scalar
 engine, printed and recorded in ``results/sweep_speedup.csv``:
 
 * **Figure-3 sweep** — the full CINT95 paper sweep (every gshare.best
@@ -14,6 +14,13 @@ engine, printed and recorded in ``results/sweep_speedup.csv``:
   (which hands every bi-mode cell to the kernel in a single
   cross-trace batch).  This isolates what the bi-mode kernel itself
   buys; the acceptance bar is >= 2x.
+* **Figure-7 detailed workload** — the full Section-4 breakdown bench
+  (detailed attribution simulation + substream analysis for every
+  Figure-7 cell, warm trace store), scalar ``simulate_detailed``
+  baseline vs the batch attribution kernels
+  (``REPRO_DETAILED_KERNEL=batch``); summaries asserted identical,
+  acceptance bar >= 5x, machine-readable record in
+  ``results/BENCH_detailed_kernel.json``.
 
 Not a pytest file on purpose — timing cold sweeps back-to-back is an
 explicit measurement run::
@@ -314,6 +321,96 @@ def measure_trace_pipeline():
     return rows, summary, mismatches
 
 
+def measure_detailed_kernel():
+    """Old vs new pipeline wall-clock for the Figure-7 detailed workload.
+
+    Runs every Figure-7 cell (detailed attribution simulation plus the
+    full Section-4 summary reduction) on the warm-store gcc trace twice:
+
+    * **baseline** — what the bench executed before the batched
+      pipeline: the scalar per-branch ``simulate_detailed`` loop
+      (``REPRO_DETAILED_KERNEL=scalar``) feeding the reference
+      sort-based analysis (:mod:`repro.analysis.reference`);
+    * **pipeline** — the batch attribution kernels feeding the
+      counting-sort analysis with the per-trace PC dictionary shared
+      across cells, i.e. exactly the per-worker path of
+      :func:`repro.sim.parallel.detailed_matrix`.
+
+    Asserts the two summary sets are identical — predictions, counter
+    ids, and every derived aggregate.  Returns ``(rows, summary,
+    mismatches)`` like :func:`measure_trace_pipeline`.
+    """
+    from benchmarks.bench_fig7_gcc_breakdown import BENCHMARK, SIZES, _schemes
+    from benchmarks.common import detailed_scale, load_detailed_trace
+    from repro.analysis.reference import summarize_detailed_reference
+    from repro.sim.engine import run_detailed
+    from repro.sim.parallel import _detailed_cells
+
+    trace = load_detailed_trace(BENCHMARK)  # warm store from here on
+    cells = [
+        (1 << bits, label, spec)
+        for bits, few in SIZES
+        for label, spec in _schemes(bits, few)
+    ]
+    specs = [spec for _, _, spec in cells]
+    opts = {"threshold": 0.9, "include_bias_table": False}
+
+    with _env(REPRO_DETAILED_KERNEL="batch"):
+        _detailed_cells(specs, trace, opts)  # warm (C build, imports)
+        t0 = time.perf_counter()
+        pipeline = _detailed_cells(specs, trace, opts)
+        pipeline_s = time.perf_counter() - t0
+    with _env(REPRO_DETAILED_KERNEL="scalar"):
+        t0 = time.perf_counter()
+        baseline = {
+            spec: summarize_detailed_reference(
+                run_detailed(make_predictor(spec), trace)
+            )
+            for spec in specs
+        }
+        baseline_s = time.perf_counter() - t0
+
+    mismatches = 0
+    for spec in specs:
+        if pipeline[spec] != baseline[spec]:
+            mismatches += 1
+            print(f"MISMATCH detailed {spec} on {BENCHMARK}")
+
+    speedup = baseline_s / pipeline_s if pipeline_s else float("inf")
+    verdict = "identical" if mismatches == 0 else "DIVERGED"
+    summary = {
+        "what": "Figure-7 breakdown workload: detailed attribution "
+                "simulation + Section-4 summary per cell, warm store",
+        "benchmark": BENCHMARK,
+        "trace_length": len(trace),
+        "detailed_scale": detailed_scale(),
+        "cells": len(cells),
+        "baseline": "scalar simulate_detailed + reference sort-based analysis",
+        "pipeline": "batch attribution kernels + counting-sort analysis, "
+                    "shared per-trace PC codes",
+        "baseline_s": round(baseline_s, 3),
+        "pipeline_s": round(pipeline_s, 3),
+        "speedup": round(speedup, 2),
+        "summaries_identical": mismatches == 0,
+        "per_cell": [
+            {
+                "spec": spec,
+                "counters": counters,
+                "scheme": label,
+                "breakdown": pipeline[spec]["breakdown"],
+            }
+            for counters, label, spec in cells
+        ],
+    }
+    rows = [
+        [f"fig7 detailed scalar + reference analysis ({len(cells)} cells)",
+         f"{baseline_s:.2f}", "1.00x", verdict],
+        [f"fig7 detailed batch kernels + counting-sort analysis",
+         f"{pipeline_s:.2f}", f"{speedup:.2f}x", verdict],
+    ]
+    return rows, summary, mismatches
+
+
 def main() -> int:
     suite = "cint95"
     traces = load_bench_suite(suite)
@@ -359,6 +456,13 @@ def main() -> int:
     print("\nTrace pipeline (generation / persistence / load):")
     tp_rows, tp_summary, tp_mismatches = measure_trace_pipeline()
 
+    print("\nFigure-7 detailed workload (attribution + analysis, warm store):")
+    dk_rows, dk_summary, dk_mismatches = measure_detailed_kernel()
+    dk_speedup = dk_summary["speedup"]
+    print(f"scalar+reference {dk_summary['baseline_s']:.2f}s vs batched pipeline "
+          f"{dk_summary['pipeline_s']:.2f}s over {dk_summary['cells']} cells "
+          f"-> {dk_speedup:.2f}x")
+
     emit_table(
         "sweep_speedup",
         f"Sweep wall-clock, cold cache, scale={bench_scale():g}; "
@@ -370,8 +474,12 @@ def main() -> int:
             ["fig3 batched kernel (paper_sweep)", f"{batched_s:.2f}", f"{speedup:.2f}x", verdict],
             ["fig2 bi-mode scalar engine (per-cell)", f"{bm_base_s:.2f}", "1.00x", bm_verdict],
             ["fig2 bi-mode batched kernel (evaluate_matrix)", f"{bm_batch_s:.2f}", f"{bm_speedup:.2f}x", bm_verdict],
-        ] + tp_rows,
+        ] + tp_rows + dk_rows,
     )
+
+    dk_path = results_dir() / "BENCH_detailed_kernel.json"
+    dk_path.write_text(json.dumps(dk_summary, indent=2) + "\n")
+    print(f"[written {dk_path}]")
 
     tp_summary["sweeps"] = {
         "scale": bench_scale(),
@@ -391,10 +499,11 @@ def main() -> int:
     print(f"\nfig3 speedup: {speedup:.2f}x (target >= 3x)  "
           f"fig2 bi-mode speedup: {bm_speedup:.2f}x (target >= 2x)  "
           f"tracegen speedup: {gen_speedup:.2f}x (target >= 5x)  "
-          f"mismatches={mismatches + bm_mismatches + tp_mismatches}")
-    if mismatches or bm_mismatches or tp_mismatches:
+          f"fig7 detailed speedup: {dk_speedup:.2f}x (target >= 5x)  "
+          f"mismatches={mismatches + bm_mismatches + tp_mismatches + dk_mismatches}")
+    if mismatches or bm_mismatches or tp_mismatches or dk_mismatches:
         return 1
-    if speedup < 3.0 or bm_speedup < 2.0 or gen_speedup < 5.0:
+    if speedup < 3.0 or bm_speedup < 2.0 or gen_speedup < 5.0 or dk_speedup < 5.0:
         print("WARNING: below target on this machine")
         return 2
     if not tp_summary["cold_pipeline"]["new_faster"]:

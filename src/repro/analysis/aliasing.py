@@ -70,10 +70,12 @@ def aliasing_stats(
     num_counters = analysis.num_counters
     streams_per_counter = np.bincount(analysis.stream_counter, minlength=num_counters)
 
-    # distinct static branches per counter
-    pairs = np.stack([analysis.stream_counter, analysis.stream_pc], axis=1)
-    unique_pairs = np.unique(pairs, axis=0)
-    branches_per_counter = np.bincount(unique_pairs[:, 0], minlength=num_counters)
+    # distinct static branches per counter: streams ARE the distinct
+    # (counter, pc) pairs, so each counter's streams carry pairwise
+    # distinct PCs and the stream count doubles as the branch count
+    # (asserted against the recomputing reference implementation by the
+    # equivalence suite)
+    branches_per_counter = streams_per_counter
 
     accesses_per_counter = np.bincount(
         analysis.stream_counter,

@@ -21,9 +21,11 @@ which :func:`counter_bias_table` computes from a detailed simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.grouping import stable_group_order
 from repro.core.interfaces import DetailedSimulation
 
 __all__ = [
@@ -32,9 +34,11 @@ __all__ = [
     "WB",
     "CLASS_NAMES",
     "BIAS_THRESHOLD",
+    "THRESHOLD_EPS",
     "classify_rate",
     "SubstreamAnalysis",
     "analyze_substreams",
+    "pc_code_stream",
     "counter_bias_table",
     "normalized_counts",
 ]
@@ -48,14 +52,20 @@ CLASS_NAMES = {SNT: "SNT", ST: "ST", WB: "WB"}
 #: The paper's strong-bias boundary: taken >= 90 % (ST) or <= 10 % (SNT).
 BIAS_THRESHOLD = 0.9
 
+#: Tolerance on the strong-bias boundaries, shared by the scalar
+#: classifier and the vectorized one in :func:`analyze_substreams` so a
+#: rate landing exactly on 0.9 / 0.1 can never classify differently
+#: between the two paths.
+THRESHOLD_EPS = 1e-12
+
 
 def classify_rate(taken_rate: float, threshold: float = BIAS_THRESHOLD) -> int:
     """Bias class of a substream with the given taken rate."""
     if not 0.0 <= taken_rate <= 1.0:
         raise ValueError(f"taken_rate must be in [0, 1], got {taken_rate}")
-    if taken_rate >= threshold - 1e-12:
+    if taken_rate >= threshold - THRESHOLD_EPS:
         return ST
-    if taken_rate <= (1.0 - threshold) + 1e-12:
+    if taken_rate <= (1.0 - threshold) + THRESHOLD_EPS:
         return SNT
     return WB
 
@@ -120,10 +130,33 @@ class SubstreamAnalysis:
         return self.stream_role()[self.access_stream]
 
 
+def pc_code_stream(pcs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``(unique_pcs, dense_codes)`` of a PC stream.
+
+    ``dense_codes[t]`` is the rank of ``pcs[t]`` among the sorted
+    distinct PCs — the static-branch half of every substream key.  The
+    pair depends only on the trace, so sweeps running many predictor
+    configurations over one trace compute it once and pass it to
+    :func:`analyze_substreams` for every cell.
+    """
+    unique_pcs, dense = np.unique(pcs, return_inverse=True)
+    return unique_pcs, np.ascontiguousarray(dense, dtype=np.int32)
+
+
 def analyze_substreams(
-    detailed: DetailedSimulation, threshold: float = BIAS_THRESHOLD
+    detailed: DetailedSimulation,
+    threshold: float = BIAS_THRESHOLD,
+    pc_codes: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> SubstreamAnalysis:
-    """Decompose a detailed simulation into classified substreams."""
+    """Decompose a detailed simulation into classified substreams.
+
+    Substream grouping runs in O(n) — a two-pass stable counting sort
+    by (PC, counter) replaces the sort-based ``np.unique`` over
+    composite keys — and is asserted bit-identical to the reference
+    formulation (:mod:`repro.analysis.reference`) by the equivalence
+    suite.  ``pc_codes`` (from :func:`pc_code_stream`) skips the
+    per-trace PC dictionary pass when the caller sweeps one trace.
+    """
     if detailed.pcs is None:
         raise ValueError("detailed simulation lacks per-access PCs")
     if not 0.5 < threshold <= 1.0:
@@ -131,31 +164,88 @@ def analyze_substreams(
     counter_ids = detailed.counter_ids
     outcomes = detailed.result.outcomes
     mispredicted = detailed.result.mispredicted
+    num_counters = detailed.num_counters
 
-    unique_pcs, pc_dense = np.unique(detailed.pcs, return_inverse=True)
+    if pc_codes is None:
+        pc_codes = pc_code_stream(detailed.pcs)
+    unique_pcs, pc_dense = pc_codes
     num_pcs = len(unique_pcs)
-    key = counter_ids * num_pcs + pc_dense
-    unique_keys, access_stream = np.unique(key, return_inverse=True)
+    n = len(counter_ids)
 
-    stream_total = np.bincount(access_stream, minlength=len(unique_keys))
-    stream_taken = np.bincount(
-        access_stream, weights=outcomes.astype(np.float64), minlength=len(unique_keys)
-    ).astype(np.int64)
-    stream_mispredicted = np.bincount(
-        access_stream,
-        weights=mispredicted.astype(np.float64),
-        minlength=len(unique_keys),
-    ).astype(np.int64)
-    stream_counter = (unique_keys // num_pcs).astype(np.int64)
-    stream_pc = unique_pcs[(unique_keys % num_pcs).astype(np.int64)]
+    if n == 0:
+        return SubstreamAnalysis(
+            stream_counter=np.empty(0, dtype=np.int64),
+            stream_pc=unique_pcs[:0],
+            stream_total=np.empty(0, dtype=np.int64),
+            stream_taken=np.empty(0, dtype=np.int64),
+            stream_mispredicted=np.empty(0, dtype=np.int64),
+            stream_class=np.empty(0, dtype=np.int8),
+            access_stream=np.empty(0, dtype=np.int64),
+            counter_dominant=np.full(num_counters, -1, dtype=np.int8),
+            num_counters=num_counters,
+        )
+
+    # Stable radix grouping by (counter, pc): sort by the minor key
+    # first, then stably by the major one.  Segment boundaries in the
+    # resulting order delimit the substreams in ascending (counter, pc)
+    # order — exactly the ordering np.unique over composite keys yields.
+    # The compiled driver fuses the grouping and the per-stream
+    # reduction into one pass; the numpy formulation below is the
+    # bit-identical fallback (REPRO_NO_CC=1 or no compiler).
+    cid32 = np.ascontiguousarray(counter_ids, dtype=np.int32)
+    from repro.sim import _cstep
+
+    if _cstep.available():
+        (
+            access_stream,
+            stream_counter32,
+            stream_pc_idx,
+            stream_total,
+            stream_taken,
+            stream_mispredicted,
+        ) = _cstep.substream_group(
+            cid32,
+            pc_dense,
+            np.ascontiguousarray(outcomes, dtype=np.uint8),
+            np.ascontiguousarray(mispredicted, dtype=np.uint8),
+            num_counters,
+            num_pcs,
+        )
+        stream_counter = stream_counter32.astype(np.int64)
+        stream_pc = unique_pcs[stream_pc_idx]
+        num_streams = len(stream_counter)
+    else:
+        by_pc = stable_group_order(pc_dense, num_pcs)
+        order = by_pc[stable_group_order(cid32[by_pc], num_counters)]
+        sorted_counter = cid32[order]
+        sorted_pc = pc_dense[order]
+
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        np.not_equal(sorted_counter[1:], sorted_counter[:-1], out=first[1:])
+        first[1:] |= sorted_pc[1:] != sorted_pc[:-1]
+        starts = np.flatnonzero(first)
+        num_streams = len(starts)
+
+        access_stream = np.empty(n, dtype=np.int64)
+        access_stream[order] = np.cumsum(first) - 1
+
+        stream_counter = sorted_counter[starts].astype(np.int64)
+        stream_pc = unique_pcs[sorted_pc[starts]]
+        stream_total = np.empty(num_streams, dtype=np.int64)
+        stream_total[:-1] = np.diff(starts)
+        stream_total[-1] = n - starts[-1]
+        stream_taken = np.add.reduceat(outcomes[order], starts, dtype=np.int64)
+        stream_mispredicted = np.add.reduceat(
+            mispredicted[order], starts, dtype=np.int64
+        )
 
     rates = stream_taken / stream_total
-    stream_class = np.full(len(unique_keys), WB, dtype=np.int8)
-    stream_class[rates >= threshold - 1e-12] = ST
-    stream_class[rates <= (1.0 - threshold) + 1e-12] = SNT
+    stream_class = np.full(num_streams, WB, dtype=np.int8)
+    stream_class[rates >= threshold - THRESHOLD_EPS] = ST
+    stream_class[rates <= (1.0 - threshold) + THRESHOLD_EPS] = SNT
 
     # dominant strong class per counter, by summed dynamic counts
-    num_counters = detailed.num_counters
     st_weight = np.bincount(
         stream_counter,
         weights=np.where(stream_class == ST, stream_total, 0).astype(np.float64),
@@ -166,10 +256,7 @@ def analyze_substreams(
         weights=np.where(stream_class == SNT, stream_total, 0).astype(np.float64),
         minlength=num_counters,
     )
-    accessed = (
-        np.bincount(stream_counter, weights=stream_total.astype(np.float64), minlength=num_counters)
-        > 0
-    )
+    accessed = np.bincount(stream_counter, minlength=num_counters) > 0
     counter_dominant = np.full(num_counters, -1, dtype=np.int8)
     counter_dominant[accessed] = np.where(
         st_weight[accessed] >= snt_weight[accessed], ST, SNT

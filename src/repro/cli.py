@@ -22,19 +22,40 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.bias import analyze_substreams, counter_bias_table
-from repro.analysis.breakdown import misprediction_breakdown
-from repro.analysis.interference import count_class_changes
 from repro.analysis.report import ascii_chart, ascii_table, format_rate, write_csv
 from repro.analysis.sweep import paper_sweep
 from repro.core.hardware import PAPER_SIZE_POINTS_KB
 from repro.core.registry import available_schemes, make_predictor
-from repro.sim.engine import run, run_detailed
+from repro.sim.engine import run
 from repro.sim.runner import ResultCache
 from repro.traces.stats import compute_stats
 from repro.workloads.suite import load_benchmark, load_suite, suite_names
 
 __all__ = ["main", "build_parser"]
+
+
+def _detailed(args, specs, trace, include_bias_table=False):
+    """Section-4 summaries of ``specs`` on one trace for the detailed
+    commands (``bias``/``breakdown``/``table4``/``aliasing``).
+
+    Routes through :func:`repro.sim.parallel.detailed_matrix`, so
+    ``--jobs`` (or ``$REPRO_JOBS``) fans multi-cell commands out across
+    the supervised worker pool; a quarantined cell aborts the command.
+    """
+    from repro.sim.parallel import detailed_matrix
+
+    result = detailed_matrix(
+        specs,
+        {trace.name: trace},
+        jobs=args.jobs,
+        include_bias_table=include_bias_table,
+    )
+    if result.failures:
+        raise SystemExit(
+            "detailed analysis failed: "
+            + "; ".join(str(cell) for cell in result.failures)
+        )
+    return {spec: result[spec][trace.name] for spec in specs}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -211,22 +232,19 @@ def _cmd_figure2(args) -> int:
 
 def _cmd_bias(args) -> int:
     trace = load_benchmark(args.benchmark, length=args.length, seed=args.seed)
-    predictor = make_predictor(args.spec)
-    detailed = run_detailed(predictor, trace)
-    analysis = analyze_substreams(detailed)
-    table = counter_bias_table(analysis)
-    dominant = table[:, 0].mean()
-    non_dominant = table[:, 1].mean()
-    wb = table[:, 2].mean()
-    print(f"predictor: {predictor.name}  benchmark: {trace.name}")
-    print(f"counters accessed: {len(table)} / {detailed.num_counters}")
+    summary = _detailed(args, [args.spec], trace, include_bias_table=True)[args.spec]
+    areas = summary["bias_areas"]
+    print(f"predictor: {make_predictor(args.spec).name}  benchmark: {trace.name}")
+    print(
+        f"counters accessed: {len(summary['bias_table'])} / {summary['num_counters']}"
+    )
     print(
         ascii_table(
             ["area", "mean share"],
             [
-                ["dominant", f"{100 * dominant:.1f}%"],
-                ["non-dominant", f"{100 * non_dominant:.1f}%"],
-                ["WB", f"{100 * wb:.1f}%"],
+                ["dominant", f"{100 * areas['dominant']:.1f}%"],
+                ["non-dominant", f"{100 * areas['non_dominant']:.1f}%"],
+                ["WB", f"{100 * areas['wb']:.1f}%"],
             ],
             title="Figure 5/6 style bias areas (mean over counters)",
         )
@@ -235,33 +253,36 @@ def _cmd_bias(args) -> int:
         write_csv(
             args.csv,
             ["dominant", "non_dominant", "wb"],
-            [list(map(float, row)) for row in table],
+            summary["bias_table"],
         )
     return 0
 
 
 def _cmd_breakdown(args) -> int:
     trace = load_benchmark(args.benchmark, length=args.length, seed=args.seed)
-    rows = []
-    for bits in args.sizes:
+    cells = [
+        (bits, label, spec)
+        for bits in args.sizes
         for label, spec in (
             (f"gshare({max(2, bits - 6)})", f"gshare:index={bits},hist={max(2, bits - 6)}"),
             (f"gshare({bits})", f"gshare:index={bits},hist={bits}"),
             ("bi-mode", f"bimode:dir={bits - 1},hist={bits - 1},choice={bits - 2 if bits >= 2 else 0}"),
-        ):
-            predictor = make_predictor(spec)
-            detailed = run_detailed(predictor, trace)
-            breakdown = misprediction_breakdown(analyze_substreams(detailed))
-            rows.append(
-                [
-                    f"2^{bits}",
-                    label,
-                    f"{100 * breakdown.snt:.2f}%",
-                    f"{100 * breakdown.st:.2f}%",
-                    f"{100 * breakdown.wb:.2f}%",
-                    f"{100 * breakdown.overall:.2f}%",
-                ]
-            )
+        )
+    ]
+    summaries = _detailed(args, [spec for _, _, spec in cells], trace)
+    rows = []
+    for bits, label, spec in cells:
+        breakdown = summaries[spec]["breakdown"]
+        rows.append(
+            [
+                f"2^{bits}",
+                label,
+                f"{100 * breakdown['snt']:.2f}%",
+                f"{100 * breakdown['st']:.2f}%",
+                f"{100 * breakdown['wb']:.2f}%",
+                f"{100 * breakdown['overall']:.2f}%",
+            ]
+        )
     headers = ["counters", "scheme", "SNT", "ST", "WB", "overall"]
     print(
         ascii_table(
@@ -276,16 +297,17 @@ def _cmd_breakdown(args) -> int:
 def _cmd_table4(args) -> int:
     trace = load_benchmark(args.benchmark, length=args.length, seed=args.seed)
     bits = args.index_bits
-    rows = []
-    for label, spec in (
+    schemes = [
         ("history-indexed", f"gshare:index={bits},hist={bits}"),
         ("bi-mode", f"bimode:dir={bits - 1},hist={bits - 1},choice={bits - 1}"),
-    ):
-        predictor = make_predictor(spec)
-        detailed = run_detailed(predictor, trace)
-        analysis = analyze_substreams(detailed)
-        changes = count_class_changes(detailed, analysis)
-        rows.append([label, changes.dominant, changes.non_dominant, changes.wb])
+    ]
+    summaries = _detailed(args, [spec for _, spec in schemes], trace)
+    rows = []
+    for label, spec in schemes:
+        changes = summaries[spec]["class_changes"]
+        rows.append(
+            [label, changes["dominant"], changes["non_dominant"], changes["wb"]]
+        )
     headers = ["scheme", "dominant", "non-dominant", "WB"]
     print(ascii_table(headers, rows, title=f"Table 4 style counts — {trace.name}"))
     if args.csv:
@@ -314,24 +336,20 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_aliasing(args) -> int:
-    from repro.analysis.aliasing import aliasing_stats, sharing_decomposition
-
     trace = load_benchmark(args.benchmark, length=args.length, seed=args.seed)
-    predictor = make_predictor(args.spec)
-    detailed = run_detailed(predictor, trace)
-    analysis = analyze_substreams(detailed)
-    stats = aliasing_stats(analysis)
-    decomposition = sharing_decomposition(analysis)
-    print(f"predictor: {predictor.name}  benchmark: {trace.name}")
+    summary = _detailed(args, [args.spec], trace)[args.spec]
+    stats = summary["aliasing"]
+    decomposition = summary["sharing"]
+    print(f"predictor: {make_predictor(args.spec).name}  benchmark: {trace.name}")
     rows = [
-        ["counters used", stats.counters_used],
-        ["aliased counters", stats.aliased_counters],
-        ["destructive counters", stats.destructive_counters],
-        ["aliased accesses", f"{100 * stats.aliased_access_fraction:.1f}%"],
-        ["destructive accesses", f"{100 * stats.destructive_access_fraction:.1f}%"],
-        ["harmless accesses", f"{100 * stats.harmless_access_fraction:.1f}%"],
-        ["capacity share", f"{100 * decomposition.capacity_share:.1f}%"],
-        ["conflict share", f"{100 * decomposition.conflict_share:.1f}%"],
+        ["counters used", stats["counters_used"]],
+        ["aliased counters", stats["aliased_counters"]],
+        ["destructive counters", stats["destructive_counters"]],
+        ["aliased accesses", f"{100 * stats['aliased_access_fraction']:.1f}%"],
+        ["destructive accesses", f"{100 * stats['destructive_access_fraction']:.1f}%"],
+        ["harmless accesses", f"{100 * stats['harmless_access_fraction']:.1f}%"],
+        ["capacity share", f"{100 * decomposition['capacity_share']:.1f}%"],
+        ["conflict share", f"{100 * decomposition['conflict_share']:.1f}%"],
     ]
     print(ascii_table(["metric", "value"], rows))
     return 0

@@ -17,8 +17,9 @@ Directive grammar (``$REPRO_FAULTS``, semicolon-separated)::
     REPRO_FAULTS="worker:sleep:seconds=0.5,nth=1;evaluate:raise:nth=3"
 
 Sites are the names production code passes to :func:`fault_point`
-(``worker`` at worker-task entry, ``evaluate`` where cells are actually
-simulated).  Actions:
+(``worker`` at worker-task entry, ``evaluate`` where rate cells are
+actually simulated, ``detailed`` before each Section-4 analysis cell).
+Actions:
 
 * ``raise``  — raise :class:`FaultInjected`;
 * ``exit``   — hard-kill the current process (``os._exit``).  Only ever

@@ -1,12 +1,14 @@
-"""Optional compiled step driver for feedback-coupled kernels.
+"""Optional compiled step drivers for the per-branch automata.
 
 The bi-mode choice/bank feedback defeats counter-major decomposition
 (see :mod:`repro.sim.batch_bimode`), leaving a genuinely sequential
-per-branch automaton.  That automaton is ~10 integer operations per
-branch, so a tiny C loop runs it one to two orders of magnitude faster
-than any Python-level stepping.  This module compiles that loop on
-first use with the *system* C compiler — no build system, no installed
-extension, no new dependency — and loads it through :mod:`ctypes`.
+per-branch automaton; the gshare detailed path likewise walks one
+saturating counter per branch when per-access attribution is wanted.
+Each automaton is ~10 integer operations per branch, so a tiny C loop
+runs it one to two orders of magnitude faster than any Python-level
+stepping.  This module compiles those loops on first use with the
+*system* C compiler — no build system, no installed extension, no new
+dependency — and loads them through :mod:`ctypes`.
 
 The driver is strictly optional:
 
@@ -34,7 +36,14 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["available", "unavailable_reason", "bimode_pair"]
+__all__ = [
+    "available",
+    "unavailable_reason",
+    "bimode_pair",
+    "gshare_detailed",
+    "substream_group",
+    "class_changes",
+]
 
 _C_SOURCE = r"""
 #include <stdint.h>
@@ -44,10 +53,12 @@ _C_SOURCE = r"""
  * this loop advances only the sequential counter state, mirroring
  * BiModePredictor.update exactly: partial update of the selected bank
  * (both banks under full_update), and the choice counter trains unless
- * it chose wrongly while the selected counter was nevertheless right. */
+ * it chose wrongly while the selected counter was nevertheless right.
+ * When non-NULL, `banks` receives the per-access selected bank bit
+ * (1 = taken bank), the attribution the Section-4 analysis needs. */
 void bimode_pair(const int32_t *ci, const int32_t *di, const uint8_t *o,
                  int64_t n, int8_t *nt_bank, int8_t *tk_bank, int8_t *choice,
-                 int full_update, uint8_t *preds)
+                 int full_update, uint8_t *preds, uint8_t *banks)
 {
     for (int64_t t = 0; t < n; t++) {
         int32_t c = ci[t], d = di[t];
@@ -58,6 +69,8 @@ void bimode_pair(const int32_t *ci, const int32_t *di, const uint8_t *o,
         int8_t ds = bank[d];
         uint8_t fin = ds >= 2;
         preds[t] = fin;
+        if (banks)
+            banks[t] = (uint8_t)ct;
         bank[d] = taken ? (ds < 3 ? ds + 1 : 3) : (ds > 0 ? ds - 1 : 0);
         if (full_update) {
             int8_t *other = ct ? nt_bank : tk_bank;
@@ -66,6 +79,96 @@ void bimode_pair(const int32_t *ci, const int32_t *di, const uint8_t *o,
         }
         if (!((ct != (int)taken) && (fin == taken)))
             choice[c] = taken ? (cs < 3 ? cs + 1 : 3) : (cs > 0 ? cs - 1 : 0);
+    }
+}
+
+/* One gshare (configuration, trace) pair with per-access attribution.
+ * The index stream is precomputed by the caller (it depends only on
+ * resolved outcomes); the loop advances the saturating PHT exactly like
+ * GSharePredictor._run and records each access's prediction.  The
+ * accessed counter id IS the index stream, so nothing else needs
+ * materializing for the Section-4 analysis. */
+void gshare_detailed(const int32_t *keys, const uint8_t *o, int64_t n,
+                     int8_t *table, uint8_t *preds)
+{
+    for (int64_t t = 0; t < n; t++) {
+        int32_t j = keys[t];
+        int8_t s = table[j];
+        preds[t] = s >= 2;
+        table[j] = o[t] ? (s < 3 ? s + 1 : 3) : (s > 0 ? s - 1 : 0);
+    }
+}
+
+/* Substream grouping + reduction for the Section-4 analysis: a stable
+ * two-pass counting sort of accesses by (counter, pc) followed by one
+ * walk that numbers the substreams in ascending (counter, pc) order —
+ * the ordering np.unique over composite keys yields — and accumulates
+ * each substream's total/taken/mispredicted counts.  `bucket` must
+ * hold max(C, P) + 1 slots; `tmp` and `order` hold n; the stream_*
+ * outputs are written in [0, n) worst case, actual length returned.
+ * Returns the number of substreams. */
+int64_t substream_group(const int32_t *cid, const int32_t *pc,
+                        const uint8_t *taken, const uint8_t *miss,
+                        int64_t n, int32_t C, int32_t P,
+                        int32_t *bucket, int32_t *tmp, int32_t *order,
+                        int64_t *access_stream,
+                        int32_t *stream_counter, int32_t *stream_pc,
+                        int64_t *stream_total, int64_t *stream_taken,
+                        int64_t *stream_miss)
+{
+    int64_t t, i;
+    /* pass 1: stable counting sort by pc (minor key) */
+    for (i = 0; i <= P; i++) bucket[i] = 0;
+    for (t = 0; t < n; t++) bucket[pc[t] + 1]++;
+    for (i = 0; i < P; i++) bucket[i + 1] += bucket[i];
+    for (t = 0; t < n; t++) tmp[bucket[pc[t]]++] = (int32_t)t;
+    /* pass 2: stable counting sort by counter (major key) */
+    for (i = 0; i <= C; i++) bucket[i] = 0;
+    for (t = 0; t < n; t++) bucket[cid[t] + 1]++;
+    for (i = 0; i < C; i++) bucket[i + 1] += bucket[i];
+    for (i = 0; i < n; i++) {
+        int32_t a = tmp[i];
+        order[bucket[cid[a]]++] = a;
+    }
+    /* pass 3: number substreams and reduce */
+    int64_t s = -1;
+    int32_t prev_c = -1, prev_p = -1;
+    for (i = 0; i < n; i++) {
+        int32_t a = order[i];
+        int32_t c = cid[a], p = pc[a];
+        if (s < 0 || c != prev_c || p != prev_p) {
+            s++;
+            stream_counter[s] = c;
+            stream_pc[s] = p;
+            stream_total[s] = 0;
+            stream_taken[s] = 0;
+            stream_miss[s] = 0;
+            prev_c = c;
+            prev_p = p;
+        }
+        stream_total[s]++;
+        stream_taken[s] += taken[a];
+        stream_miss[s] += miss[a];
+        access_stream[a] = s;
+    }
+    return s + 1;
+}
+
+/* Table-4 interference counting in one pass: `last_role[c]` remembers
+ * the dominance role of counter c's previous access (-1 = none yet);
+ * a differing role counts one change against the *earlier* access's
+ * role, matching the lexsort-based reference formulation exactly. */
+void class_changes(const int32_t *cid, const int64_t *access_stream,
+                   const int8_t *stream_role, int64_t n,
+                   int8_t *last_role, int64_t *counts)
+{
+    for (int64_t t = 0; t < n; t++) {
+        int32_t c = cid[t];
+        int8_t r = stream_role[access_stream[t]];
+        int8_t lr = last_role[c];
+        if (lr >= 0 && lr != r)
+            counts[lr]++;
+        last_role[c] = r;
     }
 }
 """
@@ -123,7 +226,7 @@ def _load() -> Optional[ctypes.CDLL]:
         return _lib
     _load_attempted = True
     try:
-        so_path = _build_dir() / f"bimode_step-{_source_digest()}.so"
+        so_path = _build_dir() / f"step-{_source_digest()}.so"
         if not so_path.exists() and not _compile(so_path):
             _failure = (
                 "no C compiler on PATH"
@@ -142,8 +245,27 @@ def _load() -> Optional[ctypes.CDLL]:
             ctypes.c_void_p,  # choice table
             ctypes.c_int,  # full_update
             ctypes.c_void_p,  # predictions out
+            ctypes.c_void_p,  # selected-bank bits out (nullable)
         ]
         lib.bimode_pair.restype = None
+        lib.gshare_detailed.argtypes = [
+            ctypes.c_void_p,  # keys (index stream)
+            ctypes.c_void_p,  # outcomes
+            ctypes.c_int64,  # n
+            ctypes.c_void_p,  # PHT
+            ctypes.c_void_p,  # predictions out
+        ]
+        lib.gshare_detailed.restype = None
+        lib.substream_group.argtypes = [ctypes.c_void_p] * 4 + [
+            ctypes.c_int64,
+            ctypes.c_int32,
+            ctypes.c_int32,
+        ] + [ctypes.c_void_p] * 9
+        lib.substream_group.restype = ctypes.c_int64
+        lib.class_changes.argtypes = [ctypes.c_void_p] * 3 + [
+            ctypes.c_int64
+        ] + [ctypes.c_void_p] * 2
+        lib.class_changes.restype = None
         _lib = lib
     except OSError as exc:
         _failure = f"shared object failed to load: {exc}"
@@ -182,26 +304,33 @@ def bimode_pair(
     tk_bank: np.ndarray,
     choice: np.ndarray,
     full_update: bool,
+    banks: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Run one bi-mode pair through the compiled loop.
 
     ``ci``/``di`` are int32 index streams, ``outcomes`` uint8; the three
     table arrays are int8 and are updated in place.  Returns the uint8
-    per-branch final predictions.  Call only when :func:`available`.
+    per-branch final predictions.  Pass a uint8 ``banks`` array of the
+    same length to also record each access's selected bank bit (1 =
+    taken bank).  Call only when :func:`available`.
     """
     lib = _load()
     if lib is None:  # pragma: no cover - callers gate on available()
         raise RuntimeError("compiled bi-mode driver is not available")
     n = len(outcomes)
     preds = np.empty(n, dtype=np.uint8)
-    for arr, dtype in (
+    arrays = [
         (ci, np.int32),
         (di, np.int32),
         (outcomes, np.uint8),
         (nt_bank, np.int8),
         (tk_bank, np.int8),
         (choice, np.int8),
-    ):
+    ]
+    if banks is not None:
+        assert len(banks) == n
+        arrays.append((banks, np.uint8))
+    for arr, dtype in arrays:
         assert arr.dtype == dtype and arr.flags["C_CONTIGUOUS"]
     lib.bimode_pair(
         _ptr(ci),
@@ -213,5 +342,131 @@ def bimode_pair(
         _ptr(choice),
         ctypes.c_int(1 if full_update else 0),
         _ptr(preds),
+        _ptr(banks) if banks is not None else None,
     )
     return preds
+
+
+def gshare_detailed(
+    keys: np.ndarray, outcomes: np.ndarray, table: np.ndarray
+) -> np.ndarray:
+    """Run one gshare pair through the compiled loop.
+
+    ``keys`` is the int32 index stream, ``outcomes`` uint8; ``table`` is
+    the int8 PHT, updated in place.  Returns the uint8 per-branch
+    predictions (each access's counter id is ``keys`` itself).  Call
+    only when :func:`available`.
+    """
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers gate on available()
+        raise RuntimeError("compiled gshare driver is not available")
+    n = len(outcomes)
+    preds = np.empty(n, dtype=np.uint8)
+    for arr, dtype in ((keys, np.int32), (outcomes, np.uint8), (table, np.int8)):
+        assert arr.dtype == dtype and arr.flags["C_CONTIGUOUS"]
+    lib.gshare_detailed(
+        _ptr(keys), _ptr(outcomes), ctypes.c_int64(n), _ptr(table), _ptr(preds)
+    )
+    return preds
+
+
+def substream_group(
+    counter_ids: np.ndarray,
+    pc_dense: np.ndarray,
+    taken: np.ndarray,
+    mispredicted: np.ndarray,
+    num_counters: int,
+    num_pcs: int,
+):
+    """Group accesses into (counter, pc) substreams through the C loop.
+
+    ``counter_ids``/``pc_dense`` are int32, ``taken``/``mispredicted``
+    uint8, all C-contiguous.  Returns ``(access_stream, stream_counter,
+    stream_pc_idx, stream_total, stream_taken, stream_mispredicted)``
+    with the substreams numbered in ascending (counter, pc) order; the
+    stream arrays are trimmed to the substream count.  Call only when
+    :func:`available`.
+    """
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers gate on available()
+        raise RuntimeError("compiled substream driver is not available")
+    n = len(counter_ids)
+    for arr, dtype in (
+        (counter_ids, np.int32),
+        (pc_dense, np.int32),
+        (taken, np.uint8),
+        (mispredicted, np.uint8),
+    ):
+        assert arr.dtype == dtype and arr.flags["C_CONTIGUOUS"]
+    bucket = np.empty(max(num_counters, num_pcs) + 1, dtype=np.int32)
+    tmp = np.empty(n, dtype=np.int32)
+    order = np.empty(n, dtype=np.int32)
+    access_stream = np.empty(n, dtype=np.int64)
+    stream_counter = np.empty(n, dtype=np.int32)
+    stream_pc = np.empty(n, dtype=np.int32)
+    stream_total = np.empty(n, dtype=np.int64)
+    stream_taken = np.empty(n, dtype=np.int64)
+    stream_miss = np.empty(n, dtype=np.int64)
+    num_streams = lib.substream_group(
+        _ptr(counter_ids),
+        _ptr(pc_dense),
+        _ptr(taken),
+        _ptr(mispredicted),
+        ctypes.c_int64(n),
+        ctypes.c_int32(num_counters),
+        ctypes.c_int32(num_pcs),
+        _ptr(bucket),
+        _ptr(tmp),
+        _ptr(order),
+        _ptr(access_stream),
+        _ptr(stream_counter),
+        _ptr(stream_pc),
+        _ptr(stream_total),
+        _ptr(stream_taken),
+        _ptr(stream_miss),
+    )
+    s = int(num_streams)
+    return (
+        access_stream,
+        stream_counter[:s].copy(),
+        stream_pc[:s].copy(),
+        stream_total[:s].copy(),
+        stream_taken[:s].copy(),
+        stream_miss[:s].copy(),
+    )
+
+
+def class_changes(
+    counter_ids: np.ndarray,
+    access_stream: np.ndarray,
+    stream_role: np.ndarray,
+    num_counters: int,
+) -> np.ndarray:
+    """Count Table-4 role changes through the compiled single pass.
+
+    ``counter_ids`` int32, ``access_stream`` int64, ``stream_role``
+    int8, all C-contiguous.  Returns the int64 ``[dominant,
+    non_dominant, wb]`` change counts.  Call only when
+    :func:`available`.
+    """
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers gate on available()
+        raise RuntimeError("compiled class-change driver is not available")
+    n = len(counter_ids)
+    for arr, dtype in (
+        (counter_ids, np.int32),
+        (access_stream, np.int64),
+        (stream_role, np.int8),
+    ):
+        assert arr.dtype == dtype and arr.flags["C_CONTIGUOUS"]
+    last_role = np.full(num_counters, -1, dtype=np.int8)
+    counts = np.zeros(3, dtype=np.int64)
+    lib.class_changes(
+        _ptr(counter_ids),
+        _ptr(access_stream),
+        _ptr(stream_role),
+        ctypes.c_int64(n),
+        _ptr(last_role),
+        _ptr(counts),
+    )
+    return counts

@@ -49,6 +49,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.counters import WEAKLY_TAKEN
+from repro.core.grouping import stable_group_order
 from repro.core.history import global_history_stream
 from repro.core.indexing import gshare_index_stream
 from repro.core.registry import parse_spec
@@ -58,17 +59,10 @@ __all__ = [
     "GShareLane",
     "lane_for_spec",
     "gshare_lane_predictions",
+    "gshare_lane_detailed",
     "gshare_lane_rates",
     "counter_scan",
 ]
-
-try:  # scipy ships a C counting sort (COO->CSR); optional, numpy fallback below
-    from scipy.sparse import _sparsetools as _scipy_sparsetools
-
-    _COO_TOCSR = getattr(_scipy_sparsetools, "coo_tocsr", None)
-except ImportError:  # pragma: no cover - exercised only without scipy
-    _COO_TOCSR = None
-
 
 @dataclass(frozen=True)
 class GShareLane:
@@ -114,22 +108,9 @@ def lane_for_spec(spec: str) -> Optional[GShareLane]:
     return GShareLane(index_bits=index_bits, history_bits=history_bits)
 
 
-def _stable_group_order(keys: np.ndarray, num_counters: int) -> np.ndarray:
-    """Permutation grouping ``keys`` by value, stable in time.
-
-    Equivalent to ``np.argsort(keys, kind="stable")`` but O(n) via
-    scipy's C counting sort when available (radix argsort costs more
-    than the whole rest of the kernel).
-    """
-    n = len(keys)
-    if _COO_TOCSR is None or n >= np.iinfo(np.int32).max:
-        return np.argsort(keys, kind="stable")
-    times = np.arange(n, dtype=np.int32)
-    indptr = np.empty(num_counters + 1, dtype=np.int32)
-    cols = np.empty(n, dtype=np.int32)
-    order = np.empty(n, dtype=np.int32)
-    _COO_TOCSR(num_counters, n, n, keys, times, times, indptr, cols, order)
-    return order
+#: Stable counting-sort grouping, shared with the Section-4 analysis
+#: (see :mod:`repro.core.grouping`).
+_stable_group_order = stable_group_order
 
 
 def _lane_runs(
@@ -370,6 +351,51 @@ def _starts_mask(n: int, starts: np.ndarray) -> np.ndarray:
     mask = np.zeros(n, dtype=bool)
     mask[starts] = True
     return mask
+
+
+def gshare_lane_detailed(
+    lane: GShareLane, trace: BranchTrace, init: int = WEAKLY_TAKEN
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-access ``(predictions, counter_ids)`` of one lane (Section 4).
+
+    The counting-sort kernel already groups accesses per counter, so the
+    attribution the detailed analysis needs is the very index stream the
+    kernel sorts by — emitting it costs one extra array view.  When the
+    compiled step driver (:mod:`repro.sim._cstep`) is available the
+    per-branch automaton runs there instead, skipping the counter-major
+    transpose entirely.  Both paths are bit-for-bit what
+    ``GSharePredictor.simulate_detailed`` records from power-on state.
+    """
+    n = len(trace)
+    if n == 0:
+        return np.empty(0, dtype=bool), np.empty(0, dtype=np.int64)
+    outcomes = np.ascontiguousarray(trace.outcomes)
+    histories_cache: Dict[int, np.ndarray] = {}
+    keys = _lane_keys(lane, trace, histories_cache)
+
+    from repro.sim import _cstep
+
+    if _cstep.available():
+        table = np.full(lane.table_size, init, dtype=np.int8)
+        preds = _cstep.gshare_detailed(
+            np.ascontiguousarray(keys), outcomes.view(np.uint8), table
+        )
+        return preds.view(bool), keys.astype(np.int64)
+
+    order, run_first, run_len, run_out, run_s0 = _lane_runs(
+        keys, outcomes, lane.table_size, init
+    )
+    run_id = np.cumsum(_starts_mask(n, run_first), dtype=np.int64) - 1
+    offset_in_run = np.arange(n, dtype=np.int64) - run_first[run_id]
+    s0 = run_s0[run_id]
+    state = np.where(
+        run_out[run_id],
+        np.minimum(3, s0 + offset_in_run),
+        np.maximum(0, s0 - offset_in_run),
+    )
+    predictions = np.empty(n, dtype=bool)
+    predictions[order] = state >= 2
+    return predictions, keys.astype(np.int64)
 
 
 def gshare_lane_rates(

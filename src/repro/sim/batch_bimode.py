@@ -62,6 +62,7 @@ __all__ = [
     "BiModeLane",
     "bimode_lane_for_spec",
     "bimode_lane_predictions",
+    "bimode_lane_detailed",
     "bimode_lane_rates",
     "bimode_matrix_rates",
     "KernelStats",
@@ -203,19 +204,24 @@ def _pair_streams(
 # -- per-pair strategies ------------------------------------------------------------
 
 
-def _run_pair_compiled(lane: BiModeLane, trace: BranchTrace) -> np.ndarray:
+def _run_pair_compiled(lane: BiModeLane, trace: BranchTrace, want_ids: bool = False):
     ci, di, o = _pair_streams(lane, trace)
     nt = np.full(lane.bank_size, WEAKLY_NOT_TAKEN, dtype=np.int8)
     tk = np.full(lane.bank_size, WEAKLY_TAKEN, dtype=np.int8)
     choice = np.full(lane.choice_size, WEAKLY_TAKEN, dtype=np.int8)
+    banks = np.empty(len(o), dtype=np.uint8) if want_ids else None
     preds = _cstep.bimode_pair(
-        ci, di, o.view(np.uint8), nt, tk, choice, lane.full_update
+        ci, di, o.view(np.uint8), nt, tk, choice, lane.full_update, banks
     )
     stats.compiled_pairs += 1
+    if want_ids:
+        # Global counter id: taken-bank accesses live in the upper half.
+        ids = di.astype(np.int64) + banks.astype(np.int64) * lane.bank_size
+        return preds.astype(bool), ids
     return preds.astype(bool)
 
 
-def _run_pair_python(lane: BiModeLane, trace: BranchTrace) -> np.ndarray:
+def _run_pair_python(lane: BiModeLane, trace: BranchTrace, want_ids: bool = False):
     """Pure-Python micro loop over precomputed streams.
 
     Deliberately mirrors ``BiModePredictor.update`` statement for
@@ -225,6 +231,8 @@ def _run_pair_python(lane: BiModeLane, trace: BranchTrace) -> np.ndarray:
     ci_arr, di_arr, o_arr = _pair_streams(lane, trace)
     n = len(o_arr)
     predictions = np.empty(n, dtype=bool)
+    counter_ids = np.empty(n, dtype=np.int64) if want_ids else None
+    bank_size = lane.bank_size
     nt = [WEAKLY_NOT_TAKEN] * lane.bank_size
     tk = [WEAKLY_TAKEN] * lane.bank_size
     choice = [WEAKLY_TAKEN] * lane.choice_size
@@ -242,6 +250,8 @@ def _run_pair_python(lane: BiModeLane, trace: BranchTrace) -> np.ndarray:
         ds = bank[d]
         final = ds >= 2
         predictions[i] = final
+        if want_ids:
+            counter_ids[i] = d + bank_size if choice_taken else d
         if taken:
             if ds < 3:
                 bank[d] = ds + 1
@@ -262,6 +272,8 @@ def _run_pair_python(lane: BiModeLane, trace: BranchTrace) -> np.ndarray:
             elif cs > 0:
                 choice[c] = cs - 1
     stats.python_pairs += 1
+    if want_ids:
+        return predictions, counter_ids
     return predictions
 
 
@@ -372,7 +384,7 @@ class _SteppedBatch:
         di_local: np.ndarray,
         choice_states: np.ndarray,
         outcomes: np.ndarray,
-    ) -> np.ndarray:
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Counter-major replay of one pair's chunk with frozen routing.
 
         Only valid when every access's choice counter is saturated in
@@ -381,6 +393,10 @@ class _SteppedBatch:
         exception at most skips), bank routing is constant per access,
         and the remaining bank automata are exactly the independent
         saturating counters the gshare machinery already solves.
+
+        Returns ``(predictions, counter_ids)``: the selected-counter
+        keys are already the global counter ids the detailed analysis
+        attributes accesses to.
         """
         lane = self.pairs[self.order[j]][0]
         bank = lane.bank_size
@@ -403,19 +419,30 @@ class _SteppedBatch:
         self.S[db : db + bank] = end[:bank]
         self.S[db + self.max_bank : db + self.max_bank + bank] = end[bank:]
         stats.fastpath_chunks += 1
-        return pred_states >= 2
+        return pred_states >= 2, sel_keys
 
 
 def _run_pairs_stepped(
     pairs: Sequence[Tuple[BiModeLane, BranchTrace]],
-    want_preds: bool,
+    want: str,
 ) -> List:
-    """All pairs through the lane-stepped loop; predictions or miss counts."""
+    """All pairs through the lane-stepped loop.
+
+    ``want`` selects the per-pair output: ``"counts"`` (miss counts),
+    ``"preds"`` (per-branch predictions) or ``"detailed"``
+    (``(predictions, counter_ids)`` attribution tuples).
+    """
+    want_preds = want != "counts"
+    want_ids = want == "detailed"
     batch = _SteppedBatch(pairs)
     P = len(batch.pairs)
     mis = [0] * P
     preds_out = [
         np.empty(len(trace), dtype=bool) if want_preds else None
+        for _, trace in batch.pairs
+    ]
+    ids_out = [
+        np.empty(len(trace), dtype=np.int64) if want_ids else None
         for _, trace in batch.pairs
     ]
     max_bank = batch.max_bank
@@ -452,23 +479,26 @@ def _run_pairs_stepped(
         slow_cols = np.flatnonzero(~gate)
 
         for j in fast_cols:
-            fin = batch.replay_block(
+            fin, sel_keys = batch.replay_block(
                 int(j), DLOC[:, j], choice_states[:, j], O[:, j]
             )
             p = batch.order[int(j)]
             mis[p] += int(np.count_nonzero(fin != (O[:, j] != 0)))
             if want_preds:
                 preds_out[p][a:b] = fin
+            if want_ids:
+                ids_out[p][a:b] = sel_keys
 
         if slow_cols.size:
             CIs = np.ascontiguousarray(CI[:, slow_cols])
             DIs = np.ascontiguousarray(DI[:, slow_cols])
             Os = np.ascontiguousarray(O[:, slow_cols])
             F2s = np.empty((L, slow_cols.size), dtype=np.int8)
+            Bs = np.empty((L, slow_cols.size), dtype=bool) if want_ids else None
             fu_local = np.flatnonzero(
                 [batch.pairs[batch.order[int(j)]][0].full_update for j in slow_cols]
             )
-            _step_chunk(S, OFF, CIs, DIs, Os, F2s, fu_local, max_bank)
+            _step_chunk(S, OFF, CIs, DIs, Os, F2s, fu_local, max_bank, Bs)
             stats.stepped_chunks += 1
 
             fin01 = F2s >> 1
@@ -478,14 +508,21 @@ def _run_pairs_stepped(
                 mis[p] += int(wrong_per_col[jj])
                 if want_preds:
                     preds_out[p][a:b] = fin01[:, jj] != 0
+                if want_ids:
+                    bank_size = batch.pairs[p][0].bank_size
+                    ids_out[p][a:b] = DLOC[:, j].astype(np.int64) + (
+                        Bs[:, jj].astype(np.int64) * bank_size
+                    )
         a = b
 
+    if want_ids:
+        return list(zip(preds_out, ids_out))
     if want_preds:
         return preds_out
     return mis
 
 
-def _step_chunk(S, OFF, CIs, DIs, Os, F2s, fu_local, max_bank) -> None:
+def _step_chunk(S, OFF, CIs, DIs, Os, F2s, fu_local, max_bank, Bs=None) -> None:
     """The hot loop: one numpy-vectorized time step per row, all lanes.
 
     Per step: gather choice states, resolve the selected bank through
@@ -494,6 +531,7 @@ def _step_chunk(S, OFF, CIs, DIs, Os, F2s, fu_local, max_bank) -> None:
     precomputed saturating-update LUTs.  All intermediates live in
     preallocated buffers; per-step cost is ~13 numpy dispatches
     regardless of batch width, which is what makes wide batches fast.
+    When ``Bs`` is given it receives each access's selected bank bit.
     """
     L, width = CIs.shape
     cs = np.empty(width, dtype=np.int8)
@@ -511,6 +549,8 @@ def _step_chunk(S, OFF, CIs, DIs, Os, F2s, fu_local, max_bank) -> None:
         ot = Os[t]
         np.take(S, cit, out=cs)
         np.take(OFF, cs, out=off)
+        if Bs is not None:
+            np.greater_equal(cs, 2, out=Bs[t])
         np.add(dit, off, out=sel)
         np.take(S, sel, out=ds)
         f2 = F2s[t]
@@ -550,9 +590,11 @@ def _kernel_mode() -> str:
 
 
 def _simulate_pairs(
-    pairs: Sequence[Tuple[BiModeLane, BranchTrace]], want_preds: bool
+    pairs: Sequence[Tuple[BiModeLane, BranchTrace]], want: str
 ) -> List:
-    """Per-pair predictions (or misprediction counts) for a batch.
+    """Per-pair results for a batch: ``want`` is ``"counts"``
+    (misprediction counts), ``"preds"`` (per-branch predictions) or
+    ``"detailed"`` (``(predictions, counter_ids)`` tuples).
 
     Every dispatch decision is reported through :mod:`repro.health`:
     which engine actually ran the batch and — when the auto chain fell
@@ -561,6 +603,7 @@ def _simulate_pairs(
     """
     from repro import health
 
+    want_ids = want == "detailed"
     mode = _kernel_mode()
     if mode == "c" and not _cstep.available():
         raise RuntimeError(
@@ -586,20 +629,26 @@ def _simulate_pairs(
     if use_c:
         results = []
         for lane, trace in pairs:
+            if want_ids:
+                results.append(_run_pair_compiled(lane, trace, want_ids=True))
+                continue
             preds = _run_pair_compiled(lane, trace)
             results.append(
                 preds
-                if want_preds
+                if want == "preds"
                 else int(np.count_nonzero(preds != trace.outcomes))
             )
         return results
     if engine == "numpy":
-        return _run_pairs_stepped(pairs, want_preds)
+        return _run_pairs_stepped(pairs, want)
     results = []
     for lane, trace in pairs:
+        if want_ids:
+            results.append(_run_pair_python(lane, trace, want_ids=True))
+            continue
         preds = _run_pair_python(lane, trace)
         results.append(
-            preds if want_preds else int(np.count_nonzero(preds != trace.outcomes))
+            preds if want == "preds" else int(np.count_nonzero(preds != trace.outcomes))
         )
     return results
 
@@ -621,10 +670,29 @@ def bimode_lane_predictions(
     if not lanes:
         return predictions
     for k, preds in enumerate(
-        _simulate_pairs([(lane, trace) for lane in lanes], want_preds=True)
+        _simulate_pairs([(lane, trace) for lane in lanes], want="preds")
     ):
         predictions[k] = preds
     return predictions
+
+
+def bimode_lane_detailed(
+    lane: BiModeLane, trace: BranchTrace
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-access ``(predictions, counter_ids)`` of one lane (Section 4).
+
+    Counter ids follow the scalar convention of
+    ``BiModePredictor.simulate_detailed``: the selected direction
+    counter's index, with taken-bank accesses offset by ``bank_size``
+    (so the id space has ``2 * bank_size`` counters).  Bit-for-bit
+    identical to the scalar detailed simulation under every execution
+    strategy.
+    """
+    n = len(trace)
+    if n == 0:
+        return np.empty(0, dtype=bool), np.empty(0, dtype=np.int64)
+    preds, ids = _simulate_pairs([(lane, trace)], want="detailed")[0]
+    return preds, ids
 
 
 def bimode_lane_rates(
@@ -639,7 +707,7 @@ def bimode_lane_rates(
     n = len(trace)
     if n == 0:
         return [0.0] * len(lanes)
-    counts = _simulate_pairs([(lane, trace) for lane in lanes], want_preds=False)
+    counts = _simulate_pairs([(lane, trace) for lane in lanes], want="counts")
     return [count / n for count in counts]
 
 
@@ -655,7 +723,7 @@ def bimode_matrix_rates(
     precomputation per trace.
     """
     cells = list(cells)
-    counts = _simulate_pairs(cells, want_preds=False)
+    counts = _simulate_pairs(cells, want="counts")
     return [
         count / len(trace) if len(trace) else 0.0
         for count, (_, trace) in zip(counts, cells)

@@ -4,9 +4,19 @@ Thin orchestration over the predictor batch interface: reset, run,
 (optionally) warm-up split.  All heavy lifting lives in the predictors'
 ``simulate`` fast paths; the engine guarantees the contract around them
 (fresh state, consistent result packaging).
+
+Detailed (Section-4) simulation additionally dispatches through the
+batch attribution kernels of :mod:`repro.sim.batch` /
+:mod:`repro.sim.batch_bimode` when the predictor has one:
+``REPRO_DETAILED_KERNEL`` pins the choice to ``batch`` or ``scalar``
+(default ``auto``), and every fallback is reported through
+:mod:`repro.health`, mirroring ``REPRO_BIMODE_KERNEL``.
 """
 
 from __future__ import annotations
+
+import os
+from typing import Optional
 
 from repro.core.interfaces import BranchPredictor, DetailedSimulation, SimulationResult
 from repro.traces.record import BranchTrace
@@ -49,13 +59,123 @@ def run(
     return result
 
 
+def _detailed_kernel_mode() -> str:
+    mode = os.environ.get("REPRO_DETAILED_KERNEL", "auto").strip().lower() or "auto"
+    if mode not in ("auto", "batch", "scalar"):
+        raise ValueError(
+            f"REPRO_DETAILED_KERNEL must be auto/batch/scalar, got {mode!r}"
+        )
+    return mode
+
+
+def _run_detailed_batch(
+    predictor: BranchPredictor, trace: BranchTrace, mode: str
+) -> Optional[DetailedSimulation]:
+    """The batch attribution kernel's detailed simulation, or ``None``.
+
+    ``None`` means the caller should fall back to the scalar
+    ``simulate_detailed`` path (no kernel covers this predictor, or the
+    kernel raised); the fallback is recorded as a health event.  The
+    batch path never touches the predictor's own tables — callers under
+    ``reset=True`` semantics observe power-on state either way.
+    """
+    from repro import health
+    from repro.core.bimode import BiModePredictor
+    from repro.predictors.gshare import GSharePredictor
+    from repro.sim.batch import gshare_lane_detailed, lane_for_spec
+    from repro.sim.batch_bimode import BiModeLane, bimode_lane_detailed
+
+    try:
+        if isinstance(predictor, GSharePredictor):
+            lane = lane_for_spec(predictor.name)
+            if lane is None:  # pragma: no cover - name always parses
+                raise ValueError(f"unbatchable gshare spec {predictor.name!r}")
+            predictions, counter_ids = gshare_lane_detailed(lane, trace)
+            num_counters = lane.table_size
+        elif isinstance(predictor, BiModePredictor):
+            lane = BiModeLane(
+                dir_bits=predictor.direction_index_bits,
+                hist_bits=predictor.history_bits,
+                choice_bits=predictor.choice_index_bits,
+                full_update=predictor.full_update,
+                choice_uses_history=predictor.choice_uses_history,
+            )
+            predictions, counter_ids = bimode_lane_detailed(lane, trace)
+            num_counters = 2 * lane.bank_size
+        else:
+            health.engine_used(
+                "detailed-kernel",
+                "scalar",
+                expected="batch" if mode == "batch" else "scalar",
+                reason=f"no batch attribution kernel for {predictor.name}",
+            )
+            return None
+    except Exception as exc:  # fall back rather than lose the analysis
+        health.emit(
+            "detailed-kernel",
+            expected="batch",
+            actual="scalar",
+            reason=f"batch kernel failed: {exc}",
+            severity="degraded",
+        )
+        return None
+    health.engine_used("detailed-kernel", "batch", expected="batch")
+    result = SimulationResult(
+        predictor_name=predictor.name,
+        trace_name=trace.name,
+        predictions=predictions,
+        outcomes=trace.outcomes,
+    )
+    return DetailedSimulation(
+        result=result,
+        counter_ids=counter_ids,
+        num_counters=num_counters,
+        pcs=trace.pcs,
+    )
+
+
 def run_detailed(
-    predictor: BranchPredictor, trace: BranchTrace, reset: bool = True
+    predictor: BranchPredictor,
+    trace: BranchTrace,
+    reset: bool = True,
+    warmup: int = 0,
 ) -> DetailedSimulation:
-    """Simulate with per-access counter attribution (Section-4 analysis)."""
-    if reset:
-        predictor.reset()
-    return predictor.simulate_detailed(trace)
+    """Simulate with per-access counter attribution (Section-4 analysis).
+
+    Parameters mirror :func:`run`: ``warmup`` branches still train the
+    predictor but are excluded from the returned result (and from the
+    attribution arrays).  With ``reset=True`` (the default) the
+    simulation dispatches through the batch attribution kernels when
+    ``$REPRO_DETAILED_KERNEL`` allows (``auto``/``batch``; ``scalar``
+    forces the per-branch loop); results are bit-identical either way.
+    """
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    if warmup > len(trace):
+        raise ValueError(f"warmup ({warmup}) exceeds trace length ({len(trace)})")
+    mode = _detailed_kernel_mode()
+    detailed = None
+    if mode != "scalar" and reset:
+        detailed = _run_detailed_batch(predictor, trace, mode)
+    if detailed is None:
+        if reset:
+            predictor.reset()
+        detailed = predictor.simulate_detailed(trace)
+    if warmup:
+        result = detailed.result
+        sliced = SimulationResult(
+            predictor_name=result.predictor_name,
+            trace_name=result.trace_name,
+            predictions=result.predictions[warmup:],
+            outcomes=result.outcomes[warmup:],
+        )
+        detailed = DetailedSimulation(
+            result=sliced,
+            counter_ids=detailed.counter_ids[warmup:],
+            num_counters=detailed.num_counters,
+            pcs=None if detailed.pcs is None else detailed.pcs[warmup:],
+        )
+    return detailed
 
 
 def run_steps(

@@ -16,6 +16,11 @@ A torn final line (the one write a hard kill can truncate) is detected
 and skipped on load, as is any line whose rate is not a float in
 [0, 1] — the journal trusts nothing it reads.
 
+:class:`PayloadJournal` is the same machinery keyed to JSON-object
+values instead of rates: the detailed (Section-4) parallel pipeline
+journals each cell's compact analysis summary so interrupted breakdown
+sweeps resume without re-running any attribution simulation.
+
 :meth:`SweepJournal.guard` additionally installs SIGINT/SIGTERM
 handlers for the duration of a sweep that flush the deferred result
 cache before the signal is re-delivered, so even the cache loses
@@ -33,7 +38,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple
 
-__all__ = ["SweepJournal"]
+__all__ = ["SweepJournal", "PayloadJournal"]
 
 logger = logging.getLogger(__name__)
 
@@ -41,11 +46,26 @@ logger = logging.getLogger(__name__)
 class SweepJournal:
     """Append-only JSONL record of completed sweep cells."""
 
+    #: JSON field holding each cell's value; subclasses override together
+    #: with :meth:`_coerce` to journal a different value shape.
+    VALUE_KEY = "rate"
+
     def __init__(self, path: os.PathLike):
         self.path = Path(path)
-        self._completed: Optional[Dict[Tuple[str, str], float]] = None
+        self._completed: Optional[Dict[Tuple[str, str], object]] = None
         self.corrupt_lines = 0
         self.resumed_cells = 0
+
+    @staticmethod
+    def _coerce(value):
+        """Validated journal-ready form of ``value`` (raises ValueError)."""
+        if (
+            not isinstance(value, (int, float))
+            or isinstance(value, bool)
+            or not 0.0 <= value <= 1.0
+        ):
+            raise ValueError(f"rate must be a float in [0, 1], got {value!r}")
+        return float(value)
 
     @classmethod
     def for_name(cls, name: str, root: Optional[os.PathLike] = None) -> "SweepJournal":
@@ -59,10 +79,10 @@ class SweepJournal:
 
     # -- reading ------------------------------------------------------------
 
-    def _load(self) -> Dict[Tuple[str, str], float]:
+    def _load(self) -> Dict[Tuple[str, str], object]:
         if self._completed is not None:
             return self._completed
-        table: Dict[Tuple[str, str], float] = {}
+        table: Dict[Tuple[str, str], object] = {}
         raw = ""
         if self.path.exists():
             try:
@@ -77,19 +97,13 @@ class SweepJournal:
                 entry = json.loads(line)
                 tkey = entry["tkey"]
                 spec = entry["spec"]
-                rate = entry["rate"]
-                if not (
-                    isinstance(tkey, str)
-                    and isinstance(spec, str)
-                    and isinstance(rate, (int, float))
-                    and not isinstance(rate, bool)
-                    and 0.0 <= rate <= 1.0
-                ):
+                if not (isinstance(tkey, str) and isinstance(spec, str)):
                     raise ValueError(f"invalid journal cell {entry!r}")
+                value = self._coerce(entry[self.VALUE_KEY])
             except (json.JSONDecodeError, KeyError, TypeError, ValueError):
                 self.corrupt_lines += 1
                 continue
-            table[(tkey, spec)] = float(rate)
+            table[(tkey, spec)] = value
         if self.corrupt_lines:
             logger.warning(
                 "sweep journal %s: ignored %d corrupt line(s)",
@@ -100,14 +114,14 @@ class SweepJournal:
         self.resumed_cells = len(table)
         return table
 
-    def lookup(self, tkey: str, spec: str) -> Optional[float]:
-        """The journalled rate of one cell, or ``None``."""
+    def lookup(self, tkey: str, spec: str):
+        """The journalled value of one cell, or ``None``."""
         return self._load().get((tkey, spec))
 
-    def completed(self, tkey: str) -> Dict[str, float]:
-        """Every journalled ``spec -> rate`` for one trace key."""
+    def completed(self, tkey: str) -> Dict[str, object]:
+        """Every journalled ``spec -> value`` for one trace key."""
         return {
-            spec: rate for (key, spec), rate in self._load().items() if key == tkey
+            spec: value for (key, spec), value in self._load().items() if key == tkey
         }
 
     def __len__(self) -> int:
@@ -115,20 +129,22 @@ class SweepJournal:
 
     # -- writing ------------------------------------------------------------
 
-    def record_many(self, tkey: str, rates: Mapping[str, float]) -> int:
+    def record_many(self, tkey: str, values: Mapping[str, object]) -> int:
         """Append the cells not already journalled; returns how many."""
         table = self._load()
         fresh = {
-            spec: float(rate)
-            for spec, rate in rates.items()
+            spec: self._coerce(value)
+            for spec, value in values.items()
             if (tkey, spec) not in table
         }
         if not fresh:
             return 0
         payload = "".join(
-            json.dumps({"tkey": tkey, "spec": spec, "rate": rate}, sort_keys=True)
+            json.dumps(
+                {"tkey": tkey, "spec": spec, self.VALUE_KEY: value}, sort_keys=True
+            )
             + "\n"
-            for spec, rate in sorted(fresh.items())
+            for spec, value in sorted(fresh.items())
         ).encode()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
@@ -137,12 +153,12 @@ class SweepJournal:
             os.fsync(fd)
         finally:
             os.close(fd)
-        for spec, rate in fresh.items():
-            table[(tkey, spec)] = rate
+        for spec, value in fresh.items():
+            table[(tkey, spec)] = value
         return len(fresh)
 
-    def record(self, tkey: str, spec: str, rate: float) -> int:
-        return self.record_many(tkey, {spec: rate})
+    def record(self, tkey: str, spec: str, value) -> int:
+        return self.record_many(tkey, {spec: value})
 
     def discard(self) -> None:
         """Delete the journal file and forget everything loaded."""
@@ -195,3 +211,23 @@ class SweepJournal:
                     signal.signal(signum, old)
                 except (ValueError, OSError):  # pragma: no cover
                     pass
+
+
+class PayloadJournal(SweepJournal):
+    """Sweep journal whose cell values are JSON objects, not rates.
+
+    Used by the parallel detailed pipeline to persist each cell's
+    Section-4 summary dict.  Values must round-trip through JSON
+    unchanged (plain dicts/lists/strs/numbers), which `json.dumps`
+    guarantees for the payloads :func:`repro.analysis.summary.
+    summarize_detailed` produces — so a resumed cell compares equal to
+    a recomputed one.
+    """
+
+    VALUE_KEY = "payload"
+
+    @staticmethod
+    def _coerce(value):
+        if not isinstance(value, dict):
+            raise ValueError(f"payload must be a JSON object, got {value!r}")
+        return value

@@ -40,6 +40,14 @@ parallel and serial sweeps produce byte-identical tables.
 Degradations (pool unavailable -> serial, worker retries, quarantined
 cells) are reported through :mod:`repro.health`.
 
+Detailed (Section-4) analysis sweeps are a first-class workload here
+too: :func:`detailed_matrix` ships one supervised task per ``(spec,
+benchmark)`` cell, workers reduce each attribution simulation to a
+compact summary dict in-process (kilobytes over the pipe, never the
+per-branch arrays), and completed cells persist to a
+:class:`repro.sim.journal.PayloadJournal` for crash-safe resume with
+bit-identical aggregates.
+
 Parallelism is controlled by the ``$REPRO_JOBS`` environment knob (or an
 explicit ``jobs`` argument).  ``REPRO_JOBS=1``, unset ``REPRO_JOBS``, an
 unpicklable platform, or traces that carry no recipe all fall back to
@@ -72,6 +80,7 @@ __all__ = [
     "effective_jobs",
     "materialize_parallel",
     "evaluate_matrix_parallel",
+    "detailed_matrix",
 ]
 
 
@@ -223,14 +232,16 @@ class SweepResult(Dict[str, Dict[str, float]]):
 
 
 class _Task:
-    """One supervised work item: evaluate a benchmark, or materialize
-    its trace into the store (``kind``)."""
+    """One supervised work item: evaluate a benchmark, run a detailed
+    (Section-4) analysis cell, or materialize a trace into the store
+    (``kind``)."""
 
     __slots__ = (
         "bench",
         "recipe",
         "missing",
         "kind",
+        "opts",
         "attempts",
         "last_error",
         "last_tb",
@@ -242,11 +253,13 @@ class _Task:
         recipe: TraceRecipe,
         missing: List[str],
         kind: str = "evaluate",
+        opts: Optional[dict] = None,
     ):
         self.bench = bench
         self.recipe = recipe
         self.missing = list(missing)
         self.kind = kind
+        self.opts = opts
         self.attempts = 0
         self.last_error: Optional[BaseException] = None
         self.last_tb = ""
@@ -282,6 +295,45 @@ def _worker_evaluate(
     fault_point("worker", bench=recipe.name)
     trace = _load_recipe(recipe)
     return recipe.name, evaluate_specs(tuple(specs), trace, cache=None)
+
+
+def _detailed_cells(
+    specs: Sequence[str], trace: BranchTrace, opts: dict
+) -> Dict[str, dict]:
+    """Run and summarize the detailed simulation of each spec on one trace.
+
+    The heavy per-access attribution arrays never leave this function —
+    each cell is reduced to its compact Section-4 summary dict
+    (:func:`repro.analysis.summary.summarize_detailed`), kilobytes
+    instead of tens of megabytes, which is what makes detailed cells
+    shippable across the process pool and journallable as JSON.
+    """
+    from repro.analysis.bias import pc_code_stream
+    from repro.analysis.summary import summarize_detailed
+    from repro.core.registry import make_predictor
+    from repro.sim.engine import run_detailed
+
+    pc_codes = pc_code_stream(trace.pcs)  # per-trace, shared by every cell
+    out: Dict[str, dict] = {}
+    for spec in specs:
+        fault_point("detailed", bench=trace.name or "anon", spec=spec)
+        detailed = run_detailed(make_predictor(spec), trace)
+        out[spec] = summarize_detailed(
+            detailed,
+            threshold=opts["threshold"],
+            include_bias_table=opts["include_bias_table"],
+            pc_codes=pc_codes,
+        )
+    return out
+
+
+def _worker_detailed(
+    recipe: TraceRecipe, specs: Tuple[str, ...], opts: dict
+) -> Tuple[str, Dict[str, dict]]:
+    """Map (or materialize) one trace and run detailed cells on it."""
+    fault_point("worker", bench=recipe.name)
+    trace = _load_recipe(recipe)
+    return recipe.name, _detailed_cells(specs, trace, opts)
 
 
 def _worker_materialize(recipe: TraceRecipe) -> Tuple[str, None]:
@@ -379,6 +431,13 @@ def _run_supervised(
                     task = queue.popleft()
                     if task.kind == "materialize":
                         future = pool.submit(_worker_materialize, task.recipe)
+                    elif task.kind == "detailed":
+                        future = pool.submit(
+                            _worker_detailed,
+                            task.recipe,
+                            tuple(task.missing),
+                            task.opts,
+                        )
                     else:
                         future = pool.submit(
                             _worker_evaluate, task.recipe, tuple(task.missing)
@@ -693,6 +752,194 @@ def evaluate_matrix_parallel(
                 failures.append(_quarantine(task, exc))
             else:
                 _merge(bench, rates)
+
+    if progress is not None:
+        for bench in traces:
+            for spec in specs:
+                if spec in per_bench[bench]:
+                    progress(spec, bench, per_bench[bench][spec])
+
+    return SweepResult(
+        {
+            spec: {
+                bench: per_bench[bench][spec]
+                for bench in traces
+                if spec in per_bench[bench]
+            }
+            for spec in specs
+        },
+        failures=failures,
+    )
+
+
+def detailed_matrix(
+    specs: Sequence[str],
+    traces: Mapping[str, BranchTrace],
+    cache=None,
+    progress=None,
+    jobs: Optional[int] = None,
+    journal=None,
+    policy: Optional[TaskPolicy] = None,
+    threshold: Optional[float] = None,
+    include_bias_table: bool = False,
+) -> SweepResult:
+    """Parallel Section-4 analysis sweep: ``{spec: {bench: summary}}``.
+
+    The detailed counterpart of :func:`evaluate_matrix_parallel`:
+    every ``(spec, benchmark)`` cell runs a detailed (attribution)
+    simulation and is reduced *in the worker* to the compact summary
+    dict of :func:`repro.analysis.summary.summarize_detailed`.  Because
+    detailed cells are much heavier than rate cells, the sweep ships
+    one supervised task per cell (not per benchmark) for load balance;
+    tasks get the full :class:`TaskPolicy` treatment — retries, pool
+    reseeding after a killed worker, timeouts, serial salvage, and
+    quarantine into ``SweepResult.failures``.
+
+    ``journal`` must be a :class:`repro.sim.journal.PayloadJournal`
+    (cell values are summary dicts): journalled cells are never
+    recomputed, and because summaries round-trip through JSON exactly,
+    a resumed sweep's aggregates are bit-identical to an uninterrupted
+    run.  When a rate ``cache`` is passed, each computed summary's
+    ``misprediction_rate`` is fed into it as a byproduct, so later rate
+    sweeps over the same cells hit for free.
+
+    ``traces`` values may be :class:`TraceRecipe`; cold traces then
+    materialize across the pool first, exactly as in
+    :func:`evaluate_matrix_parallel`.
+    """
+    from repro.analysis.bias import BIAS_THRESHOLD
+    from repro.sim.runner import trace_key
+
+    if threshold is None:
+        threshold = BIAS_THRESHOLD
+    opts = {
+        "threshold": float(threshold),
+        "include_bias_table": bool(include_bias_table),
+    }
+    specs = list(specs)
+    jobs = effective_jobs(jobs)
+    if policy is None:
+        policy = TaskPolicy.from_env()
+
+    per_bench: Dict[str, Dict[str, dict]] = {}
+    tasks: List[_Task] = []
+    materialize: List[_Task] = []
+    local: List[str] = []
+    tkeys = {
+        bench: value.tkey if _is_recipe(value) else trace_key(value)
+        for bench, value in traces.items()
+    }
+    for bench, value in traces.items():
+        tkey = tkeys[bench]
+        known: Dict[str, dict] = {}
+        missing: List[str] = []
+        for spec in specs:
+            hit = journal.lookup(tkey, spec) if journal is not None else None
+            if hit is not None:
+                known[spec] = hit
+            else:
+                missing.append(spec)
+        per_bench[bench] = known
+        if not missing:
+            continue
+        recipe = value if _is_recipe(value) else recipe_of(value)
+        if jobs > 1 and recipe is not None:
+            if _is_recipe(value):
+                store = _recipe_store(recipe)
+                if store is None:
+                    from repro.workloads.suite import trace_store
+
+                    store = trace_store()
+                if not store.has(recipe.name, recipe.length, recipe.seed):
+                    materialize.append(_Task(bench, recipe, [], kind="materialize"))
+            # One task per cell: detailed simulations dominate the
+            # sweep's wall clock, so fine-grained tasks load-balance.
+            for spec in missing:
+                tasks.append(_Task(bench, recipe, [spec], kind="detailed", opts=opts))
+        else:
+            local.append(bench)
+
+    failures: List[FailedCell] = []
+
+    def _merge(bench: str, summaries: Dict[str, dict]) -> None:
+        per_bench[bench].update(summaries)
+        if journal is not None:
+            journal.record_many(tkeys[bench], summaries)
+        if cache is not None:
+            cache.put_many(
+                tkeys[bench],
+                {
+                    spec: summary["misprediction_rate"]
+                    for spec, summary in summaries.items()
+                },
+            )
+
+    def _on_done(task: _Task, summaries) -> None:
+        if summaries is not None:
+            _merge(task.bench, summaries)
+
+    guard = journal.guard(cache) if journal is not None else _null()
+    with guard:
+        if tasks or materialize:
+            _, exhausted, leftover = _run_supervised(
+                materialize + tasks,
+                jobs,
+                policy,
+                on_done=_on_done,
+            )
+            local.extend(
+                task.bench for task in leftover if task.kind == "detailed"
+            )
+            for task in exhausted:
+                if task.kind == "materialize":
+                    health.emit(
+                        "trace-store",
+                        "pool-materialize",
+                        "deferred-to-evaluate",
+                        reason=f"{task.bench}: {type(task.last_error).__name__}: "
+                        f"{task.last_error}",
+                        severity="degraded",
+                    )
+                    continue
+                try:
+                    summaries = _detailed_cells(
+                        task.missing, _resolve_trace(traces[task.bench]), opts
+                    )
+                except Exception as exc:
+                    task.attempts += 1
+                    failures.append(_quarantine(task, exc))
+                else:
+                    health.emit(
+                        "parallel-pool",
+                        "pool",
+                        "serial-salvage",
+                        reason=f"{task.bench} recovered after {task.attempts} failed attempts",
+                        severity="degraded",
+                        cells=len(task.missing),
+                    )
+                    _merge(task.bench, summaries)
+
+        for bench in dict.fromkeys(local):
+            missing = [s for s in specs if s not in per_bench[bench]]
+            if not missing:
+                continue
+            try:
+                summaries = _detailed_cells(
+                    missing, _resolve_trace(traces[bench]), opts
+                )
+            except Exception as exc:
+                value = traces[bench]
+                task = _Task(
+                    bench,
+                    value if _is_recipe(value) else recipe_of(value),
+                    missing,
+                    kind="detailed",
+                    opts=opts,
+                )
+                task.attempts = 1
+                failures.append(_quarantine(task, exc))
+            else:
+                _merge(bench, summaries)
 
     if progress is not None:
         for bench in traces:

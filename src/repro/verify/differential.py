@@ -12,9 +12,13 @@ implementation —
 
 and reports whether all predictions agree, and if not, the index of
 the first diverging branch together with each engine's prediction
-there.  This is the debugging entry point when a kernel regresses: the
-report names the branch to single-step, and the test-suite fuzzers
-shrink their failing traces before producing it.
+there.  For schemes with detailed (Section-4) support, every engine
+that can attribute accesses also carries its per-branch counter ids,
+and the report checks those for divergence too — a kernel that
+predicts correctly but attributes an access to the wrong counter is
+still a divergence.  This is the debugging entry point when a kernel
+regresses: the report names the branch to single-step, and the
+test-suite fuzzers shrink their failing traces before producing it.
 """
 
 from __future__ import annotations
@@ -27,21 +31,30 @@ import numpy as np
 
 from repro.core.registry import make_predictor
 from repro.sim import _cstep
-from repro.sim.batch import gshare_lane_predictions, lane_for_spec
-from repro.sim.batch_bimode import bimode_lane_for_spec, bimode_lane_predictions
+from repro.sim.batch import gshare_lane_detailed, lane_for_spec
+from repro.sim.batch_bimode import bimode_lane_detailed, bimode_lane_for_spec
 from repro.sim.engine import run, run_steps
 from repro.traces.record import BranchTrace
-from repro.verify.oracle import oracle_predictions
+from repro.verify.oracle import (
+    oracle_detailed,
+    oracle_predictions,
+    oracle_supports_detailed,
+)
 
 __all__ = ["EngineRun", "DifferentialReport", "diff_spec"]
 
 
 @dataclass
 class EngineRun:
-    """One implementation's replay of the trace."""
+    """One implementation's replay of the trace.
+
+    ``counter_ids`` is present for engines that also attribute each
+    access to a counter (the detailed/Section-4 contract).
+    """
 
     engine: str
     predictions: np.ndarray
+    counter_ids: Optional[np.ndarray] = None
 
     def rate(self, outcomes: np.ndarray) -> float:
         if len(outcomes) == 0:
@@ -95,32 +108,44 @@ def diff_spec(
     report = DifferentialReport(
         spec=spec, trace_name=trace.name or "anon", num_branches=len(trace)
     )
-    report.runs.append(EngineRun("oracle", oracle_predictions(spec, trace)))
+    detailed = oracle_supports_detailed(spec)
+    if detailed:
+        o_preds, o_ids = oracle_detailed(spec, trace)
+        report.runs.append(EngineRun("oracle", o_preds, o_ids))
+    else:
+        report.runs.append(EngineRun("oracle", oracle_predictions(spec, trace)))
     report.runs.append(
         EngineRun("step", run_steps(make_predictor(spec), trace).predictions)
     )
-    report.runs.append(
-        EngineRun("scalar", run(make_predictor(spec), trace).predictions)
-    )
+    if detailed:
+        predictor = make_predictor(spec)
+        predictor.reset()
+        scalar_detailed = predictor.simulate_detailed(trace)
+        report.runs.append(
+            EngineRun(
+                "scalar",
+                scalar_detailed.result.predictions,
+                scalar_detailed.counter_ids,
+            )
+        )
+    else:
+        report.runs.append(
+            EngineRun("scalar", run(make_predictor(spec), trace).predictions)
+        )
     if include_kernels:
         glane = lane_for_spec(spec)
         if glane is not None:
-            report.runs.append(
-                EngineRun(
-                    "batch:gshare", gshare_lane_predictions([glane], trace)[0]
-                )
-            )
+            g_preds, g_ids = gshare_lane_detailed(glane, trace)
+            report.runs.append(EngineRun("batch:gshare", g_preds, g_ids))
         blane = bimode_lane_for_spec(spec)
         if blane is not None:
             saved = os.environ.get("REPRO_BIMODE_KERNEL")
             try:
                 for strategy in _bimode_strategies():
                     os.environ["REPRO_BIMODE_KERNEL"] = strategy
+                    b_preds, b_ids = bimode_lane_detailed(blane, trace)
                     report.runs.append(
-                        EngineRun(
-                            f"batch:bimode[{strategy}]",
-                            bimode_lane_predictions([blane], trace)[0],
-                        )
+                        EngineRun(f"batch:bimode[{strategy}]", b_preds, b_ids)
                     )
             finally:
                 if saved is None:
@@ -130,20 +155,37 @@ def diff_spec(
 
     reference = report.runs[0]
     first: Optional[int] = None
+    first_kind = "prediction"
+    id_reference = next((r for r in report.runs if r.counter_ids is not None), None)
     for other in report.runs[1:]:
         diverging = np.flatnonzero(reference.predictions != other.predictions)
         if diverging.size and (first is None or diverging[0] < first):
             first = int(diverging[0])
+            first_kind = "prediction"
+        if id_reference is not None and other.counter_ids is not None:
+            id_diverging = np.flatnonzero(
+                id_reference.counter_ids != other.counter_ids
+            )
+            if id_diverging.size and (first is None or id_diverging[0] < first):
+                first = int(id_diverging[0])
+                first_kind = "counter-id"
     if first is not None:
         report.first_divergence = first
         pc = int(trace.pcs[first])
         outcome = bool(trace.outcomes[first])
-        votes = ", ".join(
-            f"{r.engine}={'T' if r.predictions[first] else 'NT'}"
-            for r in report.runs
-        )
+        if first_kind == "counter-id":
+            votes = ", ".join(
+                f"{r.engine}=c{int(r.counter_ids[first])}"
+                for r in report.runs
+                if r.counter_ids is not None
+            )
+        else:
+            votes = ", ".join(
+                f"{r.engine}={'T' if r.predictions[first] else 'NT'}"
+                for r in report.runs
+            )
         report.divergence_detail = (
-            f"first divergence at branch {first} "
+            f"first {first_kind} divergence at branch {first} "
             f"(pc={pc:#x}, outcome={'taken' if outcome else 'not-taken'}): {votes}"
         )
     return report

@@ -28,7 +28,13 @@ import numpy as np
 from repro.core.registry import make_predictor
 from repro.traces.record import BranchTrace
 
-__all__ = ["oracle_predictions", "oracle_rate", "oracle_supports"]
+__all__ = [
+    "oracle_predictions",
+    "oracle_detailed",
+    "oracle_rate",
+    "oracle_supports",
+    "oracle_supports_detailed",
+]
 
 
 def _mask(bits: int) -> int:
@@ -97,6 +103,14 @@ class _OBimode:
             return self.tk.get(di, 2) >= 2
         return self.nt.get(di, 1) >= 2
 
+    def counter_id(self, pc: int) -> int:
+        """The selected direction counter's global id (Section-4
+        attribution): taken-bank entries occupy the upper half."""
+        ci, di = self._indices(pc)
+        if self.choice.get(ci, 2) >= 2:
+            return di + (1 << self.dir_bits)
+        return di
+
     def update(self, pc: int, taken: bool) -> None:
         ci, di = self._indices(pc)
         cs = self.choice.get(ci, 2)
@@ -124,6 +138,10 @@ class _OGShare:
 
     def predict(self, pc: int) -> bool:
         return self.table.get(_gshare(pc, self.ghr.value, self.index_bits, self.hist_bits), 2) >= 2
+
+    def counter_id(self, pc: int) -> int:
+        """The accessed PHT slot (Section-4 attribution)."""
+        return _gshare(pc, self.ghr.value, self.index_bits, self.hist_bits)
 
     def update(self, pc: int, taken: bool) -> None:
         index = _gshare(pc, self.ghr.value, self.index_bits, self.hist_bits)
@@ -532,6 +550,41 @@ def oracle_predictions(spec: str, trace: BranchTrace) -> np.ndarray:
         predictions[i] = oracle.predict(int(pc))
         oracle.update(int(pc), bool(taken))
     return predictions
+
+
+def oracle_supports_detailed(spec: str) -> bool:
+    """Whether the oracle can also attribute accesses to counter ids."""
+    try:
+        oracle = _oracle_for(make_predictor(spec))
+    except NotImplementedError:
+        return False
+    return hasattr(oracle, "counter_id")
+
+
+def oracle_detailed(spec: str, trace: BranchTrace):
+    """Per-branch ``(predictions, counter_ids)`` of ``spec``, slowly.
+
+    The counter-id convention matches the fast implementations'
+    ``simulate_detailed``: for gshare the accessed PHT slot, for bi-mode
+    the selected direction counter with taken-bank ids offset by the
+    bank size.  Only schemes whose oracle exposes ``counter_id`` are
+    supported (see :func:`oracle_supports_detailed`).
+    """
+    oracle = _oracle_for(make_predictor(spec))
+    if not hasattr(oracle, "counter_id"):
+        raise NotImplementedError(
+            f"oracle for {spec!r} does not attribute counter ids"
+        )
+    n = len(trace)
+    predictions = np.empty(n, dtype=bool)
+    counter_ids = np.empty(n, dtype=np.int64)
+    for i, (pc, taken) in enumerate(
+        zip(trace.pcs.tolist(), trace.outcomes.tolist())
+    ):
+        counter_ids[i] = oracle.counter_id(int(pc))
+        predictions[i] = oracle.predict(int(pc))
+        oracle.update(int(pc), bool(taken))
+    return predictions, counter_ids
 
 
 def oracle_rate(spec: str, trace: BranchTrace) -> float:

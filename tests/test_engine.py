@@ -75,6 +75,72 @@ class TestRunDetailed:
         with pytest.raises(NotImplementedError):
             run_detailed(make_predictor("gskew:bank=6"), trace)
 
+    def test_warmup_slices_attribution(self, trace):
+        """Warm-up must drop the same prefix from the result AND the
+        per-access attribution arrays, leaving them aligned."""
+        full = run_detailed(make_predictor("gshare:index=8"), trace)
+        warm = run_detailed(make_predictor("gshare:index=8"), trace, warmup=500)
+        assert warm.result.num_branches == len(trace) - 500
+        assert np.array_equal(warm.result.predictions, full.result.predictions[500:])
+        assert np.array_equal(warm.counter_ids, full.counter_ids[500:])
+        assert np.array_equal(warm.pcs, full.pcs[500:])
+        assert warm.num_counters == full.num_counters
+
+    def test_warmup_matches_plain_run(self, trace):
+        plain = run(make_predictor("bimode:dir=7,hist=7,choice=7"), trace, warmup=300)
+        detailed = run_detailed(
+            make_predictor("bimode:dir=7,hist=7,choice=7"), trace, warmup=300
+        )
+        assert np.array_equal(plain.predictions, detailed.result.predictions)
+
+    def test_warmup_validation(self, trace):
+        with pytest.raises(ValueError):
+            run_detailed(make_predictor("gshare:index=8"), trace, warmup=-1)
+        with pytest.raises(ValueError):
+            run_detailed(make_predictor("gshare:index=8"), trace, warmup=len(trace) + 1)
+
+
+class TestDetailedKernelDispatch:
+    @pytest.mark.parametrize(
+        "spec", ["gshare:index=8,hist=5", "bimode:dir=7,hist=7,choice=6"]
+    )
+    def test_batch_matches_scalar(self, spec, trace, monkeypatch):
+        """The batch attribution kernels must reproduce the scalar loop
+        bit-for-bit: predictions AND per-access counter ids."""
+        monkeypatch.setenv("REPRO_DETAILED_KERNEL", "scalar")
+        scalar = run_detailed(make_predictor(spec), trace)
+        monkeypatch.setenv("REPRO_DETAILED_KERNEL", "batch")
+        batch = run_detailed(make_predictor(spec), trace)
+        assert np.array_equal(scalar.result.predictions, batch.result.predictions)
+        assert np.array_equal(scalar.counter_ids, batch.counter_ids)
+        assert scalar.num_counters == batch.num_counters
+
+    def test_batch_mode_falls_back_without_kernel(self, trace, monkeypatch):
+        """bimodal has a scalar detailed path but no batch kernel; the
+        dispatcher must fall back rather than fail."""
+        monkeypatch.setenv("REPRO_DETAILED_KERNEL", "batch")
+        batch = run_detailed(make_predictor("bimodal:index=8"), trace)
+        monkeypatch.setenv("REPRO_DETAILED_KERNEL", "scalar")
+        scalar = run_detailed(make_predictor("bimodal:index=8"), trace)
+        assert np.array_equal(scalar.result.predictions, batch.result.predictions)
+        assert np.array_equal(scalar.counter_ids, batch.counter_ids)
+
+    def test_no_reset_uses_scalar_path(self, trace):
+        """reset=False continues live predictor state, which the batch
+        kernels (fresh lane tables) cannot honour."""
+        p = make_predictor("gshare:index=8")
+        run_detailed(p, trace)
+        second = run_detailed(p, trace, reset=False)
+        cold = run_detailed(make_predictor("gshare:index=8"), trace)
+        assert (
+            second.result.misprediction_rate <= cold.result.misprediction_rate
+        )
+
+    def test_invalid_mode_rejected(self, trace, monkeypatch):
+        monkeypatch.setenv("REPRO_DETAILED_KERNEL", "turbo")
+        with pytest.raises(ValueError):
+            run_detailed(make_predictor("gshare:index=8"), trace)
+
 
 class TestEmptyTrace:
     def test_all_predictors_handle_empty(self):
