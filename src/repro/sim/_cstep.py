@@ -41,6 +41,8 @@ __all__ = [
     "unavailable_reason",
     "bimode_pair",
     "gshare_detailed",
+    "gshare_fused",
+    "bimode_fused",
     "substream_group",
     "class_changes",
 ]
@@ -96,6 +98,79 @@ void gshare_detailed(const int32_t *keys, const uint8_t *o, int64_t n,
         int8_t s = table[j];
         preds[t] = s >= 2;
         table[j] = o[t] ? (s < 3 ? s + 1 : 3) : (s > 0 ? s - 1 : 0);
+    }
+}
+
+/* Fused gshare family: every lane of a spec family advances in ONE
+ * pass over the raw trace.  All gshare lanes observe the same global
+ * history contents (only the masked width differs), so a single 64-bit
+ * register serves every lane — each lane masks off its own history and
+ * PC bits (paper maximum is 17 bits, far below 64, so the unmasked
+ * shift-in never loses a bit a lane could see).  Tables for all lanes
+ * live concatenated in one int8 arena at per-lane base offsets; the
+ * reduction to per-lane misprediction counts happens in-loop, so no
+ * per-branch prediction stream is ever materialized. */
+void gshare_fused(const int64_t *pcs, const uint8_t *o, int64_t n,
+                  int64_t num_lanes, const int64_t *imask,
+                  const int64_t *hmask, const int64_t *base,
+                  int8_t *tables, int64_t *miss)
+{
+    uint64_t h = 0;
+    for (int64_t t = 0; t < n; t++) {
+        int64_t pc = pcs[t];
+        uint8_t taken = o[t];
+        for (int64_t k = 0; k < num_lanes; k++) {
+            int64_t idx = (pc & imask[k]) ^ (int64_t)(h & (uint64_t)hmask[k]);
+            int8_t *cell = tables + base[k] + idx;
+            int8_t s = *cell;
+            miss[k] += (int64_t)((s >= 2) != taken);
+            *cell = taken ? (s < 3 ? s + 1 : 3) : (s > 0 ? s - 1 : 0);
+        }
+        h = (h << 1) | taken;
+    }
+}
+
+/* Fused bi-mode family: the sequential choice/bank feedback loop of
+ * bimode_pair, with every lane of the family advanced per branch.  The
+ * direction index is gshare-style (PC xor masked history); the choice
+ * index is PC-only when chmask is 0 and gshare-style otherwise, which
+ * covers both choice_uses_history variants with one formula.  The
+ * three tables of every lane share one int8 arena at per-lane base
+ * offsets.  Update rules mirror BiModePredictor.update exactly:
+ * partial update of the selected bank (both banks under full_update),
+ * and the choice counter trains unless it chose wrongly while the
+ * selected counter was nevertheless right. */
+void bimode_fused(const int64_t *pcs, const uint8_t *o, int64_t n,
+                  int64_t num_lanes, const int64_t *dmask,
+                  const int64_t *dhmask, const int64_t *cmask,
+                  const int64_t *chmask, const uint8_t *full_update,
+                  const int64_t *nt_base, const int64_t *tk_base,
+                  const int64_t *choice_base, int8_t *tables, int64_t *miss)
+{
+    uint64_t h = 0;
+    for (int64_t t = 0; t < n; t++) {
+        int64_t pc = pcs[t];
+        uint8_t taken = o[t];
+        for (int64_t k = 0; k < num_lanes; k++) {
+            int64_t d = (pc & dmask[k]) ^ (int64_t)(h & (uint64_t)dhmask[k]);
+            int64_t c = (pc & cmask[k]) ^ (int64_t)(h & (uint64_t)chmask[k]);
+            int8_t *choice = tables + choice_base[k];
+            int8_t cs = choice[c];
+            int ct = cs >= 2;
+            int8_t *bank = tables + (ct ? tk_base[k] : nt_base[k]);
+            int8_t ds = bank[d];
+            uint8_t fin = ds >= 2;
+            miss[k] += (int64_t)(fin != taken);
+            bank[d] = taken ? (ds < 3 ? ds + 1 : 3) : (ds > 0 ? ds - 1 : 0);
+            if (full_update[k]) {
+                int8_t *other = tables + (ct ? nt_base[k] : tk_base[k]);
+                int8_t os = other[d];
+                other[d] = taken ? (os < 3 ? os + 1 : 3) : (os > 0 ? os - 1 : 0);
+            }
+            if (!((ct != (int)taken) && (fin == taken)))
+                choice[c] = taken ? (cs < 3 ? cs + 1 : 3) : (cs > 0 ? cs - 1 : 0);
+        }
+        h = (h << 1) | taken;
     }
 }
 
@@ -256,6 +331,35 @@ def _load() -> Optional[ctypes.CDLL]:
             ctypes.c_void_p,  # predictions out
         ]
         lib.gshare_detailed.restype = None
+        lib.gshare_fused.argtypes = [
+            ctypes.c_void_p,  # pcs
+            ctypes.c_void_p,  # outcomes
+            ctypes.c_int64,  # n
+            ctypes.c_int64,  # num_lanes
+            ctypes.c_void_p,  # imask
+            ctypes.c_void_p,  # hmask
+            ctypes.c_void_p,  # base
+            ctypes.c_void_p,  # tables arena
+            ctypes.c_void_p,  # miss out
+        ]
+        lib.gshare_fused.restype = None
+        lib.bimode_fused.argtypes = [
+            ctypes.c_void_p,  # pcs
+            ctypes.c_void_p,  # outcomes
+            ctypes.c_int64,  # n
+            ctypes.c_int64,  # num_lanes
+            ctypes.c_void_p,  # dmask
+            ctypes.c_void_p,  # dhmask
+            ctypes.c_void_p,  # cmask
+            ctypes.c_void_p,  # chmask
+            ctypes.c_void_p,  # full_update
+            ctypes.c_void_p,  # nt_base
+            ctypes.c_void_p,  # tk_base
+            ctypes.c_void_p,  # choice_base
+            ctypes.c_void_p,  # tables arena
+            ctypes.c_void_p,  # miss out
+        ]
+        lib.bimode_fused.restype = None
         lib.substream_group.argtypes = [ctypes.c_void_p] * 4 + [
             ctypes.c_int64,
             ctypes.c_int32,
@@ -368,6 +472,108 @@ def gshare_detailed(
         _ptr(keys), _ptr(outcomes), ctypes.c_int64(n), _ptr(table), _ptr(preds)
     )
     return preds
+
+
+def gshare_fused(
+    pcs: np.ndarray,
+    outcomes: np.ndarray,
+    imask: np.ndarray,
+    hmask: np.ndarray,
+    base: np.ndarray,
+    tables: np.ndarray,
+) -> np.ndarray:
+    """Advance a whole gshare lane family in one pass over the trace.
+
+    ``pcs`` is int64, ``outcomes`` uint8; ``imask``/``hmask``/``base``
+    are int64 per-lane parameter vectors and ``tables`` the shared int8
+    counter arena (updated in place).  Returns the int64 per-lane
+    misprediction counts.  Call only when :func:`available`.
+    """
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers gate on available()
+        raise RuntimeError("compiled fused gshare driver is not available")
+    num_lanes = len(imask)
+    miss = np.zeros(num_lanes, dtype=np.int64)
+    for arr, dtype in (
+        (pcs, np.int64),
+        (outcomes, np.uint8),
+        (imask, np.int64),
+        (hmask, np.int64),
+        (base, np.int64),
+        (tables, np.int8),
+    ):
+        assert arr.dtype == dtype and arr.flags["C_CONTIGUOUS"]
+    lib.gshare_fused(
+        _ptr(pcs),
+        _ptr(outcomes),
+        ctypes.c_int64(len(outcomes)),
+        ctypes.c_int64(num_lanes),
+        _ptr(imask),
+        _ptr(hmask),
+        _ptr(base),
+        _ptr(tables),
+        _ptr(miss),
+    )
+    return miss
+
+
+def bimode_fused(
+    pcs: np.ndarray,
+    outcomes: np.ndarray,
+    dmask: np.ndarray,
+    dhmask: np.ndarray,
+    cmask: np.ndarray,
+    chmask: np.ndarray,
+    full_update: np.ndarray,
+    nt_base: np.ndarray,
+    tk_base: np.ndarray,
+    choice_base: np.ndarray,
+    tables: np.ndarray,
+) -> np.ndarray:
+    """Advance a whole bi-mode lane family in one pass over the trace.
+
+    ``pcs`` is int64, ``outcomes`` and ``full_update`` uint8; the mask
+    and base arguments are int64 per-lane parameter vectors and
+    ``tables`` the shared int8 arena holding every lane's three tables
+    (updated in place).  Returns the int64 per-lane misprediction
+    counts.  Call only when :func:`available`.
+    """
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers gate on available()
+        raise RuntimeError("compiled fused bi-mode driver is not available")
+    num_lanes = len(dmask)
+    miss = np.zeros(num_lanes, dtype=np.int64)
+    for arr, dtype in (
+        (pcs, np.int64),
+        (outcomes, np.uint8),
+        (dmask, np.int64),
+        (dhmask, np.int64),
+        (cmask, np.int64),
+        (chmask, np.int64),
+        (full_update, np.uint8),
+        (nt_base, np.int64),
+        (tk_base, np.int64),
+        (choice_base, np.int64),
+        (tables, np.int8),
+    ):
+        assert arr.dtype == dtype and arr.flags["C_CONTIGUOUS"]
+    lib.bimode_fused(
+        _ptr(pcs),
+        _ptr(outcomes),
+        ctypes.c_int64(len(outcomes)),
+        ctypes.c_int64(num_lanes),
+        _ptr(dmask),
+        _ptr(dhmask),
+        _ptr(cmask),
+        _ptr(chmask),
+        _ptr(full_update),
+        _ptr(nt_base),
+        _ptr(tk_base),
+        _ptr(choice_base),
+        _ptr(tables),
+        _ptr(miss),
+    )
+    return miss
 
 
 def substream_group(

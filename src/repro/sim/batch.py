@@ -61,6 +61,7 @@ __all__ = [
     "gshare_lane_predictions",
     "gshare_lane_detailed",
     "gshare_lane_rates",
+    "gshare_family_rates",
     "counter_scan",
 ]
 
@@ -433,3 +434,101 @@ def gshare_lane_rates(
         )
         rates.append(int(missed.sum()) / n)
     return rates
+
+
+#: Upper bound on stacked (lane, access) pairs handled per chunk by the
+#: numpy fused fallback; bounds the working set of the counting sort.
+_STACK_BUDGET = 8_000_000
+
+
+def _stacked_family_rates(
+    lanes: Sequence[GShareLane], trace: BranchTrace, init: int
+) -> List[float]:
+    """Numpy fallback for the fused family pass: lanes are stacked into
+    one global counter space (each lane's PHT at its own base offset)
+    and the whole stack goes through a single counter-major run
+    decomposition; per-lane misprediction counts come back out of the
+    run reduction by binning runs on their lane's counter range.  Lane
+    chunks are sized so the stacked access stream stays bounded.
+    """
+    n = len(trace)
+    outcomes = np.ascontiguousarray(trace.outcomes)
+    histories_cache: Dict[int, np.ndarray] = {}
+    rates: List[float] = []
+    per_chunk = max(1, _STACK_BUDGET // max(n, 1))
+    for start in range(0, len(lanes), per_chunk):
+        chunk = list(lanes[start : start + per_chunk])
+        bases = np.zeros(len(chunk), dtype=np.int64)
+        parts: List[np.ndarray] = []
+        total = 0
+        for j, lane in enumerate(chunk):
+            bases[j] = total
+            parts.append(_lane_keys(lane, trace, histories_cache) + np.int32(total))
+            total += lane.table_size
+        stacked_keys = np.concatenate(parts)
+        stacked_outs = np.tile(outcomes, len(chunk))
+        order, run_first, run_len, run_out, run_s0 = _lane_runs(
+            stacked_keys, stacked_outs, total, init
+        )
+        missed = np.where(
+            run_out,
+            np.clip(2 - run_s0, 0, run_len),
+            np.clip(run_s0 - 1, 0, run_len),
+        )
+        # Lanes occupy disjoint contiguous counter ranges, so a run's
+        # counter id places it in exactly one lane.
+        run_lane = np.searchsorted(bases, stacked_keys[order[run_first]], "right") - 1
+        per_lane = np.bincount(run_lane, weights=missed, minlength=len(chunk))
+        rates.extend(int(m) / n for m in per_lane)
+    return rates
+
+
+def gshare_family_rates(
+    lanes: Sequence[GShareLane], trace: BranchTrace, init: int = WEAKLY_TAKEN
+) -> List[float]:
+    """Misprediction rate of every lane via the fused single-pass driver.
+
+    The whole lane family advances in ONE pass over the trace: the
+    compiled driver (:func:`repro.sim._cstep.gshare_fused`) keeps every
+    lane's PHT in a shared arena and reduces to per-lane misprediction
+    counts in-loop, so neither index streams nor per-access state are
+    ever materialized.  Without a compiler the family falls back to the
+    stacked counter-major numpy pass (health-reported).  Rates are
+    bit-identical to :func:`gshare_lane_rates` and the scalar engine.
+    """
+    lanes = list(lanes)
+    n = len(trace)
+    if not lanes:
+        return []
+    if n == 0:
+        return [0.0] * len(lanes)
+    from repro import health
+    from repro.sim import _cstep
+
+    if _cstep.available():
+        health.engine_used("gshare-fused", "c", cells=len(lanes))
+        sizes = np.array([lane.table_size for lane in lanes], dtype=np.int64)
+        base = np.zeros(len(lanes), dtype=np.int64)
+        base[1:] = np.cumsum(sizes)[:-1]
+        imask = np.array([lane.table_size - 1 for lane in lanes], dtype=np.int64)
+        hmask = np.array(
+            [(1 << lane.history_bits) - 1 for lane in lanes], dtype=np.int64
+        )
+        tables = np.full(int(sizes.sum()), init, dtype=np.int8)
+        miss = _cstep.gshare_fused(
+            np.ascontiguousarray(trace.pcs, dtype=np.int64),
+            np.ascontiguousarray(trace.outcomes).view(np.uint8),
+            imask,
+            hmask,
+            base,
+            tables,
+        )
+        return [int(m) / n for m in miss]
+    health.engine_used(
+        "gshare-fused",
+        "numpy",
+        expected="c",
+        cells=len(lanes),
+        reason=_cstep.unavailable_reason() or "",
+    )
+    return _stacked_family_rates(lanes, trace, init)

@@ -64,6 +64,7 @@ __all__ = [
     "bimode_lane_predictions",
     "bimode_lane_detailed",
     "bimode_lane_rates",
+    "bimode_family_rates",
     "bimode_matrix_rates",
     "KernelStats",
     "stats",
@@ -709,6 +710,85 @@ def bimode_lane_rates(
         return [0.0] * len(lanes)
     counts = _simulate_pairs([(lane, trace) for lane in lanes], want="counts")
     return [count / n for count in counts]
+
+
+def bimode_family_rates(
+    lanes: Sequence[BiModeLane], trace: BranchTrace
+) -> List[float]:
+    """Misprediction rate of every lane via the fused single-pass driver.
+
+    The whole lane family advances in ONE pass over the raw trace: the
+    compiled driver (:func:`repro.sim._cstep.bimode_fused`) keeps every
+    lane's three tables in a shared arena, derives both index streams
+    in-loop from one running 64-bit history register (each lane masks
+    its own widths), and reduces to per-lane misprediction counts
+    without materializing index streams or predictions.  Without the
+    compiled driver — or when ``REPRO_BIMODE_KERNEL`` pins a different
+    engine — the family falls back to the per-trace batched strategies
+    of :func:`bimode_lane_rates` (health-reported).  Rates are
+    bit-identical to the scalar engine under every path.
+    """
+    lanes = list(lanes)
+    n = len(trace)
+    if not lanes:
+        return []
+    if n == 0:
+        return [0.0] * len(lanes)
+    from repro import health
+
+    mode = _kernel_mode()
+    if mode not in ("auto", "c") or not _cstep.available():
+        health.engine_used(
+            "bimode-fused",
+            "batched",
+            expected="c",
+            cells=len(lanes),
+            reason=_cstep.unavailable_reason() or f"REPRO_BIMODE_KERNEL={mode}",
+        )
+        return bimode_lane_rates(lanes, trace)
+    health.engine_used("bimode-fused", "c", cells=len(lanes))
+    P = len(lanes)
+    dmask = np.array([mask(lane.dir_bits) for lane in lanes], dtype=np.int64)
+    dhmask = np.array([mask(lane.hist_bits) for lane in lanes], dtype=np.int64)
+    cmask = np.array([mask(lane.choice_bits) for lane in lanes], dtype=np.int64)
+    chmask = np.array(
+        [
+            mask(min(lane.hist_bits, lane.choice_bits))
+            if lane.choice_uses_history
+            else 0
+            for lane in lanes
+        ],
+        dtype=np.int64,
+    )
+    full_update = np.array([lane.full_update for lane in lanes], dtype=np.uint8)
+    nt_base = np.empty(P, dtype=np.int64)
+    tk_base = np.empty(P, dtype=np.int64)
+    choice_base = np.empty(P, dtype=np.int64)
+    total = 0
+    for j, lane in enumerate(lanes):
+        nt_base[j] = total
+        tk_base[j] = total + lane.bank_size
+        choice_base[j] = total + 2 * lane.bank_size
+        total += 2 * lane.bank_size + lane.choice_size
+    tables = np.empty(total, dtype=np.int8)
+    for j, lane in enumerate(lanes):
+        tables[nt_base[j] : tk_base[j]] = WEAKLY_NOT_TAKEN
+        tables[tk_base[j] : choice_base[j]] = WEAKLY_TAKEN
+        tables[choice_base[j] : choice_base[j] + lane.choice_size] = WEAKLY_TAKEN
+    miss = _cstep.bimode_fused(
+        np.ascontiguousarray(trace.pcs, dtype=np.int64),
+        np.ascontiguousarray(trace.outcomes).view(np.uint8),
+        dmask,
+        dhmask,
+        cmask,
+        chmask,
+        full_update,
+        nt_base,
+        tk_base,
+        choice_base,
+        tables,
+    )
+    return [int(m) / n for m in miss]
 
 
 def bimode_matrix_rates(

@@ -1,0 +1,198 @@
+"""Fused sweep planner: one trace pass evaluates every cell.
+
+A paper sweep aims a *grid* of predictor specs at each benchmark trace
+— Figure 2/3/4 together evaluate a hundred-plus configurations per
+trace — and before this module every cell replayed the shared trace
+independently: O(specs x trace) work for what is structurally O(trace)
+of streaming plus O(specs) of reduction.  The planner closes that gap.
+
+Planner model
+-------------
+``plan_families`` groups a spec grid into **families** by shared
+precomputation:
+
+* **gshare** — every plain ``gshare:index=I,hist=H`` spec.  All lanes
+  observe the same global-history contents (only masked widths differ)
+  and index with the same ``(pc & imask) ^ (h & hmask)`` form, so one
+  64-bit history register and one pass over the raw ``(pc, outcome)``
+  stream serves the whole family
+  (:func:`repro.sim.batch.gshare_family_rates`).
+* **bimode** — every bi-mode spec, including the ``full_update`` /
+  ``choice_hist`` ablation variants: the same shared-register argument
+  holds for both of its index streams
+  (:func:`repro.sim.batch_bimode.bimode_family_rates`).
+* **scalar** — anything else (1-bit PHTs, static schemes, ...).  These
+  run per-cell through the scalar engine; falling off the fused path is
+  reported as a health degradation so the CLI's coalesced summary shows
+  exactly which schemes did not fuse.
+
+Families split only on *kind*: two gshare specs never land in separate
+families, because nothing about them prevents sharing the pass.  The
+family evaluators reduce to per-spec misprediction rates in-loop, so
+journals and rate caches keep their per-cell granularity unchanged.
+
+Dispatch
+--------
+``REPRO_FUSED`` selects the engine per the ``REPRO_*_KERNEL`` pattern:
+
+* ``auto`` (default) — fused when the compiled step driver
+  (:mod:`repro.sim._cstep`) is available, otherwise the pre-existing
+  per-trace batched kernels, with the fallback health-reported;
+* ``on`` — always fused; without a compiler the family evaluators use
+  their stacked-numpy fallbacks (health-reported);
+* ``off`` — the legacy per-trace batched path, unconditionally.
+
+Every path is bit-identical; the equivalence suite and the
+differential oracle assert it cell by cell.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.batch import (
+    gshare_family_rates,
+    gshare_lane_rates,
+    lane_for_spec,
+)
+from repro.sim.batch_bimode import (
+    bimode_family_rates,
+    bimode_lane_for_spec,
+    bimode_lane_rates,
+)
+from repro.traces.record import BranchTrace
+
+__all__ = [
+    "SpecFamily",
+    "plan_families",
+    "fused_mode",
+    "fused_active",
+    "family_rates",
+]
+
+
+@dataclass(frozen=True)
+class SpecFamily:
+    """One group of specs sharing a fused evaluation pass."""
+
+    kind: str  # "gshare" | "bimode" | "scalar"
+    specs: Tuple[str, ...]
+    lanes: Tuple[object, ...]  # parallel to specs; None for scalar
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gshare", "bimode", "scalar"):
+            raise ValueError(f"unknown family kind {self.kind!r}")
+        if len(self.specs) != len(self.lanes):
+            raise ValueError("specs and lanes must be parallel")
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+def plan_families(specs: Sequence[str]) -> List[SpecFamily]:
+    """Group a spec grid into fused families.
+
+    Duplicate specs collapse to one lane (the grid's answer is the same
+    cell); order within a family follows first appearance.  Returns
+    only non-empty families, gshare first, scalar last.
+    """
+    groups: Dict[str, List[Tuple[str, object]]] = {
+        "gshare": [],
+        "bimode": [],
+        "scalar": [],
+    }
+    for spec in dict.fromkeys(specs):
+        glane = lane_for_spec(spec)
+        if glane is not None:
+            groups["gshare"].append((spec, glane))
+            continue
+        blane = bimode_lane_for_spec(spec)
+        if blane is not None:
+            groups["bimode"].append((spec, blane))
+            continue
+        groups["scalar"].append((spec, None))
+    return [
+        SpecFamily(
+            kind=kind,
+            specs=tuple(spec for spec, _ in members),
+            lanes=tuple(lane for _, lane in members),
+        )
+        for kind, members in groups.items()
+        if members
+    ]
+
+
+def fused_mode() -> str:
+    """The ``REPRO_FUSED`` knob: ``auto`` (default), ``on`` or ``off``."""
+    mode = os.environ.get("REPRO_FUSED", "auto").strip().lower() or "auto"
+    if mode not in ("auto", "on", "off"):
+        raise ValueError(f"REPRO_FUSED must be auto/on/off, got {mode!r}")
+    return mode
+
+
+def fused_active(mode: Optional[str] = None) -> bool:
+    """Whether batchable families should run through the fused pass.
+
+    ``auto`` requires the compiled driver — the stacked-numpy fallbacks
+    are bit-identical but not faster than the per-trace batched kernels
+    they would replace, so auto degrades to those (health-reported)
+    rather than change engines for nothing.
+    """
+    mode = fused_mode() if mode is None else mode
+    if mode == "off":
+        return False
+    if mode == "on":
+        return True
+    from repro.sim import _cstep
+
+    if _cstep.available():
+        return True
+    from repro import health
+
+    health.emit(
+        "fused-planner",
+        "fused",
+        "batched",
+        reason=_cstep.unavailable_reason() or "",
+        severity="degraded",
+    )
+    return False
+
+
+def _scalar_rates(specs: Sequence[str], trace: BranchTrace) -> List[float]:
+    from repro import health
+    from repro.core.registry import make_predictor
+    from repro.sim.engine import run
+
+    schemes = sorted({spec.split(":", 1)[0] for spec in specs})
+    health.emit(
+        "sweep-planner",
+        "fused",
+        "scalar",
+        reason="unfusable scheme(s): " + ", ".join(schemes),
+        severity="degraded",
+        cells=len(specs),
+    )
+    return [run(make_predictor(spec), trace).misprediction_rate for spec in specs]
+
+
+def family_rates(
+    family: SpecFamily, trace: BranchTrace, fused: Optional[bool] = None
+) -> Dict[str, float]:
+    """Misprediction rate of every spec in one family on one trace.
+
+    ``fused`` pins the engine choice (the sweep entry points resolve
+    :func:`fused_active` once per call rather than once per family);
+    ``None`` resolves it here.  Scalar families always run per-cell and
+    report the degradation.
+    """
+    if family.kind == "scalar":
+        return dict(zip(family.specs, _scalar_rates(family.specs, trace)))
+    use_fused = fused_active() if fused is None else fused
+    if family.kind == "gshare":
+        fn = gshare_family_rates if use_fused else gshare_lane_rates
+    else:
+        fn = bimode_family_rates if use_fused else bimode_lane_rates
+    return dict(zip(family.specs, fn(list(family.lanes), trace)))

@@ -2,7 +2,9 @@
 
 Design-space sweeps (specs x benchmarks) are embarrassingly parallel
 across traces, so :func:`evaluate_matrix_parallel` ships one work item
-per benchmark to a ``ProcessPoolExecutor``.  Work items carry a
+per (trace, spec family) — the fused planner's grouping, after
+deduplicating identical (spec, trace) cells across benchmarks — to a
+``ProcessPoolExecutor``.  Work items carry a
 :class:`TraceRecipe` — ``(name, length, seed)`` plus an optional trace
 store root — rather than the trace arrays themselves: workers map the
 published trace out of the zero-copy store
@@ -613,20 +615,28 @@ def evaluate_matrix_parallel(
 ) -> SweepResult:
     """Parallel :func:`repro.sim.runner.evaluate_matrix`.
 
-    Splits the matrix by benchmark, evaluates missing cells in
-    supervised worker processes, and merges deterministically.  Cells
-    already recorded in ``cache`` or ``journal`` are never recomputed;
-    each completed task is merged (matrix + cache + journal) as soon as
-    it finishes, so a crash or interrupt loses at most the in-flight
-    tasks.  Tasks that exhaust every retry and the final serial attempt
-    are quarantined on ``SweepResult.failures`` — their cells are
-    omitted from the matrix rather than poisoning it.
+    Identical ``(spec, trace)`` cells are simulated exactly once: the
+    matrix is planned per unique trace key — benchmarks sharing a trace
+    (and repeated specs in the grid) collapse onto one set of cells,
+    and every completed cell fans back out to each requesting benchmark
+    key.  A trace's missing cells then ship as one supervised task per
+    spec *family* (the fused planner's grouping, see
+    :mod:`repro.sim.fused`) rather than per cell, while cache and
+    journal entries stay per-cell — so resume, salvage, and quarantine
+    granularity are unchanged.  Cells already recorded in ``cache`` or
+    ``journal`` are never recomputed; each completed task is merged
+    (matrix + cache + journal) as soon as it finishes, so a crash or
+    interrupt loses at most the in-flight tasks.  Tasks that exhaust
+    every retry and the final serial attempt are quarantined on
+    ``SweepResult.failures`` — their cells are omitted from the matrix
+    rather than poisoning it.
 
     ``traces`` values may be :class:`TraceRecipe` instead of loaded
     arrays: the sweep then fans cold-store materialization out into the
     pool as first-class supervised tasks ahead of the evaluate tasks,
     and workers map the published trace instead of regenerating it.
     """
+    from repro.sim.fused import plan_families
     from repro.sim.runner import evaluate_specs, trace_key
 
     specs = list(specs)
@@ -634,8 +644,10 @@ def evaluate_matrix_parallel(
     if policy is None:
         policy = TaskPolicy.from_env()
 
-    # Plan: per benchmark, which cells are not already cached/journalled?
-    per_bench: Dict[str, Dict[str, float]] = {}
+    # Plan per unique trace key: which cells are not already
+    # cached/journalled?  ``local`` holds trace keys (not benchmarks)
+    # for the in-parent serial path.
+    per_bench: Dict[str, Dict[str, float]] = {bench: {} for bench in traces}
     tasks: List[_Task] = []
     materialize: List[_Task] = []
     local: List[str] = []
@@ -643,11 +655,17 @@ def evaluate_matrix_parallel(
         bench: value.tkey if _is_recipe(value) else trace_key(value)
         for bench, value in traces.items()
     }
+    tkey_benches: Dict[str, List[str]] = {}
+    tkey_value: Dict[str, object] = {}
     for bench, value in traces.items():
-        tkey = tkeys[bench]
+        tkey_benches.setdefault(tkeys[bench], []).append(bench)
+        tkey_value.setdefault(tkeys[bench], value)
+
+    for tkey, benches in tkey_benches.items():
+        value = tkey_value[tkey]
         known: Dict[str, float] = {}
         missing: List[str] = []
-        for spec in specs:
+        for spec in dict.fromkeys(specs):
             hit = cache.get(spec, tkey) if cache is not None else None
             if hit is None and journal is not None:
                 hit = journal.lookup(tkey, spec)
@@ -657,9 +675,11 @@ def evaluate_matrix_parallel(
                 known[spec] = hit
             else:
                 missing.append(spec)
-        per_bench[bench] = known
+        for bench in benches:
+            per_bench[bench].update(known)
         if not missing:
             continue
+        rep = benches[0]
         recipe = value if _is_recipe(value) else recipe_of(value)
         if jobs > 1 and recipe is not None:
             if _is_recipe(value):
@@ -669,23 +689,25 @@ def evaluate_matrix_parallel(
 
                     store = trace_store()
                 if not store.has(recipe.name, recipe.length, recipe.seed):
-                    materialize.append(_Task(bench, recipe, [], kind="materialize"))
-            tasks.append(_Task(bench, recipe, missing))
+                    materialize.append(_Task(rep, recipe, [], kind="materialize"))
+            for family in plan_families(missing):
+                tasks.append(_Task(rep, recipe, list(family.specs)))
         else:
-            local.append(bench)
+            local.append(tkey)
 
     failures: List[FailedCell] = []
 
-    def _merge(bench: str, rates: Dict[str, float]) -> None:
-        per_bench[bench].update(rates)
+    def _merge(tkey: str, rates: Dict[str, float]) -> None:
+        for bench in tkey_benches[tkey]:
+            per_bench[bench].update(rates)
         if cache is not None:
-            cache.put_many(tkeys[bench], rates)
+            cache.put_many(tkey, rates)
         if journal is not None:
-            journal.record_many(tkeys[bench], rates)
+            journal.record_many(tkey, rates)
 
     def _on_done(task: _Task, rates) -> None:
         if rates is not None:
-            _merge(task.bench, rates)
+            _merge(tkeys[task.bench], rates)
 
     guard = journal.guard(cache) if journal is not None else _null()
     with guard:
@@ -700,7 +722,7 @@ def evaluate_matrix_parallel(
                 on_done=_on_done,
             )
             local.extend(
-                task.bench for task in leftover if task.kind == "evaluate"
+                tkeys[task.bench] for task in leftover if task.kind == "evaluate"
             )
             # Final in-parent serial attempt, then quarantine.  A failed
             # materialize task is never quarantined: its bench's
@@ -733,25 +755,26 @@ def evaluate_matrix_parallel(
                         severity="degraded",
                         cells=len(task.missing),
                     )
-                    _merge(task.bench, rates)
+                    _merge(tkeys[task.bench], rates)
 
-        for bench in dict.fromkeys(local):
-            missing = [s for s in specs if s not in per_bench[bench]]
+        for tkey in dict.fromkeys(local):
+            rep = tkey_benches[tkey][0]
+            missing = [s for s in dict.fromkeys(specs) if s not in per_bench[rep]]
             if not missing:
                 continue
             try:
                 rates = evaluate_specs(
-                    missing, _resolve_trace(traces[bench]), cache=None
+                    missing, _resolve_trace(tkey_value[tkey]), cache=None
                 )
             except Exception as exc:
-                value = traces[bench]
+                value = tkey_value[tkey]
                 task = _Task(
-                    bench, value if _is_recipe(value) else recipe_of(value), missing
+                    rep, value if _is_recipe(value) else recipe_of(value), missing
                 )
                 task.attempts = 1
                 failures.append(_quarantine(task, exc))
             else:
-                _merge(bench, rates)
+                _merge(tkey, rates)
 
     if progress is not None:
         for bench in traces:

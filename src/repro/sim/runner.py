@@ -7,18 +7,19 @@ lives beside the trace cache (``repro.workloads.suite.default_cache_dir``)
 and survives across processes, which makes re-running a figure bench
 after the first time nearly free.
 
-Plain gshare specs are evaluated through the batched lane kernel
-(:mod:`repro.sim.batch`) and bi-mode specs through the lane-stepped
-bi-mode kernel (:mod:`repro.sim.batch_bimode`); :func:`evaluate_specs`
-groups every such configuration aimed at one trace into a single
-batched call, and :func:`evaluate_matrix` additionally batches the
-whole bi-mode portion of a sweep matrix — every uncached (spec, bench)
-bi-mode cell — into one cross-trace kernel invocation, which is where
-the stepped strategy gets its width.  All other schemes go through the
-scalar engine.  Every path produces bit-identical rates (asserted by
-the equivalence suites and the differential oracle in
-:mod:`repro.verify`), so cache entries are interchangeable between
-them.
+Spec grids are grouped into fused families by the sweep planner
+(:mod:`repro.sim.fused`): gshare families and bi-mode families advance
+every lane in one pass over the shared trace (``REPRO_FUSED``), with
+the pre-existing per-trace batched kernels (:mod:`repro.sim.batch`,
+:mod:`repro.sim.batch_bimode`) as the dispatch fallback, and the
+scalar engine for anything unfusable (health-reported).  When the
+fallback path is active, :func:`evaluate_matrix` additionally batches
+the whole bi-mode portion of a sweep matrix — every uncached (spec,
+bench) bi-mode cell — into one cross-trace kernel invocation, which is
+where the stepped strategy gets its width.  Every path produces
+bit-identical rates (asserted by the equivalence suites and the
+differential oracle in :mod:`repro.verify`), so cache entries are
+interchangeable between them.
 """
 
 from __future__ import annotations
@@ -32,15 +33,9 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 from repro import health
-from repro.core.registry import make_predictor
 from repro.faults import fault_point
-from repro.sim.batch import gshare_lane_rates, lane_for_spec
-from repro.sim.batch_bimode import (
-    bimode_lane_for_spec,
-    bimode_lane_rates,
-    bimode_matrix_rates,
-)
-from repro.sim.engine import run
+from repro.sim.batch_bimode import bimode_lane_for_spec, bimode_matrix_rates
+from repro.sim.fused import family_rates, fused_active, plan_families
 from repro.traces.record import BranchTrace
 from repro.workloads.suite import default_cache_dir
 
@@ -233,16 +228,19 @@ def evaluate_specs(
     trace: BranchTrace,
     cache: Optional[ResultCache] = None,
     precomputed: Optional[Mapping[str, float]] = None,
+    fused: Optional[bool] = None,
 ) -> Dict[str, float]:
     """Misprediction rate of every spec on one trace, batched.
 
-    Plain gshare configurations are simulated together through the
-    batched lane kernel (one counting-sorted pass per lane, shared
-    history streams) and bi-mode configurations through the batched
-    bi-mode kernel; other schemes fall back to the scalar engine.
-    ``precomputed`` rates (from a matrix-level prepass) are honoured
-    like cache hits.  Results are memoized through ``cache`` with one
-    write per trace.
+    Uncached specs are grouped into fused families by the sweep
+    planner (:mod:`repro.sim.fused`): plain gshare and bi-mode
+    configurations each advance as one family over the trace (fused
+    single pass when active, the per-trace batched kernels otherwise);
+    other schemes fall back to the scalar engine with a health
+    degradation recorded.  ``precomputed`` rates (from a matrix-level
+    prepass) are honoured like cache hits; ``fused`` pins the engine
+    choice (``None`` resolves ``REPRO_FUSED``).  Results are memoized
+    through ``cache`` with one write per trace.
     """
     tkey = trace_key(trace)
     rates: Dict[str, float] = {}
@@ -264,33 +262,10 @@ def evaluate_specs(
         # actually simulates cells, so fault-injection tests can assert
         # exactly which benchmarks were recomputed, in which process.
         fault_point("evaluate", bench=trace.name or "anon", cells=len(missing))
-    gshare_batch = []
-    bimode_batch = []
-    scalar: List[str] = []
-    for spec in missing:
-        glane = lane_for_spec(spec)
-        if glane is not None:
-            gshare_batch.append((spec, glane))
-            continue
-        blane = bimode_lane_for_spec(spec)
-        if blane is not None:
-            bimode_batch.append((spec, blane))
-            continue
-        scalar.append(spec)
-    if gshare_batch:
-        for (spec, _), rate in zip(
-            gshare_batch,
-            gshare_lane_rates([lane for _, lane in gshare_batch], trace),
-        ):
-            computed[spec] = rate
-    if bimode_batch:
-        for (spec, _), rate in zip(
-            bimode_batch,
-            bimode_lane_rates([lane for _, lane in bimode_batch], trace),
-        ):
-            computed[spec] = rate
-    for spec in scalar:
-        computed[spec] = run(make_predictor(spec), trace).misprediction_rate
+        if fused is None:
+            fused = fused_active()
+        for family in plan_families(missing):
+            computed.update(family_rates(family, trace, fused=fused))
 
     if cache is not None and computed:
         cache.put_many(tkey, computed)
@@ -353,7 +328,16 @@ def evaluate_matrix(
     maybe_deferred = cache.deferred() if cache is not None else _null_context()
     guard = journal.guard(cache) if journal is not None else _null_context()
     with guard, maybe_deferred:
-        pre = _bimode_matrix_prepass(specs, traces, cache, journal=journal)
+        # The cross-trace bi-mode prepass exists to give the stepped
+        # strategy batch width; under the fused engine the per-trace
+        # family pass is the fast path, so the prepass would only steal
+        # its cells.
+        use_fused = fused_active()
+        pre = (
+            {}
+            if use_fused
+            else _bimode_matrix_prepass(specs, traces, cache, journal=journal)
+        )
         if journal is not None:
             for bench, trace in traces.items():
                 known = journal.completed(trace_key(trace))
@@ -363,7 +347,7 @@ def evaluate_matrix(
                     pre[bench] = merged
         for bench, trace in traces.items():
             per_bench[bench] = evaluate_specs(
-                specs, trace, cache=cache, precomputed=pre.get(bench)
+                specs, trace, cache=cache, precomputed=pre.get(bench), fused=use_fused
             )
             if journal is not None:
                 journal.record_many(trace_key(trace), per_bench[bench])

@@ -31,6 +31,11 @@ SPECS = [
     "bimode:dir=6,hist=6,choice=6",
 ]
 
+#: SPECS spans one gshare family and one bi-mode family, and the
+#: parallel planner ships one supervised task per (trace, family) —
+#: so each benchmark's cells are simulated in exactly this many tasks.
+FAMILIES = 2
+
 BENCHES = ("gcc", "xlisp", "compress")
 
 
@@ -74,16 +79,18 @@ class TestWorkerCrashSalvage:
         assert result.failures == []
 
         counts = faults.trace_counts(tmp_path / "trace", site="evaluate")
-        # every healthy benchmark was simulated exactly once, in its own
-        # worker — the gcc crash did not trigger any recompute
-        assert counts[("evaluate", "xlisp")] == 1
-        assert counts[("evaluate", "compress")] == 1
+        # every healthy benchmark was simulated exactly once per family
+        # task, in its own worker — the gcc crash did not trigger any
+        # recompute
+        assert counts[("evaluate", "xlisp")] == FAMILIES
+        assert counts[("evaluate", "compress")] == FAMILIES
         # gcc itself was only ever simulated by the in-parent salvage:
         # the injected fault fired at worker entry, before simulation
-        assert counts[("evaluate", "gcc")] == 1
-        # the worker-side attempts really happened (initial + 1 retry)
+        assert counts[("evaluate", "gcc")] == FAMILIES
+        # the worker-side attempts really happened (initial + 1 retry,
+        # for each of gcc's family tasks)
         worker_hits = faults.trace_counts(tmp_path / "trace", site="worker")
-        assert worker_hits[("worker", "gcc")] == 2
+        assert worker_hits[("worker", "gcc")] == 2 * FAMILIES
 
     def test_salvage_reported_as_degradation(self, traces):
         with faults.inject("worker:raise:bench=gcc,where=worker"):
@@ -99,21 +106,26 @@ class TestQuarantine:
     """ISSUE acceptance: a cell failing every retry *and* the serial
     salvage is quarantined as exactly one structured FailedCell."""
 
-    def test_exactly_one_failed_cell(self, traces, serial_reference):
+    def test_exactly_one_failed_cell_per_family(self, traces, serial_reference):
         with faults.inject("evaluate:raise:bench=gcc"):
             result = evaluate_matrix_parallel(
                 SPECS, traces, jobs=2, policy=TaskPolicy(retries=1, backoff=0.0)
             )
 
-        assert len(result.failures) == 1
-        cell = result.failures[0]
-        assert isinstance(cell, FailedCell)
-        assert cell.bench == "gcc"
-        assert set(cell.specs) == set(SPECS)
-        assert cell.error_type == "FaultInjected"
-        assert "injected fault" in cell.message
-        assert "FaultInjected" in cell.traceback
-        assert cell.attempts == 3  # 2 pool attempts + 1 serial salvage
+        # one quarantined cell per family task, together covering
+        # exactly gcc's spec grid
+        assert len(result.failures) == FAMILIES
+        covered = set()
+        for cell in result.failures:
+            assert isinstance(cell, FailedCell)
+            assert cell.bench == "gcc"
+            assert cell.error_type == "FaultInjected"
+            assert "injected fault" in cell.message
+            assert "FaultInjected" in cell.traceback
+            assert cell.attempts == 3  # 2 pool attempts + 1 serial salvage
+            assert not covered & set(cell.specs)
+            covered |= set(cell.specs)
+        assert covered == set(SPECS)
         assert result.quarantined_benches == ["gcc"]
 
         # the quarantined benchmark is omitted from the matrix, not
@@ -125,8 +137,9 @@ class TestQuarantine:
             for bench in ("xlisp", "compress"):
                 assert result[spec][bench] == serial_reference[spec][bench]
 
-        (event,) = health.events(component="sweep", severity="error")
-        assert event.actual == "quarantined"
+        events = health.events(component="sweep", severity="error")
+        assert len(events) == FAMILIES
+        assert all(event.actual == "quarantined" for event in events)
 
     def test_serial_path_quarantines_too(self, traces, serial_reference):
         with faults.inject("evaluate:raise:bench=gcc"):

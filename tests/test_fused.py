@@ -1,0 +1,387 @@
+"""Fused sweep planner and family evaluation (:mod:`repro.sim.fused`).
+
+Covers the PR's equivalence contract end to end: the planner's family
+grouping and dedupe, ``REPRO_FUSED`` dispatch (including the compiler-
+denied fallbacks, all health-reported), bit-identity of the fused
+passes against the per-cell scalar engine *and* the differential
+oracle over Figure-2/3/4 spec grids, hypothesis fuzzing of random
+grids, the parallel planner's (spec, trace) dedupe with fan-out, and
+per-cell journal resume under per-family tasks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import faults, health
+from repro.analysis.sweep import _candidate_specs, bimode_spec, gshare_1pht_spec
+from repro.core.registry import make_predictor
+from repro.sim.engine import run
+from repro.sim.fused import (
+    SpecFamily,
+    family_rates,
+    fused_active,
+    fused_mode,
+    plan_families,
+)
+from repro.sim.journal import SweepJournal
+from repro.sim.runner import evaluate_specs, trace_key
+from repro.traces.record import BranchTrace
+from repro.verify.oracle import oracle_rate
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import get_profile
+
+#: Two small paper size points -> the full Figure-2/3/4 grid shape:
+#: the 1PHT points, every gshare.best history candidate, and bi-mode.
+KB_POINTS = (1 / 64, 1 / 32)
+
+
+def figure_grid():
+    specs = []
+    for kb in KB_POINTS:
+        specs.append(gshare_1pht_spec(kb))
+        specs.extend(_candidate_specs(kb, None))
+        specs.append(bimode_spec(kb))
+    return list(dict.fromkeys(specs))
+
+
+@pytest.fixture(autouse=True)
+def clean_health():
+    health.clear()
+    yield
+    health.clear()
+
+
+class TestPlanner:
+    def test_partitions_by_kind_in_fixed_order(self):
+        families = plan_families(
+            [
+                "bimode:dir=5,hist=5,choice=5",
+                "always-taken",
+                "gshare:index=6,hist=3",
+                "gshare:index=6,hist=6",
+                "bimodal:index=5",
+            ]
+        )
+        assert [f.kind for f in families] == ["gshare", "bimode", "scalar"]
+        by_kind = {f.kind: f for f in families}
+        assert by_kind["gshare"].specs == (
+            "gshare:index=6,hist=3",
+            "gshare:index=6,hist=6",
+        )
+        assert by_kind["bimode"].specs == ("bimode:dir=5,hist=5,choice=5",)
+        assert by_kind["scalar"].specs == ("always-taken", "bimodal:index=5")
+        assert by_kind["scalar"].lanes == (None, None)
+
+    def test_empty_families_are_omitted(self):
+        (only,) = plan_families(["gshare:index=5,hist=2"])
+        assert only.kind == "gshare"
+        assert len(only) == 1
+
+    def test_duplicate_specs_collapse_to_one_lane(self):
+        (family,) = plan_families(
+            ["gshare:index=6,hist=4", "gshare:index=6,hist=4"]
+        )
+        assert family.specs == ("gshare:index=6,hist=4",)
+        assert len(family.lanes) == 1
+
+    def test_bimode_ablation_variants_stay_in_one_family(self):
+        (family,) = plan_families(
+            [
+                "bimode:dir=5,hist=5,choice=5",
+                "bimode:dir=5,hist=5,choice=5,full_update=1",
+                "bimode:dir=5,hist=5,choice=5,choice_hist=1",
+            ]
+        )
+        assert family.kind == "bimode"
+        assert len(family) == 3
+
+    def test_spec_family_validates(self):
+        with pytest.raises(ValueError):
+            SpecFamily(kind="exotic", specs=("a",), lanes=(None,))
+        with pytest.raises(ValueError):
+            SpecFamily(kind="scalar", specs=("a", "b"), lanes=(None,))
+
+
+class TestDispatch:
+    def test_mode_default_and_values(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FUSED", raising=False)
+        assert fused_mode() == "auto"
+        monkeypatch.setenv("REPRO_FUSED", "ON")
+        assert fused_mode() == "on"
+        monkeypatch.setenv("REPRO_FUSED", "off")
+        assert fused_mode() == "off"
+        monkeypatch.setenv("REPRO_FUSED", "sideways")
+        with pytest.raises(ValueError):
+            fused_mode()
+
+    def test_pinned_modes(self):
+        assert fused_active("off") is False
+        assert fused_active("on") is True
+
+    def test_auto_without_compiler_degrades_with_event(self):
+        with faults.deny_compiler():
+            health.clear()
+            assert fused_active("auto") is False
+            (event,) = health.events(component="fused-planner")
+            assert event.expected == "fused"
+            assert event.actual == "batched"
+            assert event.severity == "degraded"
+
+    def test_scalar_family_reports_degradation(self, small_workload):
+        health.clear()
+        rates = evaluate_specs(
+            ["always-taken", "gshare:index=6,hist=6"], small_workload
+        )
+        assert set(rates) == {"always-taken", "gshare:index=6,hist=6"}
+        (event,) = health.events(component="sweep-planner")
+        assert event.actual == "scalar"
+        assert event.severity == "degraded"
+        assert "always-taken" in event.reason
+
+
+class TestFigureGridEquivalence:
+    """Fused == per-cell scalar engine == differential oracle, for the
+    Figure-2/3/4 grid shape, across every dispatch mode."""
+
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return figure_grid()
+
+    @pytest.fixture(scope="class")
+    def reference(self, grid, small_workload):
+        return {
+            spec: run(make_predictor(spec), small_workload).misprediction_rate
+            for spec in grid
+        }
+
+    def test_reference_matches_oracle(self, grid, reference, small_workload):
+        for spec in grid:
+            assert reference[spec] == oracle_rate(spec, small_workload), spec
+
+    @pytest.mark.parametrize("mode", ["on", "off", "auto"])
+    def test_modes_are_bit_identical(
+        self, grid, reference, small_workload, monkeypatch, mode
+    ):
+        monkeypatch.setenv("REPRO_FUSED", mode)
+        assert evaluate_specs(grid, small_workload) == reference
+
+    @pytest.mark.parametrize("mode", ["on", "auto"])
+    def test_compiler_denied_is_bit_identical(
+        self, grid, reference, small_workload, monkeypatch, mode
+    ):
+        monkeypatch.setenv("REPRO_FUSED", mode)
+        with faults.deny_compiler():
+            assert evaluate_specs(grid, small_workload) == reference
+
+    def test_family_rates_directly(self, grid, reference, small_workload):
+        for family in plan_families(grid):
+            for fused in (True, False):
+                rates = family_rates(family, small_workload, fused=fused)
+                assert rates == {spec: reference[spec] for spec in family.specs}
+
+
+def _traces(min_size=1, max_size=120):
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_size, max_size))
+        pcs = draw(st.lists(st.integers(0, 63), min_size=n, max_size=n))
+        outcomes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+        return BranchTrace(
+            pcs=np.array(pcs), outcomes=np.array(outcomes), name="hyp"
+        )
+
+    return build()
+
+
+def _gshare_specs():
+    return st.builds(
+        lambda i, h: f"gshare:index={i},hist={min(h, i)}",
+        st.integers(2, 8),
+        st.integers(0, 8),
+    )
+
+
+def _bimode_specs():
+    return st.builds(
+        lambda d, h, c, full, chist: (
+            f"bimode:dir={d},hist={min(h, d)},choice={c}"
+            + (",full_update=1" if full else "")
+            + (",choice_hist=1" if chist else "")
+        ),
+        st.integers(2, 7),
+        st.integers(0, 7),
+        st.integers(2, 7),
+        st.booleans(),
+        st.booleans(),
+    )
+
+
+def _grids():
+    return st.lists(
+        st.one_of(
+            _gshare_specs(),
+            _bimode_specs(),
+            st.sampled_from(["always-taken", "btfnt", "bimodal:index=5"]),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+
+
+class TestPlannerFuzzing:
+    """Random spec grids on random traces: the fused family passes, the
+    per-cell scalar engine, and the differential oracle must agree bit
+    for bit on every cell, and the planner must cover the grid exactly."""
+
+    @given(grid=_grids(), trace=_traces())
+    @settings(max_examples=25, deadline=None)
+    def test_fused_equals_percell_equals_oracle(self, grid, trace):
+        families = plan_families(grid)
+        covered = [spec for family in families for spec in family.specs]
+        assert sorted(covered) == sorted(set(grid))
+
+        fused = {}
+        for family in families:
+            fused.update(family_rates(family, trace, fused=True))
+        for spec in set(grid):
+            scalar = run(make_predictor(spec), trace).misprediction_rate
+            assert fused[spec] == scalar, spec
+            assert fused[spec] == oracle_rate(spec, trace), spec
+
+    @given(grid=_grids(), trace=_traces(min_size=0, max_size=30))
+    @settings(max_examples=15, deadline=None)
+    def test_fused_numpy_fallbacks_agree_on_tiny_traces(self, grid, trace):
+        with faults.deny_compiler():
+            fused = {}
+            for family in plan_families(grid):
+                fused.update(family_rates(family, trace, fused=True))
+        for spec in set(grid):
+            assert fused[spec] == run(
+                make_predictor(spec), trace
+            ).misprediction_rate, spec
+
+
+SPECS = [
+    "gshare:index=8,hist=8",
+    "gshare:index=8,hist=2",
+    "bimode:dir=6,hist=6,choice=6",
+]
+FAMILIES = 2  # one gshare family + one bi-mode family
+
+
+@pytest.fixture()
+def bench_traces(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return {
+        name: generate_trace(get_profile(name), length=6_000, seed=11)
+        for name in ("gcc", "xlisp")
+    }
+
+
+class TestParallelDedupe:
+    """Satellite: identical (spec, trace) cells are simulated once and
+    the rates fanned out to every requesting bench key."""
+
+    def test_shared_trace_simulated_once(self, bench_traces, tmp_path):
+        from repro.sim.parallel import TaskPolicy, evaluate_matrix_parallel
+
+        shared = bench_traces["gcc"]
+        traces = {"run-a": shared, "run-b": shared, "xlisp": bench_traces["xlisp"]}
+        with faults.traced(tmp_path / "trace"):
+            result = evaluate_matrix_parallel(
+                SPECS, traces, jobs=2, policy=TaskPolicy(retries=0, backoff=0.0)
+            )
+
+        counts = faults.trace_counts(tmp_path / "trace", site="evaluate")
+        # the shared trace's family tasks ran once, not once per bench key
+        assert counts[("evaluate", "gcc")] == FAMILIES
+        assert counts[("evaluate", "xlisp")] == FAMILIES
+        for spec in SPECS:
+            assert result[spec]["run-a"] == result[spec]["run-b"]
+            assert result[spec]["run-a"] == run(
+                make_predictor(spec), shared
+            ).misprediction_rate
+
+    def test_duplicate_specs_do_not_add_work(self, bench_traces, tmp_path):
+        from repro.sim.parallel import TaskPolicy, evaluate_matrix_parallel
+
+        with faults.traced(tmp_path / "trace"):
+            result = evaluate_matrix_parallel(
+                SPECS + SPECS,
+                {"gcc": bench_traces["gcc"]},
+                jobs=2,
+                policy=TaskPolicy(retries=0, backoff=0.0),
+            )
+        counts = faults.trace_counts(tmp_path / "trace", site="evaluate")
+        assert counts[("evaluate", "gcc")] == FAMILIES
+        for spec in SPECS:
+            assert result[spec]["gcc"] == run(
+                make_predictor(spec), bench_traces["gcc"]
+            ).misprediction_rate
+
+
+class TestJournalResumeWithFamilies:
+    """Satellite: tasks ship per family, but the journal stays per-cell
+    — a partially journalled family resumes cell by cell."""
+
+    def test_journalled_cells_survive_family_tasks(self, bench_traces, tmp_path):
+        from repro.sim.parallel import TaskPolicy, evaluate_matrix_parallel
+
+        trace = bench_traces["gcc"]
+        tkey = trace_key(trace)
+        sentinel = 0.123456789  # provably from the journal, not simulation
+        journal = SweepJournal(tmp_path / "fused.jsonl")
+        journal.record(tkey, SPECS[0], sentinel)
+
+        result = evaluate_matrix_parallel(
+            SPECS,
+            {"gcc": trace},
+            jobs=2,
+            journal=journal,
+            policy=TaskPolicy(retries=0, backoff=0.0),
+        )
+        assert result[SPECS[0]]["gcc"] == sentinel
+        for spec in SPECS[1:]:
+            assert result[spec]["gcc"] == run(
+                make_predictor(spec), trace
+            ).misprediction_rate
+
+        # every freshly computed cell was journalled for the next resume
+        replay = SweepJournal(journal.path)
+        assert replay.completed(tkey) == {
+            spec: result[spec]["gcc"] for spec in SPECS
+        }
+
+    def test_interrupted_family_sweep_resumes_bit_identically(
+        self, bench_traces, tmp_path
+    ):
+        from repro.sim.parallel import TaskPolicy, evaluate_matrix_parallel
+
+        reference = evaluate_matrix_parallel(
+            SPECS, bench_traces, jobs=2, policy=TaskPolicy(retries=0, backoff=0.0)
+        )
+
+        journal = SweepJournal(tmp_path / "resume.jsonl")
+        with faults.inject("evaluate:sigint:nth=2"):
+            with pytest.raises(KeyboardInterrupt):
+                evaluate_matrix_parallel(
+                    SPECS,
+                    bench_traces,
+                    jobs=1,  # serial: the injected SIGINT hits in-process
+                    journal=journal,
+                    policy=TaskPolicy(retries=0, backoff=0.0),
+                )
+        assert len(SweepJournal(journal.path)) > 0
+
+        resumed_journal = SweepJournal(journal.path)
+        resumed = evaluate_matrix_parallel(
+            SPECS,
+            bench_traces,
+            jobs=2,
+            journal=resumed_journal,
+            policy=TaskPolicy(retries=0, backoff=0.0),
+        )
+        assert resumed == reference
+        assert resumed_journal.resumed_cells > 0
