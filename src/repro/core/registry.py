@@ -19,6 +19,7 @@ into concrete geometries.
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable, Dict
 
 from repro.core.bimode import BiModePredictor
@@ -271,8 +272,10 @@ def make_predictor(spec_or_scheme: str, **kwargs) -> BranchPredictor:
         scheme = spec = spec_or_scheme
     builder = _REGISTRY.get(scheme)
     if builder is None:
+        close = difflib.get_close_matches(scheme, available_schemes(), n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise ValueError(
-            f"unknown predictor scheme {scheme!r} in spec {spec!r}; "
+            f"unknown predictor scheme {scheme!r} in spec {spec!r}{hint}; "
             f"available: {available_schemes()}"
         )
     try:

@@ -43,6 +43,10 @@ __all__ = [
     "gshare_detailed",
     "gshare_fused",
     "bimode_fused",
+    "counter_lane",
+    "gskew_lane",
+    "trimode_lane",
+    "yags_lane",
     "substream_group",
     "class_changes",
 ]
@@ -171,6 +175,139 @@ void bimode_fused(const int64_t *pcs, const uint8_t *o, int64_t n,
                 choice[c] = taken ? (cs < 3 ? cs + 1 : 3) : (cs > 0 ? cs - 1 : 0);
         }
         h = (h << 1) | taken;
+    }
+}
+
+/* One pass of a single saturating-counter table with precomputed keys:
+ * the shared automaton of every feedback-free scheme in the kernel
+ * registry (bimodal at any width, the two-level GAx/PAx family, agree
+ * on its agreed-stream, gskew-total's banks, tournament components and
+ * meta).  Each access records the state it OBSERVES (before its own
+ * delta); prediction semantics stay with the numpy caller, which is
+ * what lets one loop serve schemes with different read interpretations.
+ * Deltas are in {-1, 0, +1}; 0 reads without training (e.g. the meta
+ * table of a tournament when its components agree). */
+void counter_lane(const int64_t *keys, const int8_t *delta, int64_t n,
+                  int8_t *table, int8_t max_state, int8_t *states)
+{
+    for (int64_t t = 0; t < n; t++) {
+        int64_t j = keys[t];
+        int8_t s = table[j];
+        states[t] = s;
+        int8_t ns = (int8_t)(s + delta[t]);
+        table[j] = ns < 0 ? 0 : (ns > max_state ? max_state : ns);
+    }
+}
+
+/* One gskew (configuration, trace) pair: three banks indexed by the
+ * rotation-XOR skewing functions of GSkewPredictor._indices, majority
+ * vote, and either the total or the enhanced (e-gskew) update policy.
+ * The enhanced policy's partial update feeds bank state back into which
+ * banks train, so the whole automaton runs here; indices are computed
+ * in-loop from the running 64-bit history register (masked per access
+ * exactly like GlobalHistoryRegister.value). */
+static int64_t rot_left(int64_t v, int64_t amount, int64_t bits, int64_t m)
+{
+    if (bits == 0)
+        return 0;
+    amount %= bits;
+    v &= m;
+    return ((v << amount) | (v >> (bits - amount))) & m;
+}
+
+void gskew_lane(const int64_t *pcs, const uint8_t *o, int64_t n,
+                int64_t bank_bits, int64_t hmask, int enhanced,
+                int8_t *b0, int8_t *b1, int8_t *b2, uint8_t *preds)
+{
+    int64_t m = bank_bits ? (((int64_t)1 << bank_bits) - 1) : 0;
+    int64_t r1 = bank_bits / 2, r2 = (2 * bank_bits) / 3;
+    uint64_t h = 0;
+    for (int64_t t = 0; t < n; t++) {
+        int64_t pc = pcs[t];
+        uint8_t taken = o[t];
+        int64_t pc_lo = pc & m;
+        int64_t pc_hi = (pc >> bank_bits) & m;
+        int64_t hist = bank_bits ? ((int64_t)(h & (uint64_t)hmask) & m) : 0;
+        int64_t i0 = pc_lo ^ hist;
+        int64_t i1 = rot_left(pc_lo, 1, bank_bits, m)
+                     ^ rot_left(hist, r1, bank_bits, m) ^ pc_hi;
+        int64_t i2 = rot_left(pc_lo, 2, bank_bits, m)
+                     ^ rot_left(hist, r2, bank_bits, m)
+                     ^ rot_left(pc_hi, 1, bank_bits, m);
+        int8_t s0 = b0[i0], s1 = b1[i1], s2 = b2[i2];
+        int v0 = s0 >= 2, v1 = s1 >= 2, v2 = s2 >= 2;
+        int maj = (v0 + v1 + v2) >= 2;
+        preds[t] = (uint8_t)maj;
+        int all = !enhanced || maj != (int)taken;
+        if (all || v0 == maj)
+            b0[i0] = taken ? (s0 < 3 ? s0 + 1 : 3) : (s0 > 0 ? s0 - 1 : 0);
+        if (all || v1 == maj)
+            b1[i1] = taken ? (s1 < 3 ? s1 + 1 : 3) : (s1 > 0 ? s1 - 1 : 0);
+        if (all || v2 == maj)
+            b2[i2] = taken ? (s2 < 3 ? s2 + 1 : 3) : (s2 > 0 ? s2 - 1 : 0);
+        h = (h << 1) | taken;
+    }
+}
+
+/* One tri-mode (configuration, trace) pair: bi-mode's bank feedback
+ * with a third (weak) bank.  Choice/direction index streams are
+ * precomputed by the caller (outcome-only, like bimode_pair); this loop
+ * mirrors TriModePredictor._run exactly, including the generalized
+ * partial-update exception on the choice table. */
+void trimode_lane(const int64_t *ci, const int64_t *di, const uint8_t *o,
+                  int64_t n, int8_t *nt_bank, int8_t *tk_bank,
+                  int8_t *wk_bank, int8_t *choice, uint8_t *preds)
+{
+    for (int64_t t = 0; t < n; t++) {
+        int64_t c = ci[t], d = di[t];
+        uint8_t taken = o[t];
+        int8_t cs = choice[c];
+        int8_t *bank = (cs == 3) ? tk_bank : ((cs == 0) ? nt_bank : wk_bank);
+        int8_t ds = bank[d];
+        uint8_t fin = ds >= 2;
+        preds[t] = fin;
+        bank[d] = taken ? (ds < 3 ? ds + 1 : 3) : (ds > 0 ? ds - 1 : 0);
+        int cls = cs >= 2;
+        if (!((cls != (int)taken) && (fin == taken)))
+            choice[c] = taken ? (cs < 3 ? cs + 1 : 3) : (cs > 0 ? cs - 1 : 0);
+    }
+}
+
+/* One YAGS (configuration, trace) pair: bimodal choice bias plus two
+ * tagged exception caches.  Choice index, cache index and partial-tag
+ * streams are precomputed (outcome-only); the loop mirrors
+ * YagsPredictor.update exactly — probe the cache OPPOSITE the bias,
+ * train/allocate it when the outcome deviates from the bias or the
+ * entry already hit, and skip the choice update when the bias was
+ * wrong yet the override got it right. */
+void yags_lane(const int64_t *ci, const int64_t *ki, const int32_t *tg,
+               const uint8_t *o, int64_t n, int8_t *choice,
+               int32_t *tk_tags, int8_t *tk_ctr,
+               int32_t *nt_tags, int8_t *nt_ctr, uint8_t *preds)
+{
+    for (int64_t t = 0; t < n; t++) {
+        int64_t c = ci[t], k = ki[t];
+        int32_t tag = tg[t];
+        uint8_t taken = o[t];
+        int8_t cs = choice[c];
+        int bias = cs >= 2;
+        int32_t *tags = bias ? nt_tags : tk_tags;
+        int8_t *ctr = bias ? nt_ctr : tk_ctr;
+        int hit = tags[k] == tag;
+        int8_t hs = ctr[k];
+        int fin = hit ? (hs >= 2) : bias;
+        preds[t] = (uint8_t)fin;
+        if ((int)taken != bias || hit) {
+            if (!hit) {
+                tags[k] = tag;
+                ctr[k] = taken ? 2 : 1;
+            } else {
+                ctr[k] = taken ? (hs < 3 ? hs + 1 : 3)
+                               : (hs > 0 ? hs - 1 : 0);
+            }
+        }
+        if (!((bias != (int)taken) && (fin == (int)taken)))
+            choice[c] = taken ? (cs < 3 ? cs + 1 : 3) : (cs > 0 ? cs - 1 : 0);
     }
 }
 
@@ -360,6 +497,54 @@ def _load() -> Optional[ctypes.CDLL]:
             ctypes.c_void_p,  # miss out
         ]
         lib.bimode_fused.restype = None
+        lib.counter_lane.argtypes = [
+            ctypes.c_void_p,  # keys
+            ctypes.c_void_p,  # deltas
+            ctypes.c_int64,  # n
+            ctypes.c_void_p,  # table
+            ctypes.c_int8,  # max_state
+            ctypes.c_void_p,  # observed states out
+        ]
+        lib.counter_lane.restype = None
+        lib.gskew_lane.argtypes = [
+            ctypes.c_void_p,  # pcs
+            ctypes.c_void_p,  # outcomes
+            ctypes.c_int64,  # n
+            ctypes.c_int64,  # bank_bits
+            ctypes.c_int64,  # hmask
+            ctypes.c_int,  # enhanced
+            ctypes.c_void_p,  # bank 0
+            ctypes.c_void_p,  # bank 1
+            ctypes.c_void_p,  # bank 2
+            ctypes.c_void_p,  # predictions out
+        ]
+        lib.gskew_lane.restype = None
+        lib.trimode_lane.argtypes = [
+            ctypes.c_void_p,  # ci
+            ctypes.c_void_p,  # di
+            ctypes.c_void_p,  # outcomes
+            ctypes.c_int64,  # n
+            ctypes.c_void_p,  # not-taken bank
+            ctypes.c_void_p,  # taken bank
+            ctypes.c_void_p,  # weak bank
+            ctypes.c_void_p,  # choice table
+            ctypes.c_void_p,  # predictions out
+        ]
+        lib.trimode_lane.restype = None
+        lib.yags_lane.argtypes = [
+            ctypes.c_void_p,  # ci (choice index)
+            ctypes.c_void_p,  # ki (cache index)
+            ctypes.c_void_p,  # tg (partial tags)
+            ctypes.c_void_p,  # outcomes
+            ctypes.c_int64,  # n
+            ctypes.c_void_p,  # choice table
+            ctypes.c_void_p,  # taken-cache tags
+            ctypes.c_void_p,  # taken-cache counters
+            ctypes.c_void_p,  # not-taken-cache tags
+            ctypes.c_void_p,  # not-taken-cache counters
+            ctypes.c_void_p,  # predictions out
+        ]
+        lib.yags_lane.restype = None
         lib.substream_group.argtypes = [ctypes.c_void_p] * 4 + [
             ctypes.c_int64,
             ctypes.c_int32,
@@ -574,6 +759,176 @@ def bimode_fused(
         _ptr(miss),
     )
     return miss
+
+
+def counter_lane(
+    keys: np.ndarray, deltas: np.ndarray, table: np.ndarray, max_state: int = 3
+) -> np.ndarray:
+    """Advance one saturating-counter table through the compiled loop.
+
+    ``keys`` is the int64 counter-id stream, ``deltas`` the int8
+    per-access movement in ``{-1, 0, +1}``; ``table`` is the int8
+    counter table, updated in place.  Returns the int8 state each access
+    *observed* (before its own delta) — prediction semantics belong to
+    the caller.  Call only when :func:`available`.
+    """
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers gate on available()
+        raise RuntimeError("compiled counter driver is not available")
+    n = len(keys)
+    states = np.empty(n, dtype=np.int8)
+    for arr, dtype in ((keys, np.int64), (deltas, np.int8), (table, np.int8)):
+        assert arr.dtype == dtype and arr.flags["C_CONTIGUOUS"]
+    lib.counter_lane(
+        _ptr(keys),
+        _ptr(deltas),
+        ctypes.c_int64(n),
+        _ptr(table),
+        ctypes.c_int8(max_state),
+        _ptr(states),
+    )
+    return states
+
+
+def gskew_lane(
+    pcs: np.ndarray,
+    outcomes: np.ndarray,
+    bank_bits: int,
+    hist_bits: int,
+    enhanced: bool,
+    banks: np.ndarray,
+) -> np.ndarray:
+    """Run one gskew pair through the compiled loop.
+
+    ``pcs`` is int64, ``outcomes`` uint8; ``banks`` is the int8
+    ``(3, 1 << bank_bits)`` bank-state array, updated in place.  Returns
+    the uint8 per-branch majority predictions.  Call only when
+    :func:`available`.
+    """
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers gate on available()
+        raise RuntimeError("compiled gskew driver is not available")
+    n = len(outcomes)
+    preds = np.empty(n, dtype=np.uint8)
+    assert banks.shape[0] == 3 and banks.dtype == np.int8
+    b0, b1, b2 = banks[0], banks[1], banks[2]
+    for arr, dtype in (
+        (pcs, np.int64),
+        (outcomes, np.uint8),
+        (b0, np.int8),
+        (b1, np.int8),
+        (b2, np.int8),
+    ):
+        assert arr.dtype == dtype and arr.flags["C_CONTIGUOUS"]
+    lib.gskew_lane(
+        _ptr(pcs),
+        _ptr(outcomes),
+        ctypes.c_int64(n),
+        ctypes.c_int64(bank_bits),
+        ctypes.c_int64((1 << hist_bits) - 1),
+        ctypes.c_int(1 if enhanced else 0),
+        _ptr(b0),
+        _ptr(b1),
+        _ptr(b2),
+        _ptr(preds),
+    )
+    return preds
+
+
+def trimode_lane(
+    ci: np.ndarray,
+    di: np.ndarray,
+    outcomes: np.ndarray,
+    nt_bank: np.ndarray,
+    tk_bank: np.ndarray,
+    wk_bank: np.ndarray,
+    choice: np.ndarray,
+) -> np.ndarray:
+    """Run one tri-mode pair through the compiled loop.
+
+    ``ci``/``di`` are int64 index streams, ``outcomes`` uint8; the four
+    table arrays are int8 and are updated in place.  Returns the uint8
+    per-branch final predictions.  Call only when :func:`available`.
+    """
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers gate on available()
+        raise RuntimeError("compiled tri-mode driver is not available")
+    n = len(outcomes)
+    preds = np.empty(n, dtype=np.uint8)
+    for arr, dtype in (
+        (ci, np.int64),
+        (di, np.int64),
+        (outcomes, np.uint8),
+        (nt_bank, np.int8),
+        (tk_bank, np.int8),
+        (wk_bank, np.int8),
+        (choice, np.int8),
+    ):
+        assert arr.dtype == dtype and arr.flags["C_CONTIGUOUS"]
+    lib.trimode_lane(
+        _ptr(ci),
+        _ptr(di),
+        _ptr(outcomes),
+        ctypes.c_int64(n),
+        _ptr(nt_bank),
+        _ptr(tk_bank),
+        _ptr(wk_bank),
+        _ptr(choice),
+        _ptr(preds),
+    )
+    return preds
+
+
+def yags_lane(
+    ci: np.ndarray,
+    ki: np.ndarray,
+    tags: np.ndarray,
+    outcomes: np.ndarray,
+    choice: np.ndarray,
+    tk_tags: np.ndarray,
+    tk_ctr: np.ndarray,
+    nt_tags: np.ndarray,
+    nt_ctr: np.ndarray,
+) -> np.ndarray:
+    """Run one YAGS pair through the compiled loop.
+
+    ``ci``/``ki`` are int64 index streams, ``tags`` the int32 partial-tag
+    stream, ``outcomes`` uint8; the choice table and both (tags,
+    counters) cache pairs are updated in place (tag arrays int32,
+    counters int8).  Returns the uint8 per-branch final predictions.
+    Call only when :func:`available`.
+    """
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers gate on available()
+        raise RuntimeError("compiled YAGS driver is not available")
+    n = len(outcomes)
+    preds = np.empty(n, dtype=np.uint8)
+    for arr, dtype in (
+        (ci, np.int64),
+        (ki, np.int64),
+        (tags, np.int32),
+        (outcomes, np.uint8),
+        (choice, np.int8),
+        (tk_tags, np.int32),
+        (tk_ctr, np.int8),
+        (nt_tags, np.int32),
+        (nt_ctr, np.int8),
+    ):
+        assert arr.dtype == dtype and arr.flags["C_CONTIGUOUS"]
+    lib.yags_lane(
+        _ptr(ci),
+        _ptr(ki),
+        _ptr(tags),
+        _ptr(outcomes),
+        ctypes.c_int64(n),
+        _ptr(choice),
+        _ptr(tk_tags),
+        _ptr(tk_ctr),
+        _ptr(nt_tags),
+        _ptr(nt_ctr),
+        _ptr(preds),
+    )
+    return preds
 
 
 def substream_group(

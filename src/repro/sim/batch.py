@@ -199,8 +199,9 @@ def counter_scan(
     deltas: np.ndarray,
     init_states: np.ndarray,
     num_counters: int,
+    max_state: int = 3,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Generalized counter-major scan over 2-bit saturating counters.
+    """Generalized counter-major scan over saturating counters.
 
     Extends the gshare run machinery in two directions needed by the
     feedback-coupled kernels (:mod:`repro.sim.batch_bimode`): each
@@ -219,6 +220,9 @@ def counter_scan(
         ``(num_counters,)`` counter states before the first access.
     num_counters:
         Size of the counter space.
+    max_state:
+        Saturation ceiling (``3`` for the classic 2-bit counter;
+        ``(1 << bits) - 1`` for the multi-bit bimodal ablations).
 
     Returns
     -------
@@ -252,11 +256,13 @@ def counter_scan(
     run_len[-1] = n - run_first[-1]
     run_delta = grouped_deltas[run_first]
 
-    # Elementary maps: a +1 run of length r is (c=r, lo=min(r,3), hi=3),
-    # a -1 run is (c=-r, lo=0, hi=max(3-r,0)), a 0 run is the identity.
+    # Elementary maps: a +1 run of length r is (c=r, lo=min(r,M), hi=M),
+    # a -1 run is (c=-r, lo=0, hi=max(M-r,0)), a 0 run is the identity.
     shift = run_delta * run_len
-    lo = np.where(run_delta > 0, np.minimum(run_len, 3), 0).astype(np.int32)
-    hi = np.where(run_delta < 0, np.maximum(3 - run_len, 0), 3).astype(np.int32)
+    lo = np.where(run_delta > 0, np.minimum(run_len, max_state), 0).astype(np.int32)
+    hi = np.where(
+        run_delta < 0, np.maximum(max_state - run_len, 0), max_state
+    ).astype(np.int32)
 
     seg_start_runs = seg_start[run_first]
     seg_first_run = np.flatnonzero(seg_start_runs)
@@ -279,7 +285,7 @@ def counter_scan(
     run_id = np.cumsum(_starts_mask(n, run_first), dtype=np.int64) - 1
     offset_in_run = np.arange(n, dtype=np.int64) - run_first[run_id]
     state_grouped = np.clip(
-        run_s0[run_id] + run_delta[run_id] * offset_in_run, 0, 3
+        run_s0[run_id] + run_delta[run_id] * offset_in_run, 0, max_state
     ).astype(np.int32)
     pre_states = np.empty(n, dtype=np.int32)
     pre_states[order] = state_grouped

@@ -582,7 +582,16 @@ def _step_min_pairs() -> int:
 
 
 def _kernel_mode() -> str:
-    mode = os.environ.get("REPRO_BIMODE_KERNEL", "auto").strip().lower() or "auto"
+    mode = os.environ.get("REPRO_BIMODE_KERNEL", "").strip().lower()
+    if not mode:
+        # Inherit the registry-wide pin; the scheme-specific variable
+        # wins when both are set.  REPRO_KERNEL=scalar maps to auto
+        # here — the fused planner already routed scalar-pinned specs
+        # away from this module, so a direct caller still gets the
+        # fastest bit-identical engine.
+        from repro.sim.kernels import kernel_mode
+
+        mode = {"c": "c", "numpy": "numpy"}.get(kernel_mode(), "auto")
     if mode not in ("auto", "c", "numpy", "python"):
         raise ValueError(
             f"REPRO_BIMODE_KERNEL must be auto/c/numpy/python, got {mode!r}"

@@ -21,10 +21,19 @@ precomputation:
   ``choice_hist`` ablation variants: the same shared-register argument
   holds for both of its index streams
   (:func:`repro.sim.batch_bimode.bimode_family_rates`).
-* **scalar** — anything else (1-bit PHTs, static schemes, ...).  These
-  run per-cell through the scalar engine; falling off the fused path is
+* **one family per ported scheme** — bimodal, the two-level family,
+  agree, gskew, tournament, tri-mode and YAGS resolve through the
+  kernel registry (:mod:`repro.sim.kernels`) onto the lane kernels of
+  :mod:`repro.sim.lanes`, sharing precomputed history streams within
+  the family.
+* **scalar** — anything else (perceptron, the bias filter, static
+  schemes, specs whose knobs no lane parser accepts).  These run
+  per-cell through the scalar engine; falling off the batched path is
   reported as a health degradation so the CLI's coalesced summary shows
-  exactly which schemes did not fuse.
+  exactly which schemes did not batch.
+
+``REPRO_KERNEL=scalar`` pins the *planner* too: every spec routes to
+the scalar family with the pin named as the degradation reason.
 
 Families split only on *kind*: two gshare specs never land in separate
 families, because nothing about them prevents sharing the pass.  The
@@ -52,14 +61,13 @@ import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.sim import kernels
 from repro.sim.batch import (
     gshare_family_rates,
     gshare_lane_rates,
-    lane_for_spec,
 )
 from repro.sim.batch_bimode import (
     bimode_family_rates,
-    bimode_lane_for_spec,
     bimode_lane_rates,
 )
 from repro.traces.record import BranchTrace
@@ -77,12 +85,12 @@ __all__ = [
 class SpecFamily:
     """One group of specs sharing a fused evaluation pass."""
 
-    kind: str  # "gshare" | "bimode" | "scalar"
+    kind: str  # any member of kernels.family_order()
     specs: Tuple[str, ...]
     lanes: Tuple[object, ...]  # parallel to specs; None for scalar
 
     def __post_init__(self) -> None:
-        if self.kind not in ("gshare", "bimode", "scalar"):
+        if self.kind not in kernels.family_order():
             raise ValueError(f"unknown family kind {self.kind!r}")
         if len(self.specs) != len(self.lanes):
             raise ValueError("specs and lanes must be parallel")
@@ -96,23 +104,19 @@ def plan_families(specs: Sequence[str]) -> List[SpecFamily]:
 
     Duplicate specs collapse to one lane (the grid's answer is the same
     cell); order within a family follows first appearance.  Returns
-    only non-empty families, gshare first, scalar last.
+    only non-empty families, gshare first, scalar last.  Under
+    ``REPRO_KERNEL=scalar`` everything routes to the scalar family.
     """
+    scalar_pin = kernels.kernel_mode() == "scalar"
     groups: Dict[str, List[Tuple[str, object]]] = {
-        "gshare": [],
-        "bimode": [],
-        "scalar": [],
+        kind: [] for kind in kernels.family_order()
     }
     for spec in dict.fromkeys(specs):
-        glane = lane_for_spec(spec)
-        if glane is not None:
-            groups["gshare"].append((spec, glane))
+        if scalar_pin:
+            groups["scalar"].append((spec, None))
             continue
-        blane = bimode_lane_for_spec(spec)
-        if blane is not None:
-            groups["bimode"].append((spec, blane))
-            continue
-        groups["scalar"].append((spec, None))
+        kind, lane = kernels.kernel_for_spec(spec)
+        groups[kind].append((spec, lane))
     return [
         SpecFamily(
             kind=kind,
@@ -166,12 +170,16 @@ def _scalar_rates(specs: Sequence[str], trace: BranchTrace) -> List[float]:
     from repro.core.registry import make_predictor
     from repro.sim.engine import run
 
-    schemes = sorted({spec.split(":", 1)[0] for spec in specs})
+    if kernels.kernel_mode() == "scalar":
+        reason = "REPRO_KERNEL=scalar pin"
+    else:
+        schemes = sorted({spec.split(":", 1)[0] for spec in specs})
+        reason = "unfusable scheme(s): " + ", ".join(schemes)
     health.emit(
         "sweep-planner",
         "fused",
         "scalar",
-        reason="unfusable scheme(s): " + ", ".join(schemes),
+        reason=reason,
         severity="degraded",
         cells=len(specs),
     )
@@ -190,7 +198,20 @@ def family_rates(
     """
     if family.kind == "scalar":
         return dict(zip(family.specs, _scalar_rates(family.specs, trace)))
+    if family.kind not in ("gshare", "bimode"):
+        rates = kernels.family_rates(
+            family.kind, family.specs, family.lanes, trace
+        )
+        return dict(zip(family.specs, rates))
     use_fused = fused_active() if fused is None else fused
+    if (
+        use_fused
+        and kernels.kernel_mode() == "numpy"
+        and os.environ.get("REPRO_FUSED", "").strip().lower() != "on"
+    ):
+        # REPRO_KERNEL=numpy pins the fused families to their pure-numpy
+        # lane kernels too; an explicit REPRO_FUSED=on wins over it.
+        use_fused = False
     if family.kind == "gshare":
         fn = gshare_family_rates if use_fused else gshare_lane_rates
     else:

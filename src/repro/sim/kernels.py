@@ -1,0 +1,316 @@
+"""Scheme-agnostic kernel registry: spec -> fastest bit-exact engine.
+
+Before this layer each fast path was a special case: gshare had the
+counting-sort lanes and fused C arena (:mod:`repro.sim.batch`),
+bi-mode had its compiled step loop (:mod:`repro.sim.batch_bimode`),
+and the other ~18 registered schemes ran the scalar engine everywhere.
+The registry makes kernel dispatch a lookup:
+
+``kernel_for_spec(spec)`` resolves any predictor spec to a *kernel
+kind* plus a parsed lane description.  Kinds are:
+
+* ``"gshare"`` / ``"bimode"`` — the pre-existing fused family kernels,
+  unchanged and still owning their dedicated health components;
+* one kind per **ported scheme** — bimodal, the two-level family
+  (gag/gas/gap/gselect/pag/pas/pap), agree, gskew, tournament,
+  tri-mode and YAGS, executed by the lane kernels of
+  :mod:`repro.sim.lanes`;
+* ``"scalar"`` — everything else (the explicit
+  :data:`SCALAR_ONLY` allowlist plus any spec whose knobs the lane
+  parser rejects), run per-cell through the scalar engine.
+
+``family_rates(kind, specs, lanes, trace)`` evaluates one family,
+choosing the engine per the ``REPRO_KERNEL`` pin and reporting every
+dispatch decision through :mod:`repro.health` (component
+``"<kind>-kernel"``).
+
+Dispatch
+--------
+``REPRO_KERNEL`` mirrors the per-scheme ``REPRO_BIMODE_KERNEL`` /
+``REPRO_DETAILED_KERNEL`` pins, but applies to every scheme at once:
+
+* ``auto`` (default) — compiled loops when a C compiler is available,
+  otherwise the numpy lane kernels (degradation health-reported);
+* ``c`` — compiled loops or ``RuntimeError`` (no silent fallback);
+* ``numpy`` — the numpy lane kernels; schemes whose update feeds
+  predictor state back into training (e-gskew, tri-mode, YAGS) have no
+  counter-major form and degrade to the scalar engine, health-reported;
+* ``scalar`` — everything through the scalar engine (the fused planner
+  routes every spec to the scalar family, with the pin as the reason).
+
+Precedence: a scheme-specific pin (``REPRO_BIMODE_KERNEL``) and an
+explicit ``REPRO_FUSED=on`` override ``REPRO_KERNEL`` for the scheme
+or family they name.
+
+Engine tiers
+------------
+``registered_schemes()`` maps every scheme name of
+:func:`repro.core.registry.available_schemes` to its declared tier:
+
+* ``"fused"`` — dedicated single-pass family kernel (gshare, bimode);
+* ``"lane"`` — counter-major: compiled counter loop + numpy scan;
+* ``"cloop"`` — compiled per-access loop only (scalar fallback when no
+  compiler): e-gskew's partial update, tri-mode, YAGS;
+* ``"scalar"`` — the :data:`SCALAR_ONLY` allowlist.
+
+The verification suite (``tests/test_kernels.py``) is generated from
+this mapping, so a scheme that registers in ``core/registry.py``
+without declaring a tier here — or without oracle and golden coverage —
+fails CI by construction.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim import _cstep
+from repro.sim import lanes as _lanes
+from repro.traces.record import BranchTrace
+
+__all__ = [
+    "SCALAR_ONLY",
+    "KernelEntry",
+    "kernel_mode",
+    "kernel_for_spec",
+    "registered_schemes",
+    "family_order",
+    "family_rates",
+    "family_predictions",
+]
+
+#: Schemes deliberately left on the scalar engine: perceptron's dot
+#: product and the bias filter's run-length automaton are not
+#: counter-table automata, and the static schemes are already O(1).
+SCALAR_ONLY = frozenset(
+    {"perceptron", "biasfilter", "always-taken", "always-not-taken", "btfnt"}
+)
+
+
+@dataclass(frozen=True)
+class KernelEntry:
+    """One ported scheme: how to parse its specs and run its lanes."""
+
+    scheme: str
+    tier: str  # "lane" (c+numpy) | "cloop" (c only, scalar fallback)
+    lane_for_spec: Callable[[str], Optional[object]]
+    predictions: Callable[..., np.ndarray]
+    numpy_ok: Callable[[object], bool]  # lane -> numpy engine exists?
+
+
+def _always(lane: object) -> bool:
+    return True
+
+
+def _never(lane: object) -> bool:
+    return False
+
+
+_TWOLEVEL = {
+    scheme: KernelEntry(
+        scheme=scheme,
+        tier="lane",
+        lane_for_spec=_lanes.twolevel_lane_for_spec,
+        predictions=_lanes.twolevel_predictions,
+        numpy_ok=_always,
+    )
+    for scheme in ("gag", "gas", "gap", "gselect", "pag", "pas", "pap")
+}
+
+#: The ported wave, in planner/display order.
+PORTED: Dict[str, KernelEntry] = {
+    "bimodal": KernelEntry(
+        "bimodal", "lane", _lanes.bimodal_lane_for_spec, _lanes.bimodal_predictions, _always
+    ),
+    **_TWOLEVEL,
+    "agree": KernelEntry(
+        "agree", "lane", _lanes.agree_lane_for_spec, _lanes.agree_predictions, _always
+    ),
+    "gskew": KernelEntry(
+        "gskew",
+        "cloop",
+        _lanes.gskew_lane_for_spec,
+        _lanes.gskew_predictions,
+        # total-update gskew is feedback-free, e-gskew is not
+        lambda lane: not lane.enhanced,
+    ),
+    "tournament": KernelEntry(
+        "tournament",
+        "lane",
+        _lanes.tournament_lane_for_spec,
+        _lanes.tournament_predictions,
+        _always,
+    ),
+    "trimode": KernelEntry(
+        "trimode", "cloop", _lanes.trimode_lane_for_spec, _lanes.trimode_predictions, _never
+    ),
+    "yags": KernelEntry(
+        "yags", "cloop", _lanes.yags_lane_for_spec, _lanes.yags_predictions, _never
+    ),
+}
+
+
+def kernel_mode() -> str:
+    """The ``REPRO_KERNEL`` pin: ``auto`` (default), ``c``, ``numpy``
+    or ``scalar``."""
+    mode = os.environ.get("REPRO_KERNEL", "auto").strip().lower() or "auto"
+    if mode not in ("auto", "c", "numpy", "scalar"):
+        raise ValueError(f"REPRO_KERNEL must be auto/c/numpy/scalar, got {mode!r}")
+    return mode
+
+
+def family_order() -> Tuple[str, ...]:
+    """Every family kind, in planner order (fused first, scalar last)."""
+    return ("gshare", "bimode", *PORTED, "scalar")
+
+
+def kernel_for_spec(spec: str) -> Tuple[str, Optional[object]]:
+    """Resolve a spec to ``(kind, lane)``; ``("scalar", None)`` when no
+    lane kernel covers it.
+
+    Resolution is structural only — the ``REPRO_KERNEL`` pin changes
+    which *engine* runs a family, not which family a spec belongs to
+    (except ``scalar``, which the planner applies before ever asking).
+    A spec whose knobs a lane parser rejects (out-of-range geometry,
+    unknown options) falls to scalar so the scalar constructor can
+    raise its original, descriptive error.
+    """
+    scheme = spec.split(":", 1)[0].strip()
+    if scheme == "gshare":
+        from repro.sim.batch import lane_for_spec
+
+        lane = lane_for_spec(spec)
+        if lane is not None:
+            return "gshare", lane
+    elif scheme == "bimode":
+        from repro.sim.batch_bimode import bimode_lane_for_spec
+
+        lane = bimode_lane_for_spec(spec)
+        if lane is not None:
+            return "bimode", lane
+    else:
+        entry = PORTED.get(scheme)
+        if entry is not None:
+            lane = entry.lane_for_spec(spec)
+            if lane is not None:
+                return scheme, lane
+    return "scalar", None
+
+
+def registered_schemes() -> Dict[str, str]:
+    """Scheme name -> declared kernel tier, for every scheme this
+    registry covers.
+
+    The completeness meta-test asserts this spans
+    :func:`repro.core.registry.available_schemes`; a newly registered
+    scheme missing here fails that test by name.
+    """
+    tiers: Dict[str, str] = {"gshare": "fused", "bimode": "fused"}
+    for scheme, entry in PORTED.items():
+        tiers[scheme] = entry.tier
+    for scheme in sorted(SCALAR_ONLY):
+        tiers[scheme] = "scalar"
+    return tiers
+
+
+# -- family evaluation --------------------------------------------------------------
+
+
+def _resolve_engines(
+    entry: KernelEntry, lanes: Sequence[object], mode: str
+) -> Tuple[List[str], str, str]:
+    """Per-lane engine choice plus ``(expected, fallback_reason)``.
+
+    Follows the ``bimode-kernel`` convention: in ``auto`` the expected
+    engine is the compiled loop, so running anything slower surfaces as
+    a degradation with the compiler's absence (or the scheme's missing
+    numpy form) as the reason.
+    """
+    compiled = _cstep.available()
+    if mode == "c" and not compiled:
+        raise RuntimeError(
+            "REPRO_KERNEL=c but no compiled driver is available "
+            "(no C compiler, or REPRO_NO_CC is set)"
+        )
+    expected = "c" if mode == "auto" else mode
+    engines: List[str] = []
+    reasons: List[str] = []
+    for lane in lanes:
+        if mode == "scalar":
+            engines.append("scalar")
+        elif mode == "c" or (mode == "auto" and compiled):
+            engines.append("c")
+        elif entry.numpy_ok(lane):
+            engines.append("numpy")
+            if mode == "auto":
+                reasons.append(_cstep.unavailable_reason() or "")
+        else:
+            engines.append("scalar")
+            reasons.append(
+                f"no numpy kernel for {entry.scheme} (sequential update feedback)"
+            )
+    reason = next((r for r in reasons if r), "")
+    return engines, expected, reason
+
+
+def family_predictions(
+    kind: str,
+    specs: Sequence[str],
+    lanes: Sequence[object],
+    trace: BranchTrace,
+    mode: Optional[str] = None,
+) -> List[np.ndarray]:
+    """Per-branch predictions of every lane of one ported family.
+
+    Rows are bit-for-bit what the scalar predictor would emit from
+    power-on state; the engine per lane follows ``REPRO_KERNEL`` (or an
+    explicit ``mode``), with the dispatch health-reported under
+    ``"<kind>-kernel"``.
+    """
+    from repro import health
+    from repro.core.registry import make_predictor
+    from repro.sim.engine import run
+
+    entry = PORTED[kind]
+    if len(specs) != len(lanes):
+        raise ValueError("specs and lanes must be parallel")
+    mode = kernel_mode() if mode is None else mode
+    engines, expected, reason = _resolve_engines(entry, lanes, mode)
+    for engine in dict.fromkeys(engines):
+        health.engine_used(
+            f"{kind}-kernel",
+            engine,
+            expected=expected,
+            cells=engines.count(engine),
+            reason=reason if engine != expected else "",
+        )
+    hist_cache: Dict[int, np.ndarray] = {}
+    out: List[np.ndarray] = []
+    for spec, lane, engine in zip(specs, lanes, engines):
+        if engine == "scalar":
+            result = run(make_predictor(spec), trace)
+            out.append(np.asarray(result.predictions, dtype=bool))
+        else:
+            out.append(entry.predictions(lane, trace, engine, hist_cache))
+    return out
+
+
+def family_rates(
+    kind: str,
+    specs: Sequence[str],
+    lanes: Sequence[object],
+    trace: BranchTrace,
+    mode: Optional[str] = None,
+) -> List[float]:
+    """Misprediction rate of every lane of one ported family."""
+    n = len(trace)
+    if n == 0:
+        return [0.0 for _ in specs]
+    outcomes = trace.outcomes
+    return [
+        int(np.count_nonzero(preds != outcomes)) / n
+        for preds in family_predictions(kind, specs, lanes, trace, mode=mode)
+    ]

@@ -1,0 +1,646 @@
+"""Lane kernels for the registry-ported predictor schemes.
+
+The scheme-agnostic kernel registry (:mod:`repro.sim.kernels`) maps
+every registered predictor spec onto the fastest bit-identical
+execution strategy available.  This module supplies the per-scheme
+*kernels* for the first ported wave — everything beyond the original
+gshare/bi-mode fast paths of :mod:`repro.sim.batch` /
+:mod:`repro.sim.batch_bimode`:
+
+* **counter-major schemes** — bimodal (any counter width), the whole
+  two-level family (GAg/GAs/GAp/gselect and PAg/PAs/PAp), agree,
+  gskew with the *total* update policy, and the bimodal+gshare
+  tournament.  None of these feed predictions back into their own index
+  or training streams, so every per-access counter id and training
+  delta is precomputable from ``(pcs, outcomes)`` alone and the
+  remaining sequential work is exactly one saturating-counter automaton
+  per table.  That automaton runs through the shared compiled loop
+  (:func:`repro.sim._cstep.counter_lane`) or the counter-major
+  segmented scan (:func:`repro.sim.batch.counter_scan`) — the same
+  machinery, and the same bit-exactness argument, as the gshare kernel.
+* **sequential schemes** — gskew's *enhanced* (e-gskew) policy,
+  tri-mode, and YAGS.  Their partial updates feed predictor state back
+  into which table trains (or which bank an access lands in), which
+  defeats counter-major decomposition exactly like bi-mode's choice
+  feedback; each gets a dedicated compiled per-pair loop in
+  :mod:`repro.sim._cstep` over precomputed index streams.
+
+Scheme-specific notes
+---------------------
+**Per-address histories (PAx).**  The branch-history table evolves from
+outcomes only, so each register's contents are a pure function of the
+earlier occurrences of the PCs mapping to it.  The kernel groups
+accesses by BHT slot with the stable counting sort and assembles each
+access's history word from the previous ``hist_bits`` outcomes *within
+its group* — fully vectorized, one pass per history bit.
+
+**Agree.**  The biasing bit of a slot is invalid until the slot's first
+dynamic occurrence *updates*, and that first update sets it to the
+branch outcome.  At prediction time access ``i`` therefore sees bias
+``False`` if no earlier access touched its slot (including at the first
+occurrence itself), else the outcome of the slot's first occurrence.
+The counters train toward ``bias == outcome`` — at a first occurrence
+that is ``True`` by construction, matching ``AgreePredictor.update``
+which sets the bias before computing agreement.
+
+**Tournament.**  Both components are feedback-free (bimodal + gshare),
+so their prediction streams come from two counter scans; the meta table
+then trains with deltas in ``{-1, 0, +1}`` (0 when the components
+agree), which the generalized scan and the compiled loop both support.
+
+Every kernel is asserted bit-identical to its scalar predictor and the
+dict-based oracle by the registry-driven verification suite
+(``tests/test_kernels.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.counters import WEAKLY_NOT_TAKEN, WEAKLY_TAKEN
+from repro.core.grouping import stable_group_order
+from repro.core.history import global_history_stream
+from repro.core.indexing import concat_index_stream, gshare_index_stream, mask
+from repro.core.registry import parse_spec
+from repro.sim.batch import counter_scan
+from repro.traces.record import BranchTrace
+
+__all__ = [
+    "BimodalLane",
+    "TwoLevelLane",
+    "AgreeLane",
+    "GSkewLane",
+    "TournamentLane",
+    "TriModeLane",
+    "YagsLane",
+    "bimodal_lane_for_spec",
+    "twolevel_lane_for_spec",
+    "agree_lane_for_spec",
+    "gskew_lane_for_spec",
+    "tournament_lane_for_spec",
+    "trimode_lane_for_spec",
+    "yags_lane_for_spec",
+    "bimodal_predictions",
+    "twolevel_predictions",
+    "agree_predictions",
+    "gskew_predictions",
+    "tournament_predictions",
+    "trimode_predictions",
+    "yags_predictions",
+    "per_address_histories",
+]
+
+#: CounterTable's geometry ceiling; larger specs are rejected by the
+#: scalar constructors, so the lane parsers reject them too (the spec
+#: then falls to the scalar family and raises the original error).
+_MAX_TABLE_BITS = 24
+
+
+# -- lane descriptions ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BimodalLane:
+    """One bimodal configuration (any counter width)."""
+
+    index_bits: int
+    counter_bits: int = 2
+
+    @property
+    def threshold(self) -> int:
+        return 1 << (self.counter_bits - 1)
+
+    @property
+    def max_state(self) -> int:
+        return (1 << self.counter_bits) - 1
+
+
+@dataclass(frozen=True)
+class TwoLevelLane:
+    """One two-level configuration; ``bht_bits is None`` for GAx."""
+
+    scheme: str
+    hist_bits: int
+    select_bits: int
+    bht_bits: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class AgreeLane:
+    index_bits: int
+    hist_bits: int
+    bias_bits: int
+
+
+@dataclass(frozen=True)
+class GSkewLane:
+    bank_bits: int
+    hist_bits: int
+    enhanced: bool = True
+
+
+@dataclass(frozen=True)
+class TournamentLane:
+    """The spec-form pairing: bimodal(index) + gshare(index, index)."""
+
+    index_bits: int
+    meta_bits: int
+
+
+@dataclass(frozen=True)
+class TriModeLane:
+    dir_bits: int
+    hist_bits: int
+    choice_bits: int
+
+
+@dataclass(frozen=True)
+class YagsLane:
+    choice_bits: int
+    cache_bits: int
+    hist_bits: int
+    tag_bits: int
+
+
+# -- spec parsing -----------------------------------------------------------------
+
+
+def _parse_int_spec(
+    spec: str, scheme: str, allowed: frozenset, required: frozenset
+) -> Optional[Dict[str, int]]:
+    """Parse an all-integer spec, or ``None`` if it is not a ``scheme``
+    configuration with exactly the allowed knobs."""
+    try:
+        name, kwargs = parse_spec(spec)
+    except ValueError:
+        return None
+    if name != scheme or not set(kwargs) <= allowed or not required <= set(kwargs):
+        return None
+    out: Dict[str, int] = {}
+    for key, value in kwargs.items():
+        try:
+            out[key] = int(value)
+        except ValueError:
+            return None
+    return out
+
+
+def bimodal_lane_for_spec(spec: str) -> Optional[BimodalLane]:
+    kw = _parse_int_spec(spec, "bimodal", frozenset({"index", "bits"}), frozenset({"index"}))
+    if kw is None:
+        return None
+    index, bits = kw["index"], kw.get("bits", 2)
+    if not 0 <= index <= _MAX_TABLE_BITS or not 1 <= bits <= 7:
+        return None
+    return BimodalLane(index_bits=index, counter_bits=bits)
+
+
+#: Spec-knob layout of the two-level family: required keys, plus how the
+#: select width is spelled (``None`` = fixed 0) and whether a BHT exists.
+_TWOLEVEL_FORMS = {
+    "gag": (frozenset({"hist"}), None, False),
+    "gas": (frozenset({"hist", "select"}), "select", False),
+    "gselect": (frozenset({"hist", "addr"}), "addr", False),
+    "gap": (frozenset({"hist"}), "addr", False),
+    "pag": (frozenset({"hist", "bht"}), None, True),
+    "pas": (frozenset({"hist", "select", "bht"}), "select", True),
+    "pap": (frozenset({"hist", "addr", "bht"}), "addr", True),
+}
+
+
+def twolevel_lane_for_spec(spec: str) -> Optional[TwoLevelLane]:
+    scheme = spec.split(":", 1)[0].strip()
+    form = _TWOLEVEL_FORMS.get(scheme)
+    if form is None:
+        return None
+    required, select_key, per_address = form
+    allowed = set(required)
+    if select_key:
+        allowed.add(select_key)
+    kw = _parse_int_spec(spec, scheme, frozenset(allowed), required)
+    if kw is None:
+        return None
+    hist = kw["hist"]
+    if select_key is None:
+        select = 0
+    elif scheme == "gap":
+        select = kw.get("addr", 8)
+    else:
+        select = kw[select_key]
+    bht = kw["bht"] if per_address else None
+    if hist < 0 or select < 0 or hist + select > _MAX_TABLE_BITS:
+        return None
+    if scheme in ("gas", "gselect", "pas", "pap") and select < 1:
+        return None
+    if per_address and not 0 <= bht <= _MAX_TABLE_BITS:
+        return None
+    return TwoLevelLane(scheme=scheme, hist_bits=hist, select_bits=select, bht_bits=bht)
+
+
+def agree_lane_for_spec(spec: str) -> Optional[AgreeLane]:
+    kw = _parse_int_spec(
+        spec, "agree", frozenset({"index", "hist", "bias"}), frozenset({"index"})
+    )
+    if kw is None:
+        return None
+    index = kw["index"]
+    hist = kw.get("hist", index)
+    bias = kw.get("bias", index)
+    if not 0 <= index <= _MAX_TABLE_BITS or not 0 <= hist <= index:
+        return None
+    if not 0 <= bias <= _MAX_TABLE_BITS:
+        return None
+    return AgreeLane(index_bits=index, hist_bits=hist, bias_bits=bias)
+
+
+def gskew_lane_for_spec(spec: str) -> Optional[GSkewLane]:
+    try:
+        name, kwargs = parse_spec(spec)
+    except ValueError:
+        return None
+    if name != "gskew" or not set(kwargs) <= {"bank", "hist", "update"}:
+        return None
+    if "bank" not in kwargs:
+        return None
+    policy = kwargs.get("update", "enhanced")
+    if policy not in ("enhanced", "total"):
+        return None
+    try:
+        bank = int(kwargs["bank"])
+        hist = int(kwargs.get("hist", bank))
+    except ValueError:
+        return None
+    if not 0 <= bank <= _MAX_TABLE_BITS or hist < 0:
+        return None
+    return GSkewLane(bank_bits=bank, hist_bits=hist, enhanced=policy == "enhanced")
+
+
+def tournament_lane_for_spec(spec: str) -> Optional[TournamentLane]:
+    kw = _parse_int_spec(
+        spec, "tournament", frozenset({"index", "meta"}), frozenset({"index"})
+    )
+    if kw is None:
+        return None
+    index = kw["index"]
+    meta = kw.get("meta", index)
+    if not 0 <= index <= _MAX_TABLE_BITS or not 0 <= meta <= _MAX_TABLE_BITS:
+        return None
+    return TournamentLane(index_bits=index, meta_bits=meta)
+
+
+def trimode_lane_for_spec(spec: str) -> Optional[TriModeLane]:
+    kw = _parse_int_spec(
+        spec, "trimode", frozenset({"dir", "hist", "choice"}), frozenset({"dir"})
+    )
+    if kw is None:
+        return None
+    dir_bits = kw["dir"]
+    hist = kw.get("hist", dir_bits)
+    choice = kw.get("choice", dir_bits)
+    if not 0 <= dir_bits <= _MAX_TABLE_BITS or not 0 <= hist <= dir_bits:
+        return None
+    if not 0 <= choice <= _MAX_TABLE_BITS:
+        return None
+    return TriModeLane(dir_bits=dir_bits, hist_bits=hist, choice_bits=choice)
+
+
+def yags_lane_for_spec(spec: str) -> Optional[YagsLane]:
+    kw = _parse_int_spec(
+        spec,
+        "yags",
+        frozenset({"choice", "cache", "hist", "tag"}),
+        frozenset({"choice", "cache"}),
+    )
+    if kw is None:
+        return None
+    choice, cache = kw["choice"], kw["cache"]
+    hist = kw.get("hist", cache)
+    tag = kw.get("tag", 6)
+    if not 0 <= choice <= _MAX_TABLE_BITS or not 0 <= cache <= _MAX_TABLE_BITS:
+        return None
+    if not 0 <= hist <= cache or not 1 <= tag <= 30:
+        return None
+    return YagsLane(choice_bits=choice, cache_bits=cache, hist_bits=hist, tag_bits=tag)
+
+
+# -- shared stream helpers --------------------------------------------------------
+
+
+def _hist(trace: BranchTrace, bits: int, cache: Optional[Dict[int, np.ndarray]]) -> np.ndarray:
+    if cache is None:
+        return global_history_stream(trace.outcomes, bits)
+    if bits not in cache:
+        cache[bits] = global_history_stream(trace.outcomes, bits)
+    return cache[bits]
+
+
+def per_address_histories(
+    pcs: np.ndarray, outcomes: np.ndarray, bht_bits: int, hist_bits: int
+) -> np.ndarray:
+    """Each access's BHT register contents at prediction time.
+
+    Bit ``j`` of access ``i``'s word is the outcome of the
+    ``(j+1)``-th most recent *earlier* access mapping to the same BHT
+    slot (``pc & mask(bht_bits)``) — exactly the shift-register state
+    ``PerAddressHistoryTable.read`` returns, vectorized per history bit
+    over the stable per-slot grouping.
+    """
+    n = len(pcs)
+    hist = np.zeros(n, dtype=np.int64)
+    if n == 0 or hist_bits == 0:
+        return hist
+    slots = (pcs & mask(bht_bits)).astype(np.int32)
+    order = stable_group_order(slots, 1 << bht_bits)
+    grouped_slots = slots[order]
+    grouped_out = outcomes[order].astype(np.int64)
+
+    seg_start = np.empty(n, dtype=bool)
+    seg_start[0] = True
+    np.not_equal(grouped_slots[1:], grouped_slots[:-1], out=seg_start[1:])
+    seg_first = np.flatnonzero(seg_start)
+    seg_id = np.cumsum(seg_start, dtype=np.int64) - 1
+    pos_in_seg = np.arange(n, dtype=np.int64) - seg_first[seg_id]
+
+    grouped_hist = np.zeros(n, dtype=np.int64)
+    for j in range(hist_bits):
+        has_prior = np.flatnonzero(pos_in_seg >= j + 1)
+        grouped_hist[has_prior] |= grouped_out[has_prior - (j + 1)] << j
+    hist[order] = grouped_hist
+    return hist
+
+
+def _observed_states(
+    keys: np.ndarray,
+    deltas: np.ndarray,
+    num_counters: int,
+    init: int,
+    max_state: int,
+    engine: str,
+) -> np.ndarray:
+    """The state each access observes, via the compiled loop or the
+    counter-major scan — the shared automaton of every counter-major
+    scheme.  ``deltas`` are int-like in ``{-1, 0, +1}``."""
+    if engine == "c":
+        from repro.sim import _cstep
+
+        table = np.full(num_counters, init, dtype=np.int8)
+        return _cstep.counter_lane(
+            np.ascontiguousarray(keys, dtype=np.int64),
+            np.ascontiguousarray(deltas, dtype=np.int8),
+            table,
+            max_state,
+        )
+    if engine != "numpy":
+        raise ValueError(f"unsupported counter engine {engine!r}")
+    init_states = np.full(num_counters, init, dtype=np.int32)
+    pre, _ = counter_scan(keys, deltas, init_states, num_counters, max_state=max_state)
+    return pre
+
+
+def _train_deltas(outcomes: np.ndarray) -> np.ndarray:
+    return np.where(outcomes, 1, -1).astype(np.int8)
+
+
+# -- counter-major kernels --------------------------------------------------------
+
+
+def bimodal_predictions(
+    lane: BimodalLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> np.ndarray:
+    keys = (trace.pcs & mask(lane.index_bits)).astype(np.int64)
+    pre = _observed_states(
+        keys,
+        _train_deltas(trace.outcomes),
+        1 << lane.index_bits,
+        lane.threshold,  # power-on init is weakly taken at any width
+        lane.max_state,
+        engine,
+    )
+    return pre >= lane.threshold
+
+
+def twolevel_predictions(
+    lane: TwoLevelLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> np.ndarray:
+    if lane.bht_bits is None:
+        histories = _hist(trace, lane.hist_bits, hist_cache)
+    else:
+        histories = per_address_histories(
+            trace.pcs, trace.outcomes, lane.bht_bits, lane.hist_bits
+        )
+    keys = concat_index_stream(
+        histories, lane.hist_bits, trace.pcs, lane.select_bits
+    ).astype(np.int64)
+    pre = _observed_states(
+        keys,
+        _train_deltas(trace.outcomes),
+        1 << (lane.hist_bits + lane.select_bits),
+        WEAKLY_TAKEN,
+        3,
+        engine,
+    )
+    return pre >= 2
+
+
+def agree_predictions(
+    lane: AgreeLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> np.ndarray:
+    n = len(trace)
+    outcomes = trace.outcomes
+    histories = _hist(trace, lane.hist_bits, hist_cache)
+    keys = gshare_index_stream(
+        trace.pcs, histories, lane.index_bits, lane.hist_bits
+    ).astype(np.int64)
+
+    # First dynamic occurrence of each biasing slot; every later access
+    # sees that occurrence's outcome as its bias, earlier (and the first
+    # occurrence itself) the power-on False of an invalid slot.
+    slots = (trace.pcs & mask(lane.bias_bits)).astype(np.int64)
+    first = np.full(1 << lane.bias_bits, n, dtype=np.int64)
+    np.minimum.at(first, slots, np.arange(n, dtype=np.int64))
+    first_of_slot = first[slots]  # <= own position for every access
+    bias_after_update = outcomes[first_of_slot]
+    bias_at_predict = np.where(
+        first_of_slot < np.arange(n, dtype=np.int64), bias_after_update, False
+    )
+
+    agreed = bias_after_update == outcomes  # True at first occurrences
+    pre = _observed_states(
+        keys, _train_deltas(agreed), 1 << lane.index_bits, WEAKLY_TAKEN, 3, engine
+    )
+    return (pre >= 2) == bias_at_predict
+
+
+def _rotate_stream(values: np.ndarray, amount: int, bits: int) -> np.ndarray:
+    """Vectorized ``gskew._rotate``: left-rotate within a bits-wide word."""
+    if bits == 0:
+        return np.zeros_like(values)
+    amount %= bits
+    m = mask(bits)
+    values = values & m
+    return ((values << amount) | (values >> (bits - amount))) & m
+
+
+def _gskew_index_streams(
+    lane: GSkewLane, trace: BranchTrace, hist_cache: Optional[Dict[int, np.ndarray]]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    bits = lane.bank_bits
+    pcs = trace.pcs.astype(np.int64, copy=False)
+    if bits == 0:
+        zero = np.zeros(len(trace), dtype=np.int64)
+        return zero, zero, zero
+    m = mask(bits)
+    pc_lo = pcs & m
+    pc_hi = (pcs >> bits) & m
+    hist = _hist(trace, lane.hist_bits, hist_cache) & m
+    i0 = pc_lo ^ hist
+    i1 = _rotate_stream(pc_lo, 1, bits) ^ _rotate_stream(hist, bits // 2, bits) ^ pc_hi
+    i2 = (
+        _rotate_stream(pc_lo, 2, bits)
+        ^ _rotate_stream(hist, (2 * bits) // 3, bits)
+        ^ _rotate_stream(pc_hi, 1, bits)
+    )
+    return i0, i1, i2
+
+
+def gskew_predictions(
+    lane: GSkewLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> np.ndarray:
+    if engine == "c":
+        from repro.sim import _cstep
+
+        banks = np.full((3, 1 << lane.bank_bits), WEAKLY_TAKEN, dtype=np.int8)
+        preds = _cstep.gskew_lane(
+            np.ascontiguousarray(trace.pcs, dtype=np.int64),
+            np.ascontiguousarray(trace.outcomes).view(np.uint8),
+            lane.bank_bits,
+            lane.hist_bits,
+            lane.enhanced,
+            banks,
+        )
+        return preds.view(bool)
+    if engine != "numpy" or lane.enhanced:
+        # e-gskew's partial update feeds bank state back into which
+        # banks train; no counter-major form exists.
+        raise ValueError(f"unsupported gskew engine {engine!r} for {lane}")
+    deltas = _train_deltas(trace.outcomes)
+    size = 1 << lane.bank_bits
+    votes = np.zeros(len(trace), dtype=np.int8)
+    for keys in _gskew_index_streams(lane, trace, hist_cache):
+        pre = _observed_states(keys, deltas, size, WEAKLY_TAKEN, 3, "numpy")
+        votes += (pre >= 2).astype(np.int8)
+    return votes >= 2
+
+
+def tournament_predictions(
+    lane: TournamentLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> np.ndarray:
+    outcomes = trace.outcomes
+    deltas = _train_deltas(outcomes)
+    a_keys = (trace.pcs & mask(lane.index_bits)).astype(np.int64)
+    histories = _hist(trace, lane.index_bits, hist_cache)
+    b_keys = gshare_index_stream(
+        trace.pcs, histories, lane.index_bits, lane.index_bits
+    ).astype(np.int64)
+    size = 1 << lane.index_bits
+    pred_a = _observed_states(a_keys, deltas, size, WEAKLY_TAKEN, 3, engine) >= 2
+    pred_b = _observed_states(b_keys, deltas, size, WEAKLY_TAKEN, 3, engine) >= 2
+
+    # Meta trains toward "trust b" only on component disagreement.
+    meta_keys = (trace.pcs & mask(lane.meta_bits)).astype(np.int64)
+    meta_deltas = np.where(
+        pred_a == pred_b, 0, np.where(pred_b == outcomes, 1, -1)
+    ).astype(np.int8)
+    pre_meta = _observed_states(
+        meta_keys, meta_deltas, 1 << lane.meta_bits, WEAKLY_TAKEN, 3, engine
+    )
+    return np.where(pre_meta >= 2, pred_b, pred_a)
+
+
+# -- sequential (compiled-loop) kernels -------------------------------------------
+
+
+def trimode_predictions(
+    lane: TriModeLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> np.ndarray:
+    if engine != "c":
+        raise ValueError(f"unsupported tri-mode engine {engine!r}")
+    from repro.sim import _cstep
+
+    histories = _hist(trace, lane.hist_bits, hist_cache)
+    di = gshare_index_stream(
+        trace.pcs, histories, lane.dir_bits, lane.hist_bits
+    ).astype(np.int64)
+    ci = (trace.pcs & mask(lane.choice_bits)).astype(np.int64)
+    size = 1 << lane.dir_bits
+    nt_bank = np.full(size, WEAKLY_NOT_TAKEN, dtype=np.int8)
+    tk_bank = np.full(size, WEAKLY_TAKEN, dtype=np.int8)
+    wk_bank = np.full(size, WEAKLY_TAKEN, dtype=np.int8)
+    choice = np.full(1 << lane.choice_bits, WEAKLY_TAKEN, dtype=np.int8)
+    preds = _cstep.trimode_lane(
+        np.ascontiguousarray(ci),
+        np.ascontiguousarray(di),
+        np.ascontiguousarray(trace.outcomes).view(np.uint8),
+        nt_bank,
+        tk_bank,
+        wk_bank,
+        choice,
+    )
+    return preds.view(bool)
+
+
+def yags_predictions(
+    lane: YagsLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> np.ndarray:
+    if engine != "c":
+        raise ValueError(f"unsupported YAGS engine {engine!r}")
+    from repro.sim import _cstep
+
+    histories = _hist(trace, lane.hist_bits, hist_cache)
+    ki = gshare_index_stream(
+        trace.pcs, histories, lane.cache_bits, lane.hist_bits
+    ).astype(np.int64)
+    ci = (trace.pcs & mask(lane.choice_bits)).astype(np.int64)
+    tags = ((trace.pcs >> lane.cache_bits) & mask(lane.tag_bits)).astype(np.int32)
+    cache_size = 1 << lane.cache_bits
+    choice = np.full(1 << lane.choice_bits, WEAKLY_TAKEN, dtype=np.int8)
+    tk_tags = np.full(cache_size, -1, dtype=np.int32)
+    tk_ctr = np.full(cache_size, WEAKLY_TAKEN, dtype=np.int8)
+    nt_tags = np.full(cache_size, -1, dtype=np.int32)
+    nt_ctr = np.full(cache_size, WEAKLY_NOT_TAKEN, dtype=np.int8)
+    preds = _cstep.yags_lane(
+        np.ascontiguousarray(ci),
+        np.ascontiguousarray(ki),
+        np.ascontiguousarray(tags),
+        np.ascontiguousarray(trace.outcomes).view(np.uint8),
+        choice,
+        tk_tags,
+        tk_ctr,
+        nt_tags,
+        nt_ctr,
+    )
+    return preds.view(bool)

@@ -8,7 +8,9 @@ implementation —
 * the predictor's batch ``simulate`` loop (what :func:`repro.sim.
   engine.run` uses),
 * the gshare lane kernel or each available bi-mode kernel strategy,
-  when the spec qualifies for one —
+  when the spec qualifies for one,
+* every engine of the spec's registry lane kernel
+  (:mod:`repro.sim.kernels`) for the ported schemes —
 
 and reports whether all predictions agree, and if not, the index of
 the first diverging branch together with each engine's prediction
@@ -30,7 +32,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.registry import make_predictor
-from repro.sim import _cstep
+from repro.sim import _cstep, kernels
 from repro.sim.batch import gshare_lane_detailed, lane_for_spec
 from repro.sim.batch_bimode import bimode_lane_detailed, bimode_lane_for_spec
 from repro.sim.engine import run, run_steps
@@ -152,6 +154,19 @@ def diff_spec(
                     os.environ.pop("REPRO_BIMODE_KERNEL", None)
                 else:
                     os.environ["REPRO_BIMODE_KERNEL"] = saved
+        kind, lane = kernels.kernel_for_spec(spec)
+        if kind in kernels.PORTED:
+            entry = kernels.PORTED[kind]
+            strategies = ["numpy"] if entry.numpy_ok(lane) else []
+            if _cstep.available():
+                strategies.insert(0, "c")
+            for strategy in strategies:
+                report.runs.append(
+                    EngineRun(
+                        f"lane:{kind}[{strategy}]",
+                        entry.predictions(lane, trace, strategy),
+                    )
+                )
 
     reference = report.runs[0]
     first: Optional[int] = None

@@ -62,6 +62,82 @@ ALL_SPECS = [
 ]
 
 
+#: Figure-grid-style specs for the kernel-registry ported schemes, at
+#: 2-3 sizes each: the verification matrix of the per-scheme
+#: equivalence suite, the golden fixtures and the registry benchmark.
+PORTED_GRID = [
+    "bimodal:index=6",
+    "bimodal:index=9",
+    "bimodal:index=6,bits=3",
+    "gag:hist=6",
+    "gag:hist=10",
+    "gas:hist=5,select=3",
+    "gas:hist=7,select=2",
+    "gap:hist=5",
+    "gap:hist=4,addr=6",
+    "gselect:hist=4,addr=4",
+    "gselect:hist=6,addr=3",
+    "pag:hist=6,bht=6",
+    "pag:hist=8,bht=4",
+    "pas:hist=4,select=3,bht=5",
+    "pas:hist=5,select=2,bht=6",
+    "pap:hist=3,addr=3,bht=4",
+    "pap:hist=4,addr=4,bht=5",
+    "agree:index=8,hist=8",
+    "agree:index=6,hist=4",
+    "agree:index=8,hist=8,bias=6",
+    "gskew:bank=7,hist=7",
+    "gskew:bank=5,hist=5",
+    "gskew:bank=7,hist=7,update=total",
+    "gskew:bank=5,hist=3,update=total",
+    "tournament:index=8,meta=8",
+    "tournament:index=6,meta=5",
+    "trimode:dir=7,hist=7,choice=7",
+    "trimode:dir=5,hist=3,choice=5",
+    "yags:choice=8,cache=6,hist=6,tag=6",
+    "yags:choice=6,cache=5,hist=3,tag=4",
+]
+
+#: Two small paper size points -> the full Figure-2/3/4 grid shape.
+KB_POINTS = (1 / 64, 1 / 32)
+
+
+def figure_grid():
+    """The 1PHT points, every gshare.best history candidate, and
+    bi-mode, at each :data:`KB_POINTS` size — the production sweep's
+    spec-grid shape, shrunk to test scale."""
+    from repro.analysis.sweep import _candidate_specs, bimode_spec, gshare_1pht_spec
+
+    specs = []
+    for kb in KB_POINTS:
+        specs.append(gshare_1pht_spec(kb))
+        specs.extend(_candidate_specs(kb, None))
+        specs.append(bimode_spec(kb))
+    return list(dict.fromkeys(specs))
+
+
+def make_trace(pcs, outcomes, name: str = "t") -> BranchTrace:
+    """A literal trace from parallel pc/outcome lists."""
+    return BranchTrace(
+        pcs=np.asarray(pcs, dtype=np.int64),
+        outcomes=np.asarray(outcomes, dtype=bool),
+        name=name,
+    )
+
+
+def scalar_predictions(spec: str, trace: BranchTrace) -> np.ndarray:
+    """The per-branch step-interface reference: ``predict``/``update``
+    one branch at a time through the scalar predictor."""
+    from repro.core.registry import make_predictor
+
+    predictor = make_predictor(spec)
+    preds = np.empty(len(trace), dtype=bool)
+    for i, (pc, taken) in enumerate(zip(trace.pcs, trace.outcomes)):
+        preds[i] = predictor.predict(int(pc))
+        predictor.update(int(pc), bool(taken))
+    return preds
+
+
 def make_toy_trace(length: int = 2000, seed: int = 7, num_branches: int = 24) -> BranchTrace:
     """A quick random trace (not workload-realistic; for mechanics tests)."""
     rng = np.random.default_rng(seed)
@@ -95,3 +171,15 @@ def small_workload() -> BranchTrace:
 def aliasing_workload() -> BranchTrace:
     """A trace with a large static footprint (gcc profile, 30 K branches)."""
     return generate_trace(get_profile("gcc"), length=30_000, seed=3)
+
+
+@pytest.fixture(scope="session")
+def aliasing_toy_trace() -> BranchTrace:
+    """A toy trace whose 96 static branches alias small tables."""
+    return make_toy_trace(length=1500, seed=13, num_branches=96)
+
+
+@pytest.fixture(scope="session")
+def figure_grid_specs() -> list:
+    """The shrunk Figure-2/3/4 spec grid (see :func:`figure_grid`)."""
+    return figure_grid()

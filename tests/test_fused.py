@@ -15,7 +15,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import faults, health
-from repro.analysis.sweep import _candidate_specs, bimode_spec, gshare_1pht_spec
 from repro.core.registry import make_predictor
 from repro.sim.engine import run
 from repro.sim.fused import (
@@ -31,19 +30,7 @@ from repro.traces.record import BranchTrace
 from repro.verify.oracle import oracle_rate
 from repro.workloads.generator import generate_trace
 from repro.workloads.profiles import get_profile
-
-#: Two small paper size points -> the full Figure-2/3/4 grid shape:
-#: the 1PHT points, every gshare.best history candidate, and bi-mode.
-KB_POINTS = (1 / 64, 1 / 32)
-
-
-def figure_grid():
-    specs = []
-    for kb in KB_POINTS:
-        specs.append(gshare_1pht_spec(kb))
-        specs.extend(_candidate_specs(kb, None))
-        specs.append(bimode_spec(kb))
-    return list(dict.fromkeys(specs))
+from tests.conftest import figure_grid
 
 
 @pytest.fixture(autouse=True)
@@ -64,15 +51,17 @@ class TestPlanner:
                 "bimodal:index=5",
             ]
         )
-        assert [f.kind for f in families] == ["gshare", "bimode", "scalar"]
+        assert [f.kind for f in families] == ["gshare", "bimode", "bimodal", "scalar"]
         by_kind = {f.kind: f for f in families}
         assert by_kind["gshare"].specs == (
             "gshare:index=6,hist=3",
             "gshare:index=6,hist=6",
         )
         assert by_kind["bimode"].specs == ("bimode:dir=5,hist=5,choice=5",)
-        assert by_kind["scalar"].specs == ("always-taken", "bimodal:index=5")
-        assert by_kind["scalar"].lanes == (None, None)
+        assert by_kind["bimodal"].specs == ("bimodal:index=5",)
+        assert by_kind["bimodal"].lanes[0] is not None
+        assert by_kind["scalar"].specs == ("always-taken",)
+        assert by_kind["scalar"].lanes == (None,)
 
     def test_empty_families_are_omitted(self):
         (only,) = plan_families(["gshare:index=5,hist=2"])

@@ -28,27 +28,38 @@ from pathlib import Path
 from repro.core.registry import make_predictor, parse_spec
 from repro.sim.engine import run
 
-from tests.conftest import make_toy_trace
+from tests.conftest import PORTED_GRID, make_toy_trace
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "rates.json"
 
-#: One spec per scheme under regression pinning (12+ schemes).
-GOLDEN_SPECS = [
-    "bimode:dir=7,hist=5,choice=6",
-    "bimode:dir=6,hist=6,choice=5,full_update=1,choice_hist=1",
-    "gshare:index=8,hist=6",
-    "bimodal:index=7",
-    "gag:hist=7",
-    "pag:hist=5,bht=5",
-    "gselect:hist=4,addr=4",
-    "perceptron:index=5,hist=8",
-    "agree:index=8,hist=6,bias=8",
-    "gskew:bank=6,hist=6",
-    "yags:choice=7,cache=5,hist=5,tag=5",
-    "tournament:index=7,meta=7",
-    "trimode:dir=6,hist=4,choice=5",
-    "biasfilter:table=6,run=2,sub_index=7,sub_hist=5",
-]
+#: At least one spec per registered scheme under regression pinning,
+#: plus the kernel registry's ported grid (2-3 sizes per ported
+#: scheme), so every lane kernel answers to a frozen exact rational.
+GOLDEN_SPECS = list(
+    dict.fromkeys(
+        [
+            "bimode:dir=7,hist=5,choice=6",
+            "bimode:dir=6,hist=6,choice=5,full_update=1,choice_hist=1",
+            "gshare:index=8,hist=6",
+            "gshare:index=6,hist=3",
+            "bimodal:index=7",
+            "gag:hist=7",
+            "pag:hist=5,bht=5",
+            "gselect:hist=4,addr=4",
+            "perceptron:index=5,hist=8",
+            "agree:index=8,hist=6,bias=8",
+            "gskew:bank=6,hist=6",
+            "yags:choice=7,cache=5,hist=5,tag=5",
+            "tournament:index=7,meta=7",
+            "trimode:dir=6,hist=4,choice=5",
+            "biasfilter:table=6,run=2,sub_index=7,sub_hist=5",
+            "always-taken",
+            "always-not-taken",
+            "btfnt",
+            *PORTED_GRID,
+        ]
+    )
+)
 
 #: Canonical trace recipes — regenerated bit-identically by
 #: :func:`tests.conftest.make_toy_trace` from these parameters.
@@ -78,8 +89,11 @@ def _compute_rates() -> dict:
     }
 
 
-def test_golden_covers_at_least_12_schemes():
-    assert len({parse_spec(spec)[0] for spec in GOLDEN_SPECS}) >= 12
+def test_golden_covers_every_registered_scheme():
+    from repro.core.registry import available_schemes
+
+    covered = {parse_spec(spec)[0] for spec in GOLDEN_SPECS}
+    assert covered == set(available_schemes())
 
 
 def test_fixture_recipes_match_checked_in_file():
@@ -107,6 +121,32 @@ def test_rates_match_golden_fixtures():
         "misprediction rates drifted from tests/golden/rates.json "
         "(intentional? regenerate with "
         "`PYTHONPATH=src:. python tests/test_golden.py --regen`):\n"
+        + "\n".join(drifted)
+    )
+
+
+def test_batch_kernels_reproduce_golden_fixtures():
+    """The registry's batched path must land on the *same rationals*
+    as the scalar engine that froze them: for every golden cell, the
+    planner-dispatched rate equals the fixture's exact miss/length."""
+    from repro.sim.fused import family_rates, plan_families
+
+    expected = json.loads(GOLDEN_PATH.read_text())["rates"]
+    drifted = []
+    for name, trace in _build_traces().items():
+        got = {}
+        for family in plan_families(GOLDEN_SPECS):
+            got.update(family_rates(family, trace))
+        for spec in GOLDEN_SPECS:
+            frac = Fraction(expected[spec][name])
+            miss = frac * len(trace)
+            assert miss.denominator == 1, (spec, name)
+            if got[spec] != int(miss) / len(trace):
+                drifted.append(
+                    f"  {spec} | {name}: expected {frac}  got {got[spec]}"
+                )
+    assert not drifted, (
+        "batched kernel rates diverge from the golden fixtures:\n"
         + "\n".join(drifted)
     )
 

@@ -1,0 +1,421 @@
+"""Registry-driven verification of every scheme's batch kernel.
+
+This suite is *generated from the registry*: the parametrizations come
+from :func:`repro.sim.kernels.registered_schemes` and the shared
+``PORTED_GRID`` spec matrix, so a scheme that registers in
+``core/registry.py`` without declaring a kernel tier, an oracle
+implementation, and a golden fixture row fails here **by name** — no
+kernel lands without a bit-exact cross-check, and no scheme lands
+without a kernel story.
+
+Layers:
+
+* **completeness** — the registry/oracle/golden coverage meta-tests;
+* **resolution** — ``kernel_for_spec`` routing, including rejection of
+  malformed knobs back to the scalar family;
+* **equivalence** — every ported spec, on two trace shapes, under both
+  the ``auto`` and ``numpy`` pins, against the scalar engine, the
+  step interface and the dict-based oracle;
+* **dispatch** — the ``REPRO_KERNEL`` pin semantics (scalar planner
+  routing, forced-c failure, numpy degradations, inheritance by
+  ``REPRO_BIMODE_KERNEL``), all health-reported;
+* **fuzz** — hypothesis differential replay of random traces through
+  :func:`repro.verify.differential.diff_spec`, which runs every
+  engine the spec qualifies for;
+* **kill drill** — a mid-sweep hard worker kill on a ported family,
+  asserting the supervised sweep still lands on the serial answer.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import faults, health
+from repro.core.registry import available_schemes, make_predictor
+from repro.sim import _cstep, kernels
+from repro.sim.engine import run
+from repro.sim.fused import plan_families
+from repro.verify.differential import diff_spec
+from repro.verify.oracle import oracle_rate, oracle_supports
+from tests.conftest import (
+    ALL_SPECS,
+    PORTED_GRID,
+    make_toy_trace,
+    scalar_predictions,
+)
+
+#: scheme -> kernel kind for every PORTED_GRID spec, resolved once.
+GRID_KINDS = {spec: kernels.kernel_for_spec(spec)[0] for spec in PORTED_GRID}
+
+
+@pytest.fixture(autouse=True)
+def clean_health():
+    health.clear()
+    yield
+    health.clear()
+
+
+@lru_cache(maxsize=None)
+def _trace(kind: str):
+    if kind == "toy":
+        return make_toy_trace()
+    return make_toy_trace(length=1500, seed=13, num_branches=96)
+
+
+@lru_cache(maxsize=None)
+def _scalar_rate(spec: str, trace_kind: str) -> float:
+    trace = _trace(trace_kind)
+    return run(make_predictor(spec), trace).misprediction_rate
+
+
+class TestRegistryCompleteness:
+    """Satellite: a future scheme cannot register silently.
+
+    Each assertion fails with the offending scheme's name, so the
+    remediation ("declare a tier / write an oracle / freeze a golden
+    row") is readable from the failure alone.
+    """
+
+    def test_every_registered_scheme_declares_a_kernel_tier(self):
+        tiers = kernels.registered_schemes()
+        for scheme in available_schemes():
+            assert scheme in tiers, (
+                f"scheme {scheme!r} is registered in core/registry.py but "
+                "declares no kernel tier in sim/kernels.py — port it (PORTED) "
+                "or add it to the SCALAR_ONLY allowlist"
+            )
+
+    def test_registry_declares_no_phantom_schemes(self):
+        registered = set(available_schemes())
+        for scheme in kernels.registered_schemes():
+            assert scheme in registered, (
+                f"sim/kernels.py declares {scheme!r} but core/registry.py "
+                "does not register it"
+            )
+
+    def test_every_registered_scheme_has_an_oracle(self):
+        from tests.test_golden import GOLDEN_SPECS
+
+        example = {spec.split(":", 1)[0]: spec for spec in GOLDEN_SPECS}
+        for scheme in available_schemes():
+            spec = example.get(scheme)
+            assert spec is not None, f"no example spec for scheme {scheme!r}"
+            assert oracle_supports(spec), (
+                f"scheme {scheme!r} has no oracle implementation in "
+                "verify/oracle.py"
+            )
+
+    def test_every_registered_scheme_has_a_golden_row(self):
+        import json
+
+        from tests.test_golden import GOLDEN_PATH
+
+        rates = json.loads(GOLDEN_PATH.read_text())["rates"]
+        frozen = {spec.split(":", 1)[0] for spec in rates}
+        for scheme in available_schemes():
+            assert scheme in frozen, (
+                f"scheme {scheme!r} has no golden fixture row — add a spec "
+                "to tests/test_golden.py GOLDEN_SPECS and regenerate"
+            )
+
+    def test_scalar_allowlist_is_explicit_and_disjoint(self):
+        tiers = kernels.registered_schemes()
+        scalar = {s for s, tier in tiers.items() if tier == "scalar"}
+        assert scalar == set(kernels.SCALAR_ONLY)
+        assert not (set(kernels.PORTED) & kernels.SCALAR_ONLY)
+
+    def test_tiers_are_known_values(self):
+        for scheme, tier in kernels.registered_schemes().items():
+            assert tier in ("fused", "lane", "cloop", "scalar"), (scheme, tier)
+
+    def test_at_least_seven_newly_ported_schemes(self):
+        """ISSUE acceptance: >= 7 schemes beyond gshare/bimode run
+        through lane-batched kernels."""
+        ported = [s for s, t in kernels.registered_schemes().items() if t in ("lane", "cloop")]
+        assert len(ported) >= 7, ported
+
+    def test_family_order_spans_every_kind(self):
+        order = kernels.family_order()
+        assert order[0] == "gshare"
+        assert order[-1] == "scalar"
+        assert set(order) == {"gshare", "bimode", "scalar", *kernels.PORTED}
+
+    def test_ported_grid_covers_every_ported_scheme_twice(self):
+        for scheme in kernels.PORTED:
+            sizes = [s for s in PORTED_GRID if s.split(":", 1)[0] == scheme]
+            assert len(sizes) >= 2, f"PORTED_GRID needs >= 2 sizes of {scheme!r}"
+
+
+class TestKernelForSpec:
+    @pytest.mark.parametrize("spec", PORTED_GRID)
+    def test_grid_specs_resolve_to_their_scheme(self, spec):
+        kind, lane = kernels.kernel_for_spec(spec)
+        assert kind == spec.split(":", 1)[0]
+        assert lane is not None
+
+    def test_fused_families_keep_their_kind(self):
+        assert kernels.kernel_for_spec("gshare:index=8,hist=4")[0] == "gshare"
+        assert kernels.kernel_for_spec("bimode:dir=6,hist=6,choice=6")[0] == "bimode"
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "perceptron:index=6,hist=8",
+            "biasfilter:table=8,run=2,sub_index=8,sub_hist=8",
+            "always-taken",
+            "agree:index=8,flavor=mild",  # unknown knob -> scalar raises it
+            "bimodal:index=30",  # out-of-range geometry
+            "gskew:bank=7,update=sideways",
+            "not a spec",
+        ],
+    )
+    def test_unported_and_malformed_specs_fall_to_scalar(self, spec):
+        assert kernels.kernel_for_spec(spec) == ("scalar", None)
+
+    def test_lane_parsers_mirror_scalar_defaults(self):
+        """Defaulted and explicit spellings of the same configuration
+        must resolve to the same lane."""
+        assert kernels.kernel_for_spec("agree:index=8") == kernels.kernel_for_spec(
+            "agree:index=8,hist=8,bias=8"
+        )
+        assert kernels.kernel_for_spec("yags:choice=6,cache=5") == (
+            kernels.kernel_for_spec("yags:choice=6,cache=5,hist=5,tag=6")
+        )
+        assert kernels.kernel_for_spec("gskew:bank=6") == kernels.kernel_for_spec(
+            "gskew:bank=6,hist=6,update=enhanced"
+        )
+        assert kernels.kernel_for_spec("tournament:index=7") == (
+            kernels.kernel_for_spec("tournament:index=7,meta=7")
+        )
+
+
+class TestEquivalence:
+    """Every ported spec x {auto, numpy} x two trace shapes, against
+    the scalar engine and the dict-based oracle — the PR's bit-exactness
+    acceptance criterion."""
+
+    @pytest.mark.parametrize("trace_kind", ["toy", "aliasing"])
+    @pytest.mark.parametrize("mode", ["auto", "numpy"])
+    def test_grid_rates_match_scalar_and_oracle(self, mode, trace_kind):
+        trace = _trace(trace_kind)
+        drifted = []
+        for family in plan_families(PORTED_GRID):
+            assert family.kind != "scalar", family.specs
+            rates = kernels.family_rates(
+                family.kind, family.specs, family.lanes, trace, mode=mode
+            )
+            for spec, rate in zip(family.specs, rates):
+                want = _scalar_rate(spec, trace_kind)
+                if rate != want or rate != oracle_rate(spec, trace):
+                    drifted.append(f"{spec} [{mode}/{trace_kind}]")
+        assert not drifted, drifted
+
+    @pytest.mark.parametrize("spec", PORTED_GRID)
+    def test_predictions_match_step_interface(self, spec):
+        """Per-branch bit-identity (not just equal rates) under the
+        default auto dispatch."""
+        trace = _trace("toy")
+        kind, lane = kernels.kernel_for_spec(spec)
+        (preds,) = kernels.family_predictions(kind, [spec], [lane], trace)
+        expected = scalar_predictions(spec, trace)
+        diverging = np.flatnonzero(preds != expected)
+        assert diverging.size == 0, (
+            f"{spec}: first divergence at branch {diverging[:1]}"
+        )
+
+    def test_rates_are_exact_rationals(self):
+        """Registry rates are miss/length in float — the same division
+        the scalar engine performs, so equality above is exact."""
+        trace = _trace("toy")
+        kind, lane = kernels.kernel_for_spec("agree:index=8,hist=8")
+        (rate,) = kernels.family_rates(kind, ["agree:index=8,hist=8"], [lane], trace)
+        frac = Fraction(rate).limit_denominator(len(trace))
+        assert frac.denominator == len(trace) or rate == 0.0
+
+    def test_empty_trace(self):
+        from tests.conftest import make_trace
+
+        empty = make_trace([], [])
+        for spec in ("agree:index=6", "trimode:dir=5", "pag:hist=4,bht=4"):
+            kind, lane = kernels.kernel_for_spec(spec)
+            assert kernels.family_rates(kind, [spec], [lane], empty) == [0.0]
+
+
+class TestDispatch:
+    def test_invalid_pin_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "sideways")
+        with pytest.raises(ValueError, match="REPRO_KERNEL"):
+            kernels.kernel_mode()
+
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert kernels.kernel_mode() == "auto"
+
+    def test_scalar_pin_routes_whole_planner(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "scalar")
+        (family,) = plan_families(ALL_SPECS)
+        assert family.kind == "scalar"
+        assert family.lanes == tuple(None for _ in family.specs)
+
+    def test_scalar_pin_names_itself_in_degradation(self, monkeypatch):
+        from repro.sim.fused import family_rates as fused_rates
+
+        monkeypatch.setenv("REPRO_KERNEL", "scalar")
+        (family,) = plan_families(["agree:index=5,hist=5"])
+        fused_rates(family, _trace("toy"))
+        (event,) = health.events(component="sweep-planner")
+        assert "REPRO_KERNEL=scalar pin" in event.reason
+
+    def test_forced_c_without_compiler_raises(self, monkeypatch):
+        kind, lane = kernels.kernel_for_spec("agree:index=6")
+        with faults.deny_compiler():
+            with pytest.raises(RuntimeError, match="REPRO_KERNEL=c"):
+                kernels.family_rates(
+                    kind, ["agree:index=6"], [lane], _trace("toy"), mode="c"
+                )
+
+    def test_numpy_pin_degrades_cloop_schemes_to_scalar(self):
+        spec = "trimode:dir=5,hist=3,choice=5"
+        kind, lane = kernels.kernel_for_spec(spec)
+        rates = kernels.family_rates(kind, [spec], [lane], _trace("toy"), mode="numpy")
+        (event,) = health.events(component="trimode-kernel")
+        assert event.actual == "scalar"
+        assert event.severity == "degraded"
+        assert "no numpy kernel" in event.reason
+        assert rates == [_scalar_rate(spec, "toy")]
+
+    def test_numpy_pin_keeps_counter_major_on_numpy(self):
+        spec = "tournament:index=6,meta=5"
+        kind, lane = kernels.kernel_for_spec(spec)
+        kernels.family_rates(kind, [spec], [lane], _trace("toy"), mode="numpy")
+        (event,) = health.events(component="tournament-kernel")
+        assert event.actual == "numpy"
+        assert event.severity == "info"
+
+    def test_auto_without_compiler_degrades_with_reason(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        spec = "agree:index=6,hist=6"
+        kind, lane = kernels.kernel_for_spec(spec)
+        baseline = kernels.family_rates(kind, [spec], [lane], _trace("toy"))
+        health.clear()
+        with faults.deny_compiler():
+            denied = kernels.family_rates(kind, [spec], [lane], _trace("toy"))
+            (event,) = health.events(component="agree-kernel")
+            assert event.expected == "c"
+            assert event.actual == "numpy"
+            assert event.severity == "degraded"
+            assert "REPRO_NO_CC" in event.reason
+        assert denied == baseline
+
+    @pytest.mark.skipif(not _cstep.available(), reason="no C compiler")
+    def test_auto_with_compiler_runs_compiled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        spec = "yags:choice=6,cache=5"
+        kind, lane = kernels.kernel_for_spec(spec)
+        kernels.family_rates(kind, [spec], [lane], _trace("toy"))
+        (event,) = health.events(component="yags-kernel")
+        assert event.actual == "c"
+        assert event.severity == "info"
+
+    def test_bimode_kernel_inherits_registry_pin(self, monkeypatch):
+        from repro.sim.batch_bimode import _kernel_mode
+
+        monkeypatch.delenv("REPRO_BIMODE_KERNEL", raising=False)
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        assert _kernel_mode() == "numpy"
+        # the scheme-specific pin wins over the registry-wide one
+        monkeypatch.setenv("REPRO_BIMODE_KERNEL", "python")
+        assert _kernel_mode() == "python"
+        # scalar pin maps to auto here: the planner already routed
+        # scalar-pinned specs away from the bimode module
+        monkeypatch.delenv("REPRO_BIMODE_KERNEL", raising=False)
+        monkeypatch.setenv("REPRO_KERNEL", "scalar")
+        assert _kernel_mode() == "auto"
+
+    def test_registry_numpy_pin_is_end_to_end_identical(self, monkeypatch):
+        """The whole ALL_SPECS grid lands on the same numbers under
+        REPRO_KERNEL=numpy as under the default dispatch."""
+        from repro.sim.fused import family_rates as fused_rates
+
+        def grid():
+            out = {}
+            for family in plan_families(ALL_SPECS):
+                out.update(fused_rates(family, _trace("toy")))
+            return out
+
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        baseline = grid()
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        assert grid() == baseline
+
+
+class TestDifferentialFuzz:
+    """Hypothesis differential replay: random traces through every
+    engine each ported spec qualifies for (scalar step loop, batch
+    simulate, oracle, each lane engine) via ``diff_spec``."""
+
+    @given(
+        spec=st.sampled_from(PORTED_GRID),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_engines_agree_on_random_traces(self, spec, data):
+        n = data.draw(st.integers(min_value=0, max_value=120), label="length")
+        pcs = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=2**20 - 1),
+                min_size=n,
+                max_size=n,
+            ),
+            label="pcs",
+        )
+        outcomes = data.draw(
+            st.lists(st.booleans(), min_size=n, max_size=n), label="outcomes"
+        )
+        from tests.conftest import make_trace
+
+        report = diff_spec(spec, make_trace(pcs, outcomes, name="fuzz"))
+        assert report.agree, report.summary()
+
+
+class TestKillDrillPortedFamily:
+    """Mid-sweep kill drill on newly-ported families: a hard worker
+    kill must not change any ported-scheme cell or lose the sweep."""
+
+    SPECS = [
+        "tournament:index=6,meta=6",
+        "tournament:index=7,meta=7",
+        "agree:index=7,hist=7",
+        "yags:choice=6,cache=5,hist=3,tag=4",
+    ]
+
+    def test_hard_killed_worker_still_lands_on_serial_answer(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.sim.parallel import TaskPolicy, evaluate_matrix_parallel
+        from repro.sim.runner import evaluate_matrix
+        from repro.workloads.generator import generate_trace
+        from repro.workloads.profiles import get_profile
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        traces = {
+            name: generate_trace(get_profile(name), length=4_000, seed=7)
+            for name in ("gcc", "xlisp")
+        }
+        serial = evaluate_matrix(self.SPECS, traces, jobs=1)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache2"))
+        with faults.inject("worker:exit:bench=gcc"):
+            result = evaluate_matrix_parallel(
+                self.SPECS,
+                traces,
+                jobs=2,
+                policy=TaskPolicy(retries=2, backoff=0.0),
+            )
+        assert result == serial
+        assert result.failures == []

@@ -177,6 +177,36 @@ DIFFERENTIAL_SPECS = [
 ]
 
 
+#: Per-scheme fuzz budget tiers.  ``diff_spec`` replays a spec through
+#: every engine it qualifies for, and the kernel registry multiplied
+#: that space: each ported scheme now adds its lane engines (compiled
+#: and/or numpy) on top of oracle/step/batch, and gshare/bimode carry
+#: their dedicated kernel strategies.  Schemes with many engines get a
+#: smaller example budget so the CI profile's wall-clock stays at its
+#: pre-registry level; the cheap scalar-only schemes keep the wide
+#: budget.  Deadlines stay ``None`` — the first heavy example may
+#: compile the C driver, and per-example deadlines would flake on
+#: that — so ``max_examples`` *is* the budget knob.
+FUZZ_BUDGET = {
+    "light": {"max_examples": 15},  # scalar-only: 3 engines replayed
+    "heavy": {"max_examples": 8},  # kernel-ported: up to 6 engines
+}
+
+
+def _fuzz_tier(scheme: str) -> str:
+    from repro.sim import kernels
+
+    return "light" if scheme in kernels.SCALAR_ONLY else "heavy"
+
+
+LIGHT_DIFFERENTIAL_SPECS = [
+    spec for spec in DIFFERENTIAL_SPECS if _fuzz_tier(parse_spec(spec)[0]) == "light"
+]
+HEAVY_DIFFERENTIAL_SPECS = [
+    spec for spec in DIFFERENTIAL_SPECS if _fuzz_tier(parse_spec(spec)[0]) == "heavy"
+]
+
+
 class TestDifferentialFuzzing:
     """Random traces through oracle == step loop == batch simulate ==
     batched kernels (where the spec qualifies for one), for every
@@ -187,10 +217,23 @@ class TestDifferentialFuzzing:
         fuzzed = {parse_spec(spec)[0] for spec in DIFFERENTIAL_SPECS}
         assert fuzzed == set(available_schemes())
 
+    def test_every_scheme_lands_in_exactly_one_budget_tier(self):
+        light = {parse_spec(s)[0] for s in LIGHT_DIFFERENTIAL_SPECS}
+        heavy = {parse_spec(s)[0] for s in HEAVY_DIFFERENTIAL_SPECS}
+        assert not light & heavy
+        assert light | heavy == set(available_schemes())
+
     @given(trace=traces())
-    @settings(max_examples=15, deadline=None)
-    def test_all_engines_agree_on_arbitrary_traces(self, trace):
-        for spec in DIFFERENTIAL_SPECS:
+    @settings(deadline=None, **FUZZ_BUDGET["light"])
+    def test_scalar_only_engines_agree_on_arbitrary_traces(self, trace):
+        for spec in LIGHT_DIFFERENTIAL_SPECS:
+            report = diff_spec(spec, trace)
+            assert report.agree, report.summary()
+
+    @given(trace=traces())
+    @settings(deadline=None, **FUZZ_BUDGET["heavy"])
+    def test_kernel_ported_engines_agree_on_arbitrary_traces(self, trace):
+        for spec in HEAVY_DIFFERENTIAL_SPECS:
             report = diff_spec(spec, trace)
             assert report.agree, report.summary()
 

@@ -115,6 +115,27 @@ class TestSpecErrorMessages:
         with pytest.raises(ValueError, match="available"):
             make_predictor("tage:index=10")
 
+    @pytest.mark.parametrize(
+        "typo, suggestion",
+        [
+            ("gshar:index=8", "gshare"),
+            ("bimod:dir=6", "bimode"),
+            ("trimod:dir=6", "trimode"),
+            ("yag:choice=6,cache=5", "yags"),
+        ],
+    )
+    def test_near_miss_scheme_suggests_nearest_name(self, typo, suggestion):
+        with pytest.raises(ValueError) as excinfo:
+            make_predictor(typo)
+        message = str(excinfo.value)
+        assert f"did you mean {suggestion!r}?" in message
+        assert typo in message
+
+    def test_far_miss_scheme_has_no_suggestion(self):
+        with pytest.raises(ValueError) as excinfo:
+            make_predictor("zzzzqqq:index=8")
+        assert "did you mean" not in str(excinfo.value)
+
     def test_kwargs_form_also_reports_spec(self):
         with pytest.raises(ValueError, match="gshare:index=-3"):
             make_predictor("gshare", index=-3)

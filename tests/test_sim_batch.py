@@ -18,21 +18,13 @@ from repro.sim.batch import (
 )
 from repro.sim.engine import run_steps
 from repro.traces.record import BranchTrace
-from tests.conftest import make_toy_trace
+from tests.conftest import make_toy_trace, make_trace
 
 
 def reference(lane: GShareLane, trace: BranchTrace):
     return run_steps(
         GSharePredictor(index_bits=lane.index_bits, history_bits=lane.history_bits),
         trace,
-    )
-
-
-def make_trace(pcs, outcomes):
-    return BranchTrace(
-        pcs=np.asarray(pcs, dtype=np.int64),
-        outcomes=np.asarray(outcomes, dtype=bool),
-        name="t",
     )
 
 

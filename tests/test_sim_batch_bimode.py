@@ -19,7 +19,7 @@ from repro.sim import batch_bimode as bb
 from repro.sim.engine import run
 from repro.traces.record import BranchTrace
 
-from .conftest import make_toy_trace
+from .conftest import make_toy_trace, scalar_predictions as _scalar_predictions
 
 SPECS = [
     "bimode:dir=6,hist=4,choice=5",
@@ -43,15 +43,6 @@ def _use(monkeypatch, strategy: str) -> None:
     if strategy == "c" and not _cstep.available():
         pytest.skip("no C compiler available")
     monkeypatch.setenv("REPRO_BIMODE_KERNEL", strategy)
-
-
-def _scalar_predictions(spec: str, trace: BranchTrace) -> np.ndarray:
-    predictor = make_predictor(spec)
-    preds = np.empty(len(trace), dtype=bool)
-    for i, (pc, taken) in enumerate(zip(trace.pcs, trace.outcomes)):
-        preds[i] = predictor.predict(int(pc))
-        predictor.update(int(pc), bool(taken))
-    return preds
 
 
 @pytest.mark.parametrize("strategy", STRATEGIES)
