@@ -19,13 +19,28 @@ Severities:
   worker pool replaced by serial execution, a retry succeeded);
 * ``"error"`` — work was lost or quarantined (a cell failed every
   retry, a cache table could not be written).
+
+Two consumers beyond the end-of-sweep summary:
+
+* ``REPRO_HEALTH_JSON=1`` additionally prints one JSON object per
+  event to stderr as it is recorded (machine-readable monitoring; the
+  coalesced human summary stays the default);
+* in-process listeners (:func:`add_listener`) receive every event as
+  it is recorded — the sweep service uses this to stream degradations
+  to its clients.  Listeners are called outside the module lock and
+  must never raise (exceptions are swallowed); re-recording events
+  from inside a listener would deadlock nothing but is still a bad
+  idea.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import sys
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = [
     "DegradationEvent",
@@ -35,6 +50,9 @@ __all__ = [
     "events",
     "clear",
     "summary",
+    "add_listener",
+    "remove_listener",
+    "json_event",
 ]
 
 #: Newest events kept in memory; older ones are dropped but counted.
@@ -81,6 +99,42 @@ class DegradationEvent:
 _lock = threading.Lock()
 _events: List[DegradationEvent] = []
 _dropped = 0
+_listeners: List[Callable[[DegradationEvent], None]] = []
+
+
+def json_event(event: DegradationEvent) -> str:
+    """One event as a single-line JSON object (stable key order)."""
+    return json.dumps(
+        {
+            "severity": event.severity,
+            "component": event.component,
+            "expected": event.expected,
+            "actual": event.actual,
+            "reason": event.reason,
+            "context": event.ctx,
+        },
+        sort_keys=True,
+        default=str,
+    )
+
+
+def _json_mode() -> bool:
+    return os.environ.get("REPRO_HEALTH_JSON", "").strip() not in ("", "0")
+
+
+def add_listener(listener: Callable[[DegradationEvent], None]) -> None:
+    """Call ``listener`` with every subsequently recorded event."""
+    with _lock:
+        _listeners.append(listener)
+
+
+def remove_listener(listener: Callable[[DegradationEvent], None]) -> None:
+    """Stop notifying ``listener`` (no-op if never added)."""
+    with _lock:
+        try:
+            _listeners.remove(listener)
+        except ValueError:
+            pass
 
 
 def record(event: DegradationEvent) -> DegradationEvent:
@@ -91,6 +145,17 @@ def record(event: DegradationEvent) -> DegradationEvent:
         if len(_events) > _MAX_EVENTS:
             del _events[0]
             _dropped += 1
+        listeners = list(_listeners)
+    if _json_mode():
+        try:
+            print(json_event(event), file=sys.stderr, flush=True)
+        except (OSError, ValueError):  # pragma: no cover - stderr gone
+            pass
+    for listener in listeners:
+        try:
+            listener(event)
+        except Exception:  # pragma: no cover - listeners must not break sweeps
+            pass
     return event
 
 

@@ -1,0 +1,47 @@
+"""Always-on sweep service: a crash-safe, multi-tenant experiment daemon.
+
+One shared daemon (``repro-bimode serve``) accepts sweep requests from
+many clients over a local unix socket (JSON lines; loopback TCP on
+platforms without ``AF_UNIX``), schedules them on a single supervised
+worker pool with fair round-robin queuing and per-job priorities, and
+makes the whole lifecycle crash-safe: job manifests and per-job sweep
+journals persist every completed cell, so a ``kill -9`` of the daemon
+mid-sweep is recovered on restart bit-identically without recomputing
+finished work.  Identical ``(spec, trace)`` cells wanted by concurrent
+clients are single-flighted through the shared rate cache, so each cell
+simulates exactly once regardless of who asked.
+
+Layout:
+
+* :mod:`repro.service.jobs` — persistent job model (manifests, journals,
+  recovery);
+* :mod:`repro.service.scheduler` — the multi-tenant supervised pool
+  (fairness, priorities, admission control, timeouts, drain, dedupe);
+* :mod:`repro.service.server` — the socket daemon (streaming, SIGTERM
+  drain, fault sites ``service.accept`` / ``service.dispatch`` /
+  ``service.persist``);
+* :mod:`repro.service.client` — the thin client library
+  (backpressure retries, restart-surviving ``wait``);
+* :mod:`repro.service.protocol` — the JSON-line wire format.
+"""
+
+from repro.service.client import ServiceBusy, ServiceClient, ServiceError
+from repro.service.jobs import BenchmarkRef, JobStore, ServiceJob
+from repro.service.protocol import default_socket_path
+from repro.service.scheduler import QueueFull, SchedulerStopped, SweepScheduler
+from repro.service.server import SweepServer, serve
+
+__all__ = [
+    "BenchmarkRef",
+    "JobStore",
+    "ServiceJob",
+    "SweepScheduler",
+    "SweepServer",
+    "ServiceClient",
+    "ServiceBusy",
+    "ServiceError",
+    "QueueFull",
+    "SchedulerStopped",
+    "default_socket_path",
+    "serve",
+]

@@ -1,0 +1,204 @@
+"""Thin client library for the sweep service.
+
+:class:`ServiceClient` wraps the JSON-line protocol with the retry
+discipline a robust client needs and nothing else:
+
+* **backpressure** — a ``retryable`` rejection (queue full, daemon
+  draining) is retried with exponential backoff up to
+  ``submit_retries`` times before surfacing :class:`ServiceBusy`;
+* **daemon restarts** — :meth:`wait` reconnects and re-subscribes when
+  the connection drops mid-stream, so a client survives a ``kill -9``
+  of the daemon: the restarted daemon resumes the job from its journal
+  and the client picks the stream back up by job id;
+* **streaming** — progress/health events invoke an optional
+  ``on_event`` callback as they arrive; the terminal ``done`` event's
+  job payload (manifest dict, results included) is the return value.
+
+Every method opens one connection per request; the client object is
+cheap and stateless apart from its address and identity.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+from repro.service.protocol import Address, connect, read_message, write_message
+
+__all__ = ["ServiceBusy", "ServiceError", "ServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """The daemon rejected a request (not retryable)."""
+
+
+class ServiceBusy(ServiceError):
+    """Backpressure: the daemon kept rejecting after every retry."""
+
+
+Benchmark = Union[str, dict]
+
+
+class ServiceClient:
+    """One caller's handle on the sweep daemon."""
+
+    def __init__(
+        self,
+        address: Optional[Address] = None,
+        client_id: Optional[str] = None,
+        connect_timeout: float = 10.0,
+        submit_retries: int = 5,
+        backoff: float = 0.2,
+    ):
+        self.address = address
+        self.client_id = client_id or f"client-{os.getpid()}"
+        self.connect_timeout = connect_timeout
+        self.submit_retries = submit_retries
+        self.backoff = backoff
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _request(self, payload: dict) -> dict:
+        """One request, one response, connection closed."""
+        sock = connect(self.address, timeout=self.connect_timeout)
+        try:
+            rfile = sock.makefile("rb")
+            wfile = sock.makefile("wb")
+            write_message(wfile, payload)
+            response = read_message(rfile)
+        finally:
+            sock.close()
+        if response is None:
+            raise ConnectionError("daemon closed the connection without replying")
+        return response
+
+    @staticmethod
+    def _check(response: dict) -> dict:
+        if not response.get("ok"):
+            error = str(response.get("error", "unknown service error"))
+            if response.get("retryable"):
+                raise ServiceBusy(error)
+            raise ServiceError(error)
+        return response
+
+    # -- requests -------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self._check(self._request({"op": "ping"}))
+
+    def status(self, job_id: Optional[str] = None) -> List[dict]:
+        payload = {"op": "status"}
+        if job_id is not None:
+            payload["job_id"] = job_id
+        return self._check(self._request(payload))["jobs"]
+
+    def result(self, job_id: str) -> Optional[dict]:
+        """A finished job's manifest (with results), or ``None``."""
+        response = self._request({"op": "result", "job_id": job_id})
+        if not response.get("ok"):
+            return None
+        return response["job"]
+
+    def drain(self) -> None:
+        """Ask the daemon to drain and exit gracefully."""
+        self._check(self._request({"op": "drain"}))
+
+    def submit(
+        self,
+        specs: Sequence[str],
+        benchmarks: Iterable[Benchmark],
+        kind: str = "rates",
+        priority: int = 0,
+        seed: int = 0,
+        timeout: Optional[float] = None,
+    ) -> str:
+        """Submit one job; returns its id.  Retries on backpressure."""
+        payload = {
+            "op": "submit",
+            "client": self.client_id,
+            "kind": kind,
+            "specs": list(specs),
+            "benchmarks": [
+                b if isinstance(b, dict) else {"name": b} for b in benchmarks
+            ],
+            "priority": int(priority),
+            "seed": int(seed),
+        }
+        if timeout is not None:
+            payload["timeout"] = float(timeout)
+        last_busy: Optional[ServiceBusy] = None
+        for attempt in range(self.submit_retries + 1):
+            try:
+                return self._check(self._request(payload))["job_id"]
+            except ServiceBusy as exc:
+                last_busy = exc
+                if attempt < self.submit_retries:
+                    time.sleep(self.backoff * (2**attempt))
+        raise last_busy  # type: ignore[misc]
+
+    def wait(
+        self,
+        job_id: str,
+        on_event: Optional[Callable[[dict], None]] = None,
+        timeout: Optional[float] = None,
+        reconnect_backoff: float = 0.5,
+    ) -> dict:
+        """Stream a job until it finishes; returns the final manifest.
+
+        Survives daemon restarts: a dropped connection (or a daemon that
+        is not up yet) is retried until ``timeout``.  Known terminal
+        states short-circuit through the ``result`` op.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                job = self._wait_once(job_id, on_event)
+            except (ConnectionError, OSError):
+                job = None
+            if job is not None:
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"gave up waiting for job {job_id}")
+            time.sleep(reconnect_backoff)
+
+    def _wait_once(self, job_id: str, on_event) -> Optional[dict]:
+        """One streaming attempt; ``None`` means reconnect and retry."""
+        sock = connect(self.address, timeout=self.connect_timeout)
+        try:
+            rfile = sock.makefile("rb")
+            wfile = sock.makefile("wb")
+            write_message(wfile, {"op": "wait", "job_id": job_id})
+            ack = read_message(rfile)
+            if ack is None or not ack.get("ok"):
+                return None
+            # Streamed events can be sparse; heartbeats arrive about
+            # every second, so a generous read timeout detects death.
+            sock.settimeout(30.0)
+            while True:
+                event = read_message(rfile)
+                if event is None:
+                    return None
+                name = event.get("event")
+                if name == "error":
+                    raise ServiceError(str(event.get("error", "unknown job")))
+                if name == "done":
+                    if on_event is not None:
+                        on_event(event)
+                    return event["job"]
+                if name != "heartbeat" and on_event is not None:
+                    on_event(event)
+        finally:
+            sock.close()
+
+    def submit_and_wait(
+        self,
+        specs: Sequence[str],
+        benchmarks: Iterable[Benchmark],
+        on_event: Optional[Callable[[dict], None]] = None,
+        timeout: Optional[float] = None,
+        **submit_kwargs,
+    ) -> dict:
+        """Convenience: submit then wait; returns the final manifest."""
+        job_id = self.submit(specs, benchmarks, **submit_kwargs)
+        return self.wait(job_id, on_event=on_event, timeout=timeout)

@@ -1,0 +1,207 @@
+"""Persistent job model for the sweep service.
+
+A *job* is one client's sweep request — a spec grid crossed with a set
+of benchmark trace recipes, evaluated either as Section-2 misprediction
+rates (``kind="rates"``) or Section-4 detailed summaries
+(``kind="detailed"``).  Jobs must survive a ``kill -9`` of the daemon,
+so every job is persisted as a small JSON *manifest* under
+``<root>/jobs/<job_id>.json`` (written atomically: temp file +
+``os.replace``) and every completed cell is appended to a per-job
+:class:`repro.sim.journal.SweepJournal` under ``<root>/journal/``.  On
+restart :meth:`JobStore.incomplete` returns every job that never
+reached a terminal state; re-submitting those replays their journals,
+so a recovered job re-simulates only the cells that were in flight when
+the daemon died — everything journalled resumes bit-identically.
+
+Manifests are the service's only source of truth across restarts;
+:func:`repro.faults.fault_point` site ``service.persist`` sits on the
+manifest write so CI can drill crashes at the exact moment state hits
+disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults import fault_point
+from repro.sim.journal import PayloadJournal, SweepJournal
+
+__all__ = ["BenchmarkRef", "ServiceJob", "JobStore", "QUEUED", "RUNNING", "DONE", "FAILED"]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: States a restarted daemon must pick back up.
+_INCOMPLETE = (QUEUED, RUNNING)
+
+KINDS = ("rates", "detailed")
+
+
+@dataclass(frozen=True)
+class BenchmarkRef:
+    """One benchmark trace identity: enough to rebuild its recipe."""
+
+    name: str
+    length: int
+    seed: int = 0
+
+    @property
+    def tkey(self) -> str:
+        return f"{self.name}-n{self.length}-s{self.seed}"
+
+
+@dataclass
+class ServiceJob:
+    """One submitted sweep request and its lifecycle state."""
+
+    job_id: str
+    client: str
+    kind: str
+    specs: Tuple[str, ...]
+    benchmarks: Tuple[BenchmarkRef, ...]
+    priority: int = 0
+    timeout: Optional[float] = None
+    state: str = QUEUED
+    error: str = ""
+    submitted_at: float = 0.0
+    finished_at: float = 0.0
+    total_cells: int = 0
+    completed_cells: int = 0
+    results: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    failures: List[Dict[str, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"job kind must be one of {KINDS}, got {self.kind!r}")
+        if not self.specs:
+            raise ValueError("job has no specs")
+        if not self.benchmarks:
+            raise ValueError("job has no benchmarks")
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    def to_dict(self, results: bool = True) -> dict:
+        data = asdict(self)
+        data["specs"] = list(self.specs)
+        data["benchmarks"] = [asdict(b) for b in self.benchmarks]
+        if not results:
+            data.pop("results", None)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceJob":
+        benches = tuple(
+            BenchmarkRef(
+                name=str(b["name"]), length=int(b["length"]), seed=int(b.get("seed", 0))
+            )
+            for b in data["benchmarks"]
+        )
+        return cls(
+            job_id=str(data["job_id"]),
+            client=str(data.get("client", "anonymous")),
+            kind=str(data.get("kind", "rates")),
+            specs=tuple(str(s) for s in data["specs"]),
+            benchmarks=benches,
+            priority=int(data.get("priority", 0)),
+            timeout=(None if data.get("timeout") in (None, 0) else float(data["timeout"])),
+            state=str(data.get("state", QUEUED)),
+            error=str(data.get("error", "")),
+            submitted_at=float(data.get("submitted_at", 0.0)),
+            finished_at=float(data.get("finished_at", 0.0)),
+            total_cells=int(data.get("total_cells", 0)),
+            completed_cells=int(data.get("completed_cells", 0)),
+            results=dict(data.get("results", {})),
+            failures=list(data.get("failures", [])),
+        )
+
+
+class JobStore:
+    """Crash-safe manifest + journal storage for service jobs."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        if root is None:
+            from repro.workloads.suite import default_cache_dir
+
+            root = default_cache_dir() / "service"
+        self.root = Path(root)
+        self._counter = 0
+        self._mu = threading.Lock()
+
+    @property
+    def jobs_dir(self) -> Path:
+        return self.root / "jobs"
+
+    @property
+    def journal_dir(self) -> Path:
+        return self.root / "journal"
+
+    def new_job_id(self) -> str:
+        """A job id unique across daemon restarts and threads."""
+        with self._mu:
+            self._counter += 1
+            count = self._counter
+        return f"job-{int(time.time() * 1000):x}-{os.getpid()}-{count}"
+
+    def journal_for(self, job: ServiceJob) -> SweepJournal:
+        """The job's per-cell journal (payload journal for detailed jobs)."""
+        cls = PayloadJournal if job.kind == "detailed" else SweepJournal
+        return cls(self.journal_dir / f"{job.job_id}.jsonl")
+
+    # -- manifests -----------------------------------------------------------
+
+    def _path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def save(self, job: ServiceJob) -> None:
+        """Atomically persist one job manifest (tmp + ``os.replace``)."""
+        fault_point("service.persist", job=job.job_id, state=job.state)
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        final = self._path(job.job_id)
+        tmp = final.with_name(f".tmp-{final.name}-{os.getpid()}")
+        payload = json.dumps(job.to_dict(), sort_keys=True).encode()
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, final)
+
+    def load(self, job_id: str) -> Optional[ServiceJob]:
+        """One persisted job, or ``None`` (absent or unreadable manifest)."""
+        try:
+            data = json.loads(self._path(job_id).read_text())
+            return ServiceJob.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def list(self) -> List[ServiceJob]:
+        """Every readable manifest, oldest submission first."""
+        jobs: List[ServiceJob] = []
+        if not self.jobs_dir.is_dir():
+            return jobs
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            job = self.load(path.stem)
+            if job is not None:
+                jobs.append(job)
+        jobs.sort(key=lambda j: (j.submitted_at, j.job_id))
+        return jobs
+
+    def incomplete(self) -> List[ServiceJob]:
+        """Jobs a restarted daemon must resume (never reached terminal)."""
+        return [job for job in self.list() if job.state in _INCOMPLETE]
+
+    def forget(self, job_id: str) -> None:
+        """Drop one job's manifest and journal (completed-job cleanup)."""
+        self._path(job_id).unlink(missing_ok=True)
+        (self.journal_dir / f"{job_id}.jsonl").unlink(missing_ok=True)

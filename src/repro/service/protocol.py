@@ -1,0 +1,116 @@
+"""Wire protocol for the sweep service: JSON lines over a local socket.
+
+The service listens on a unix-domain socket by default (one file under
+the cache root, so every client on the host finds it without
+configuration) with a loopback-TCP fallback for platforms without
+``AF_UNIX``.  Every message — request, response, or streamed event —
+is one JSON object on one ``\\n``-terminated line; a connection carries
+one request and its response(s).  Streaming requests (``submit`` with
+``wait``, ``wait``) keep the connection open and receive event objects
+(``{"event": "progress" | "health" | "state" | "done", ...}``) until
+the terminal ``done`` event.
+
+Error responses are ``{"ok": false, "error": ..., "retryable": ...}``;
+``retryable`` is the backpressure signal — the queue was full or the
+daemon was draining, and the same request may succeed later.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+__all__ = [
+    "Address",
+    "default_socket_path",
+    "parse_address",
+    "connect",
+    "write_message",
+    "read_message",
+    "ProtocolError",
+]
+
+#: Linux caps ``sun_path`` at 108 bytes; stay clearly inside it.
+_MAX_UNIX_PATH = 100
+
+Address = Union[str, Tuple[str, int]]
+
+
+class ProtocolError(RuntimeError):
+    """A malformed message or an unusable service address."""
+
+
+def default_socket_path(root: Optional[os.PathLike] = None) -> Path:
+    """The daemon's default unix-socket path under the cache root."""
+    if root is None:
+        from repro.workloads.suite import default_cache_dir
+
+        root = default_cache_dir() / "service"
+    return Path(root) / "serve.sock"
+
+
+def parse_address(address: Optional[Address] = None) -> Tuple[str, object]:
+    """Normalize an address to ``("unix", path)`` or ``("tcp", (host, port))``.
+
+    ``None`` means the default unix socket; ``"host:port"`` strings and
+    ``(host, port)`` tuples select TCP; anything else is a socket path.
+    """
+    if address is None:
+        address = str(default_socket_path())
+    if isinstance(address, tuple):
+        host, port = address
+        return "tcp", (str(host), int(port))
+    address = str(address)
+    if address.startswith("tcp:"):
+        address = address[len("tcp:"):]
+        host, _, port = address.rpartition(":")
+        if not port.isdigit():
+            raise ProtocolError(f"tcp address must be host:port, got {address!r}")
+        return "tcp", (host or "127.0.0.1", int(port))
+    if len(address.encode()) > _MAX_UNIX_PATH:
+        raise ProtocolError(
+            f"unix socket path too long ({len(address)} chars): {address!r}; "
+            "use --socket with a shorter path or a tcp:host:port address"
+        )
+    return "unix", address
+
+
+def connect(address: Optional[Address] = None, timeout: Optional[float] = None) -> socket.socket:
+    """Open one client connection to the service."""
+    family, target = parse_address(address)
+    if family == "unix":
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-posix
+            raise ProtocolError("platform has no AF_UNIX; use a tcp:host:port address")
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(target)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def write_message(wfile, message: dict) -> None:
+    """Send one message as a single JSON line (flushes)."""
+    wfile.write(json.dumps(message, sort_keys=True).encode() + b"\n")
+    wfile.flush()
+
+
+def read_message(rfile) -> Optional[dict]:
+    """Read one JSON-line message; ``None`` on a closed connection."""
+    line = rfile.readline()
+    if not line:
+        return None
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"malformed message line: {exc}")
+    if not isinstance(message, dict):
+        raise ProtocolError(f"message must be a JSON object, got {type(message).__name__}")
+    return message

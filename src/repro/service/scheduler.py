@@ -1,0 +1,860 @@
+"""Multi-tenant sweep scheduler: one shared supervised worker pool.
+
+Every sweep the daemon accepts — from however many clients — runs on a
+single :class:`~concurrent.futures.ProcessPoolExecutor`, supervised
+with the same :class:`repro.sim.parallel.TaskPolicy` machinery the
+one-shot CLI uses (per-task timeouts, bounded retries with exponential
+backoff, pool reseeding after a killed worker, in-parent serial salvage,
+structured quarantine).  On top of that pool the scheduler adds the
+multi-tenant concerns:
+
+* **fair round-robin across clients** — dispatch cycles over clients
+  with pending work, so one client's thousand-cell campaign cannot
+  starve another's two-cell probe; within a client, higher-priority
+  jobs dispatch first (FIFO within a priority);
+* **admission control** — :meth:`submit` rejects new jobs with
+  :class:`QueueFull` once the number of pending cells would exceed
+  ``$REPRO_SERVICE_QUEUE_MAX`` (backpressure: the client retries);
+* **per-request timeouts** — a job past its deadline (its own
+  ``timeout`` or ``$REPRO_SERVICE_TIMEOUT``) fails with every completed
+  cell preserved in its journal, so a resubmission resumes instead of
+  restarting;
+* **exactly-once cells** — identical ``(trace, spec)`` cells wanted by
+  concurrent jobs are *single-flighted*: the first job's task computes
+  the cell, every subscribed job receives the result, and the shared
+  rate cache plus per-job journals make the dedupe durable across
+  daemon restarts.  Cross-process, cold traces single-flight through
+  the content-addressed trace store exactly as in one-shot sweeps;
+* **graceful drain** — :meth:`drain` stops dispatch, lets in-flight
+  tasks finish (their cells are journalled), re-persists unfinished
+  jobs as ``queued``, and returns; a restarted daemon resumes them
+  bit-identically.
+
+The scheduler thread is the only mutator of pool state; servers talk
+to it through :meth:`submit` / :meth:`subscribe` under the scheduler
+lock.  Workers are the exact functions one-shot parallel sweeps use
+(:func:`repro.sim.parallel._worker_evaluate` and friends), so a cell
+computed by the service is bit-identical to the same cell from
+``repro-bimode figure2``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro import health
+from repro.faults import FaultInjected, fault_point
+from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, JobStore, ServiceJob
+from repro.sim.parallel import (
+    TaskPolicy,
+    TraceRecipe,
+    _abandon_pool,
+    _worker_detailed,
+    _worker_evaluate,
+)
+
+__all__ = ["QueueFull", "SchedulerStopped", "SweepScheduler", "queue_max_from_env"]
+
+Cell = Tuple[str, str]  # (trace key, spec)
+
+#: Seconds between supervision ticks while tasks are in flight.
+_TICK_S = 0.05
+
+#: Default admission-control ceiling (pending cells) when the
+#: ``$REPRO_SERVICE_QUEUE_MAX`` knob is unset.
+_DEFAULT_QUEUE_MAX = 100_000
+
+
+class QueueFull(RuntimeError):
+    """Admission control rejected a job: the pending-cell queue is deep."""
+
+
+class SchedulerStopped(RuntimeError):
+    """The scheduler is draining or stopped and accepts no new jobs."""
+
+
+def queue_max_from_env() -> int:
+    """The ``$REPRO_SERVICE_QUEUE_MAX`` knob (pending cells)."""
+    raw = os.environ.get("REPRO_SERVICE_QUEUE_MAX", "").strip()
+    if not raw:
+        return _DEFAULT_QUEUE_MAX
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_SERVICE_QUEUE_MAX must be an integer, got {raw!r}")
+    return value if value > 0 else _DEFAULT_QUEUE_MAX
+
+
+def service_timeout_from_env() -> Optional[float]:
+    """The ``$REPRO_SERVICE_TIMEOUT`` knob (seconds per job; unset = none)."""
+    raw = os.environ.get("REPRO_SERVICE_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_SERVICE_TIMEOUT must be a number, got {raw!r}")
+    return value if value > 0 else None
+
+
+class _ServiceTask:
+    """One pool work item: a family of cells on one trace."""
+
+    __slots__ = (
+        "client",
+        "tkey",
+        "recipe",
+        "specs",
+        "kind",
+        "opts",
+        "priority",
+        "seq",
+        "attempts",
+        "last_error",
+    )
+
+    def __init__(self, client, tkey, recipe, specs, kind, opts, priority, seq):
+        self.client = client
+        self.tkey = tkey
+        self.recipe = recipe
+        self.specs = tuple(specs)
+        self.kind = kind  # "rates" | "detailed"
+        self.opts = opts
+        self.priority = priority
+        self.seq = seq
+        self.attempts = 0
+        self.last_error: Optional[BaseException] = None
+
+    @property
+    def cells(self) -> List[Cell]:
+        return [(self.tkey, spec) for spec in self.specs]
+
+
+class _JobRuntime:
+    """In-memory bookkeeping for one active job."""
+
+    __slots__ = ("job", "journal", "remaining", "tkey_benches", "deadline", "subscribers")
+
+    def __init__(self, job: ServiceJob, journal, tkey_benches, remaining, deadline):
+        self.job = job
+        self.journal = journal
+        self.tkey_benches: Dict[str, List[str]] = tkey_benches
+        self.remaining: Set[Cell] = remaining
+        self.deadline: Optional[float] = deadline
+        self.subscribers: List[Callable[[dict], None]] = []
+
+
+class SweepScheduler:
+    """Shared supervised pool scheduling jobs from many clients."""
+
+    def __init__(
+        self,
+        store: Optional[JobStore] = None,
+        cache=None,
+        jobs: Optional[int] = None,
+        policy: Optional[TaskPolicy] = None,
+        queue_max: Optional[int] = None,
+        default_timeout: Optional[float] = None,
+    ):
+        from repro.sim.parallel import effective_jobs
+        from repro.sim.runner import ResultCache
+
+        self.store = store if store is not None else JobStore()
+        self.cache = cache if cache is not None else ResultCache()
+        self.workers = max(1, effective_jobs(jobs))
+        self.policy = policy if policy is not None else TaskPolicy.from_env()
+        self.queue_max = queue_max if queue_max is not None else queue_max_from_env()
+        self.default_timeout = (
+            default_timeout if default_timeout is not None else service_timeout_from_env()
+        )
+
+        self._mu = threading.Lock()
+        self._wake = threading.Event()
+        self._jobs: Dict[str, _JobRuntime] = {}
+        #: Per-client priority queues of (-priority, seq, task).
+        self._queues: Dict[str, List[Tuple[int, int, _ServiceTask]]] = {}
+        #: Round-robin order over client ids with pending work.
+        self._rr: List[str] = []
+        self._rr_next = 0
+        #: (tkey, spec) -> job ids waiting on that cell.  Presence of a
+        #: cell here (still uncomputed) is the single-flight guarantee:
+        #: at most one queued/in-flight task owns it.
+        self._cell_subs: Dict[Cell, Set[str]] = {}
+        self._seq = 0
+        self._pending_cells = 0
+        self._draining = False
+        self._stopped = False
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="sweep-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def recover(self) -> List[str]:
+        """Re-queue every job a previous daemon left unfinished.
+
+        Their journals replay completed cells, so recovery re-simulates
+        only what was in flight when the daemon died.
+        """
+        resumed = []
+        for job in self.store.incomplete():
+            job.state = QUEUED
+            self._admit(job, enforce_admission=False)
+            resumed.append(job.job_id)
+        if resumed:
+            health.emit(
+                "sweep-service",
+                "clean-start",
+                "recovered",
+                reason=f"resumed {len(resumed)} unfinished job(s) from manifests",
+                severity="degraded",
+                jobs=len(resumed),
+            )
+        return resumed
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: finish in-flight tasks, persist the rest.
+
+        Queued (undispatched) work is *not* started; unfinished jobs are
+        re-persisted as ``queued`` so the next daemon resumes them.
+        Returns ``False`` if the scheduler thread failed to stop within
+        ``timeout``.
+        """
+        with self._mu:
+            self._draining = True
+        self._wake.set()
+        stopped = True
+        if self._thread is not None:
+            self._thread.join(timeout)
+            stopped = not self._thread.is_alive()
+        with self._mu:
+            for rt in self._jobs.values():
+                if not rt.job.terminal:
+                    rt.job.state = QUEUED
+                    self.store.save(rt.job)
+        return stopped
+
+    def stop(self) -> None:
+        """Hard stop (tests): abandon everything without persisting."""
+        with self._mu:
+            self._draining = True
+            self._stopped = True
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(5.0)
+
+    # -- submission and subscription ----------------------------------------
+
+    def submit(self, job: ServiceJob) -> ServiceJob:
+        """Admit one job (admission control applies) and persist it."""
+        return self._admit(job, enforce_admission=True)
+
+    def _admit(self, job: ServiceJob, enforce_admission: bool) -> ServiceJob:
+        if job.timeout is None:
+            job.timeout = self.default_timeout
+        if not job.submitted_at:
+            job.submitted_at = time.time()
+        journal = self.store.journal_for(job)
+
+        with self._mu:
+            if self._draining or self._stopped:
+                raise SchedulerStopped("scheduler is draining; resubmit later")
+            if job.job_id in self._jobs:
+                return self._jobs[job.job_id].job
+
+            plan = self._plan(job, journal)
+            if (
+                enforce_admission
+                and self._pending_cells + len(plan.fresh_cells) > self.queue_max
+            ):
+                health.emit(
+                    "sweep-service",
+                    "admitted",
+                    "rejected",
+                    reason=(
+                        f"queue depth {self._pending_cells} + "
+                        f"{len(plan.fresh_cells)} new cells exceeds "
+                        f"REPRO_SERVICE_QUEUE_MAX={self.queue_max}"
+                    ),
+                    severity="degraded",
+                    job=job.job_id,
+                )
+                raise QueueFull(
+                    f"queue is full ({self._pending_cells} cells pending, "
+                    f"max {self.queue_max}); retry later"
+                )
+
+            runtime = _JobRuntime(
+                job,
+                journal,
+                plan.tkey_benches,
+                set(plan.missing_cells),
+                (job.submitted_at + job.timeout) if job.timeout else None,
+            )
+            self._jobs[job.job_id] = runtime
+            job.state = RUNNING if plan.missing_cells else job.state
+            job.total_cells = plan.total_cells
+            job.completed_cells = plan.total_cells - len(plan.missing_cells)
+
+            # Subscribe to every missing cell; queue tasks only for the
+            # cells nobody else is already computing (single flight).
+            for cell in plan.missing_cells:
+                subs = self._cell_subs.get(cell)
+                if subs is None:
+                    self._cell_subs[cell] = {job.job_id}
+                else:
+                    subs.add(job.job_id)
+            for task in plan.tasks:
+                self._enqueue(task)
+            self._pending_cells += len(plan.fresh_cells)
+
+        self.store.save(job)
+        if not plan.missing_cells:
+            # Everything came from the cache/journal: complete inline.
+            with self._mu:
+                self._finalize(runtime)
+        self._wake.set()
+        return job
+
+    def subscribe(self, job_id: str, callback: Callable[[dict], None]) -> Optional[dict]:
+        """Stream events for one job; returns a terminal snapshot instead
+        if the job already finished (or ``None`` for an unknown job)."""
+        with self._mu:
+            runtime = self._jobs.get(job_id)
+            if runtime is not None and not runtime.job.terminal:
+                runtime.subscribers.append(callback)
+                return None
+        job = self.store.load(job_id)
+        if job is None:
+            return {"event": "error", "error": f"unknown job {job_id!r}"}
+        return self._done_event(job)
+
+    def status(self, job_id: Optional[str] = None) -> List[dict]:
+        """Manifest snapshots (without result payloads) for ``status``."""
+        with self._mu:
+            live = {jid: rt.job for jid, rt in self._jobs.items()}
+        if job_id is not None:
+            job = live.get(job_id) or self.store.load(job_id)
+            return [job.to_dict(results=False)] if job is not None else []
+        jobs = {job.job_id: job for job in self.store.list()}
+        jobs.update(live)
+        return [
+            job.to_dict(results=False)
+            for job in sorted(jobs.values(), key=lambda j: (j.submitted_at, j.job_id))
+        ]
+
+    def result(self, job_id: str) -> Optional[dict]:
+        """A terminal job's full manifest (with results), else ``None``."""
+        job = self.store.load(job_id)
+        if job is None or not job.terminal:
+            return None
+        return job.to_dict()
+
+    @property
+    def pending_cells(self) -> int:
+        with self._mu:
+            return self._pending_cells
+
+    # -- planning ------------------------------------------------------------
+
+    class _Plan:
+        __slots__ = ("tkey_benches", "missing_cells", "fresh_cells", "tasks", "total_cells")
+
+        def __init__(self):
+            self.tkey_benches: Dict[str, List[str]] = {}
+            self.missing_cells: List[Cell] = []
+            self.fresh_cells: List[Cell] = []
+            self.tasks: List[_ServiceTask] = []
+            self.total_cells = 0
+
+    def _plan(self, job: ServiceJob, journal) -> "_Plan":
+        """Split a job into cached hits, subscriptions, and new tasks.
+
+        Called under the scheduler lock.  Cached and journalled cells
+        land in ``job.results`` immediately; cells already owned by
+        another job's pending task become subscriptions; the rest group
+        into new tasks (fused families for rate jobs, one cell per task
+        for detailed jobs, matching the one-shot planners).
+        """
+        from repro.sim.fused import plan_families
+
+        plan = self._Plan()
+        specs = list(dict.fromkeys(job.specs))
+        rates_job = job.kind == "rates"
+        for bench in job.benchmarks:
+            tkey = bench.tkey
+            plan.tkey_benches.setdefault(tkey, []).append(bench.name)
+        for tkey, benches in plan.tkey_benches.items():
+            ref = next(b for b in job.benchmarks if b.tkey == tkey)
+            plan.total_cells += len(specs)
+            fresh_specs: List[str] = []
+            for spec in specs:
+                hit = self.cache.get(spec, tkey) if rates_job else None
+                if hit is None:
+                    hit = journal.lookup(tkey, spec)
+                    if hit is not None and rates_job:
+                        self.cache.put_many(tkey, {spec: hit})
+                if hit is not None:
+                    for name in benches:
+                        plan_results = job.results.setdefault(spec, {})
+                        plan_results[name] = hit
+                    continue
+                cell = (tkey, spec)
+                plan.missing_cells.append(cell)
+                if cell not in self._cell_subs:
+                    plan.fresh_cells.append(cell)
+                    fresh_specs.append(spec)
+            if not fresh_specs:
+                continue
+            recipe = TraceRecipe(name=ref.name, length=ref.length, seed=ref.seed)
+            if rates_job:
+                groups = [family.specs for family in plan_families(fresh_specs)]
+            else:
+                groups = [(spec,) for spec in fresh_specs]
+            for group in groups:
+                self._seq += 1
+                plan.tasks.append(
+                    _ServiceTask(
+                        client=job.client,
+                        tkey=tkey,
+                        recipe=recipe,
+                        specs=group,
+                        kind=job.kind,
+                        opts={"threshold": None, "include_bias_table": False},
+                        priority=job.priority,
+                        seq=self._seq,
+                    )
+                )
+        return plan
+
+    # -- queues and fairness --------------------------------------------------
+
+    def _enqueue(self, task: _ServiceTask) -> None:
+        queue = self._queues.setdefault(task.client, [])
+        heapq.heappush(queue, (-task.priority, task.seq, task))
+        if task.client not in self._rr:
+            self._rr.append(task.client)
+
+    def _next_task(self) -> Optional[_ServiceTask]:
+        """Pop the next dispatchable task, fair round-robin over clients.
+
+        Called under the lock.  Tasks whose every cell lost its
+        subscribers (job timed out or failed) are skipped and their
+        cells retired.
+        """
+        if not self._rr:
+            return None
+        for _ in range(len(self._rr)):
+            self._rr_next %= len(self._rr)
+            client = self._rr[self._rr_next]
+            queue = self._queues.get(client, [])
+            while queue:
+                _, _, task = heapq.heappop(queue)
+                live = []
+                for spec in task.specs:
+                    cell = (task.tkey, spec)
+                    if self._cell_subs.get(cell):
+                        live.append(spec)
+                    elif cell in self._cell_subs:
+                        # Every subscriber abandoned this cell: retire it.
+                        del self._cell_subs[cell]
+                        self._pending_cells -= 1
+                if not live:
+                    continue
+                task.specs = tuple(live)
+                if not queue:
+                    del self._queues[client]
+                    self._rr.pop(self._rr_next)
+                else:
+                    self._rr_next += 1
+                return task
+            # Empty queue for this client: retire it from the rotation.
+            self._queues.pop(client, None)
+            self._rr.pop(self._rr_next)
+        return None
+
+    # -- completion and delivery ----------------------------------------------
+
+    def _notify(self, runtime: _JobRuntime, event: dict) -> None:
+        for callback in list(runtime.subscribers):
+            try:
+                callback(event)
+            except Exception:  # subscriber gone; drop it
+                try:
+                    runtime.subscribers.remove(callback)
+                except ValueError:
+                    pass
+
+    def _done_event(self, job: ServiceJob) -> dict:
+        return {"event": "done", "job": job.to_dict()}
+
+    def _deliver(self, task: _ServiceTask, values: Dict[str, object]) -> None:
+        """Fan one completed task's cells out to every subscribed job.
+
+        Called under the lock.  Writes the shared cache (rates only),
+        each job's journal, progress events, and finalizes jobs whose
+        last cell arrived.
+        """
+        tkey = task.tkey
+        if task.kind == "rates":
+            self.cache.put_many(tkey, values)
+        else:
+            rates = {
+                spec: summary["misprediction_rate"]
+                for spec, summary in values.items()
+                if isinstance(summary, dict) and "misprediction_rate" in summary
+            }
+            if rates:
+                self.cache.put_many(tkey, rates)
+        touched: Set[str] = set()
+        for spec, value in values.items():
+            cell = (tkey, spec)
+            for job_id in self._cell_subs.pop(cell, ()):  # may be shared
+                runtime = self._jobs.get(job_id)
+                if runtime is None or cell not in runtime.remaining:
+                    continue
+                runtime.journal.record_many(tkey, {spec: value})
+                for bench_name in runtime.tkey_benches.get(tkey, ()):
+                    runtime.job.results.setdefault(spec, {})[bench_name] = value
+                runtime.remaining.discard(cell)
+                runtime.job.completed_cells = runtime.job.total_cells - len(
+                    runtime.remaining
+                )
+                touched.add(job_id)
+            self._pending_cells -= 1
+        for job_id in touched:
+            runtime = self._jobs.get(job_id)
+            if runtime is None:
+                continue
+            self._notify(
+                runtime,
+                {
+                    "event": "progress",
+                    "job_id": job_id,
+                    "completed": runtime.job.completed_cells,
+                    "total": runtime.job.total_cells,
+                    "tkey": tkey,
+                },
+            )
+            if not runtime.remaining:
+                self._finalize(runtime)
+
+    def _finalize(self, runtime: _JobRuntime) -> None:
+        """Terminal transition; called under the lock."""
+        job = runtime.job
+        if job.terminal:
+            return
+        job.state = FAILED if (job.failures or job.error) else DONE
+        if job.failures and not job.error:
+            job.error = f"{len(job.failures)} cell(s) quarantined"
+        job.finished_at = time.time()
+        removed = 0
+        try:
+            removed = runtime.journal.compact()
+        except OSError:  # pragma: no cover - compaction is best-effort
+            pass
+        self.store.save(job)
+        if removed:
+            health.emit(
+                "sweep-service",
+                "journal",
+                "compacted",
+                reason=f"{job.job_id}: dropped {removed} redundant line(s)",
+                severity="info",
+                job=job.job_id,
+            )
+        self._notify(runtime, self._done_event(job))
+        runtime.subscribers.clear()
+        # Terminal jobs live on disk only; evicting the runtime bounds
+        # the daemon's memory over an unbounded job history.
+        self._jobs.pop(job.job_id, None)
+
+    def _fail_job(self, runtime: _JobRuntime, error: str) -> None:
+        """Abandon a job (timeout); completed cells stay journalled.
+
+        Called under the lock.  The job's pending cells lose their
+        subscription; cells shared with other jobs keep flying, and
+        cells nobody else wants are retired lazily at dispatch time.
+        """
+        job = runtime.job
+        job.error = error
+        for cell in list(runtime.remaining):
+            subs = self._cell_subs.get(cell)
+            if subs is not None:
+                subs.discard(job.job_id)
+        runtime.remaining.clear()
+        self._finalize(runtime)
+        health.emit(
+            "sweep-service",
+            "completed",
+            "abandoned",
+            reason=f"{job.job_id}: {error}",
+            severity="error",
+            job=job.job_id,
+        )
+
+    def _quarantine_task(self, task: _ServiceTask, exc: BaseException) -> None:
+        """Give up on a task's cells for every subscribed job."""
+        detail = f"{type(exc).__name__}: {exc}"
+        health.emit(
+            "sweep-service",
+            "computed",
+            "quarantined",
+            reason=f"{task.tkey}: {detail}",
+            severity="error",
+            cells=len(task.specs),
+            attempts=task.attempts,
+        )
+        with self._mu:
+            for spec in task.specs:
+                cell = (task.tkey, spec)
+                for job_id in self._cell_subs.pop(cell, ()):
+                    runtime = self._jobs.get(job_id)
+                    if runtime is None or cell not in runtime.remaining:
+                        continue
+                    runtime.remaining.discard(cell)
+                    runtime.job.failures.append(
+                        {"tkey": task.tkey, "spec": spec, "error": detail}
+                    )
+                    runtime.job.completed_cells = runtime.job.total_cells - len(
+                        runtime.remaining
+                    )
+                    if not runtime.remaining:
+                        self._finalize(runtime)
+                self._pending_cells -= 1
+
+    # -- the supervision loop --------------------------------------------------
+
+    def _submit_to_pool(self, pool: ProcessPoolExecutor, task: _ServiceTask):
+        fault_point(
+            "service.dispatch", bench=task.recipe.name, cells=len(task.specs)
+        )
+        if task.kind == "detailed":
+            from repro.analysis.bias import BIAS_THRESHOLD
+
+            opts = dict(task.opts)
+            if opts.get("threshold") is None:
+                opts["threshold"] = BIAS_THRESHOLD
+            return pool.submit(_worker_detailed, task.recipe, task.specs, opts)
+        return pool.submit(_worker_evaluate, task.recipe, task.specs)
+
+    def _run_serial(self, task: _ServiceTask) -> Dict[str, object]:
+        """In-daemon fallback (pool unavailable or final salvage)."""
+        if task.kind == "detailed":
+            from repro.analysis.bias import BIAS_THRESHOLD
+
+            opts = dict(task.opts)
+            if opts.get("threshold") is None:
+                opts["threshold"] = BIAS_THRESHOLD
+            return _worker_detailed(task.recipe, task.specs, opts)[1]
+        return _worker_evaluate(task.recipe, task.specs)[1]
+
+    def _note_failure(self, task: _ServiceTask, exc: BaseException, kind: str) -> bool:
+        """Charge one failed attempt; returns True if retries remain."""
+        task.attempts += 1
+        task.last_error = exc
+        health.emit(
+            "sweep-service",
+            "worker-ok",
+            kind,
+            reason=f"{task.tkey}: {type(exc).__name__}: {exc}",
+            severity="degraded",
+            attempt=task.attempts,
+        )
+        if task.attempts > self.policy.retries:
+            return False
+        if self.policy.backoff:
+            time.sleep(self.policy.backoff * (2 ** max(0, task.attempts - 1)))
+        return True
+
+    def _requeue(self, task: _ServiceTask) -> None:
+        with self._mu:
+            self._enqueue(task)
+
+    def _exhausted(self, task: _ServiceTask, exc: BaseException) -> None:
+        """Final in-daemon serial attempt, then quarantine."""
+        try:
+            values = self._run_serial(task)
+        except Exception as serial_exc:
+            task.attempts += 1
+            self._quarantine_task(task, serial_exc)
+        else:
+            health.emit(
+                "sweep-service",
+                "pool",
+                "serial-salvage",
+                reason=f"{task.tkey} recovered after {task.attempts} failed attempts",
+                severity="degraded",
+                cells=len(task.specs),
+            )
+            with self._mu:
+                self._deliver(task, values)
+
+    def _expire_jobs(self) -> None:
+        """Fail every running job past its deadline (under the lock)."""
+        now = time.time()
+        for runtime in list(self._jobs.values()):
+            if runtime.job.terminal or runtime.deadline is None:
+                continue
+            if now > runtime.deadline:
+                self._fail_job(
+                    runtime,
+                    f"timed out after {runtime.job.timeout:g}s "
+                    "(completed cells are journalled; resubmit to resume)",
+                )
+
+    def _loop(self) -> None:
+        pool: Optional[ProcessPoolExecutor] = None
+        pool_broken_serial = False
+        inflight: Dict[object, Tuple[_ServiceTask, float]] = {}
+        try:
+            while True:
+                with self._mu:
+                    if self._stopped:
+                        return
+                    draining = self._draining
+                    self._expire_jobs()
+                    todo: List[_ServiceTask] = []
+                    if not draining:
+                        while len(inflight) + len(todo) < self.workers:
+                            task = self._next_task()
+                            if task is None:
+                                break
+                            todo.append(task)
+                if draining and not inflight:
+                    return
+                if todo and pool is None and not pool_broken_serial:
+                    try:
+                        pool = ProcessPoolExecutor(max_workers=self.workers)
+                    except (OSError, ValueError, RuntimeError) as exc:
+                        health.emit(
+                            "sweep-service",
+                            "pool",
+                            "serial",
+                            reason=f"{type(exc).__name__}: {exc}",
+                            severity="degraded",
+                        )
+                        pool_broken_serial = True
+                if todo and pool_broken_serial:
+                    # No pool on this platform: run in the scheduler
+                    # thread; supervision still applies via _exhausted.
+                    for task in todo:
+                        try:
+                            values = self._run_serial(task)
+                        except Exception as exc:
+                            if self._note_failure(task, exc, "worker-raised"):
+                                self._requeue(task)
+                            else:
+                                self._exhausted(task, exc)
+                        else:
+                            with self._mu:
+                                self._deliver(task, values)
+                    continue
+                if todo:
+                    dispatch_failed = False
+                    for index, task in enumerate(todo):
+                        try:
+                            future = self._submit_to_pool(pool, task)
+                        except FaultInjected as exc:
+                            # service.dispatch drill: a per-task failure,
+                            # not a pool failure — retry just this task.
+                            if self._note_failure(task, exc, "dispatch-fault"):
+                                self._requeue(task)
+                            else:
+                                self._exhausted(task, exc)
+                            continue
+                        except (BrokenProcessPool, RuntimeError) as exc:
+                            for queued_task in todo[index:]:
+                                self._requeue(queued_task)
+                            for _, (pending, _t) in list(inflight.items()):
+                                if self._note_failure(pending, exc, "pool-broken"):
+                                    self._requeue(pending)
+                                else:
+                                    self._exhausted(pending, exc)
+                            inflight.clear()
+                            _abandon_pool(pool)
+                            pool = None
+                            dispatch_failed = True
+                            break
+                        inflight[future] = (task, time.monotonic())
+                    if dispatch_failed:
+                        continue
+                if not inflight:
+                    self._wake.wait(timeout=_TICK_S if draining else 0.2)
+                    self._wake.clear()
+                    continue
+
+                ready, _ = wait(
+                    list(inflight), timeout=_TICK_S, return_when=FIRST_COMPLETED
+                )
+                broken: Optional[BaseException] = None
+                for future in ready:
+                    task, _started = inflight.pop(future)
+                    try:
+                        _, values = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = exc
+                        if self._note_failure(task, exc, "pool-broken"):
+                            self._requeue(task)
+                        else:
+                            self._exhausted(task, exc)
+                    except Exception as exc:
+                        if self._note_failure(task, exc, "worker-raised"):
+                            self._requeue(task)
+                        else:
+                            self._exhausted(task, exc)
+                    else:
+                        with self._mu:
+                            self._deliver(task, values)
+                if broken is not None:
+                    for future, (task, _) in list(inflight.items()):
+                        if self._note_failure(task, broken, "pool-broken"):
+                            self._requeue(task)
+                        else:
+                            self._exhausted(task, broken)
+                    inflight.clear()
+                    _abandon_pool(pool)
+                    pool = None
+                    continue
+                if self.policy.timeout is not None and inflight:
+                    now = time.monotonic()
+                    expired = [
+                        future
+                        for future, (_, started) in inflight.items()
+                        if now - started > self.policy.timeout
+                    ]
+                    if expired:
+                        for future in expired:
+                            task, _ = inflight.pop(future)
+                            future.cancel()
+                            exc = TimeoutError(
+                                f"task exceeded REPRO_TASK_TIMEOUT={self.policy.timeout}s"
+                            )
+                            if self._note_failure(task, exc, "task-timeout"):
+                                self._requeue(task)
+                            else:
+                                self._exhausted(task, exc)
+                        for future, (task, _) in list(inflight.items()):
+                            future.cancel()
+                            self._requeue(task)
+                        inflight.clear()
+                        _abandon_pool(pool)
+                        pool = None
+        finally:
+            if pool is not None:
+                if self._stopped:
+                    _abandon_pool(pool)
+                else:
+                    pool.shutdown(wait=True)

@@ -1,0 +1,424 @@
+"""The always-on sweep daemon: socket front-end over the scheduler.
+
+``repro-bimode serve`` runs one :class:`SweepServer` per host.  The
+server is deliberately thin: every connection is one JSON-line request
+(:mod:`repro.service.protocol`), handled on its own thread, and all
+actual scheduling lives in :class:`repro.service.scheduler.
+SweepScheduler`.  What the server owns is the *lifecycle*:
+
+* on startup it recovers every job a previous daemon left unfinished
+  (their journals replay completed cells — a ``kill -9`` mid-sweep
+  costs only the cells that were in flight);
+* while running it streams job progress and coalesced health events to
+  subscribed clients (a repeated identical degradation streams once and
+  is counted, not re-sent);
+* on ``SIGTERM`` (or a ``drain`` request) it stops admitting, lets
+  in-flight tasks finish, persists every unfinished job as ``queued``,
+  and exits cleanly.
+
+Fault sites: ``service.accept`` fires as each request is parsed,
+``service.dispatch`` as the scheduler hands a task to the pool, and
+``service.persist`` on every manifest write — so CI can kill or fail
+the daemon deterministically at each lifecycle stage.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import signal
+import socket
+import socketserver
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro import health
+from repro.faults import fault_point
+from repro.service.jobs import BenchmarkRef, JobStore, ServiceJob
+from repro.service.protocol import (
+    Address,
+    ProtocolError,
+    parse_address,
+    read_message,
+    write_message,
+)
+from repro.service.scheduler import QueueFull, SchedulerStopped, SweepScheduler
+
+__all__ = ["SweepServer", "serve"]
+
+
+def _resolve_benchmarks(raw, default_seed: int = 0):
+    """Normalize submit-payload benchmarks to :class:`BenchmarkRef`."""
+    from repro.workloads.profiles import get_profile
+
+    refs = []
+    for item in raw:
+        if isinstance(item, str):
+            item = {"name": item}
+        if not isinstance(item, dict) or "name" not in item:
+            raise ValueError(f"benchmark must be a name or an object, got {item!r}")
+        name = str(item["name"])
+        length = item.get("length")
+        if length is None:
+            length = get_profile(name).default_length
+        refs.append(
+            BenchmarkRef(
+                name=name, length=int(length), seed=int(item.get("seed", default_seed))
+            )
+        )
+    return tuple(refs)
+
+
+class _HealthCoalescer:
+    """Per-connection health stream: first occurrence flows, repeats count."""
+
+    def __init__(self, sink):
+        self._sink = sink
+        self._mu = threading.Lock()
+        self._counts: Dict[Tuple[str, str, str, str, str], int] = {}
+
+    def __call__(self, event) -> None:
+        key = (event.severity, event.component, event.expected, event.actual, event.reason)
+        with self._mu:
+            self._counts[key] = self._counts.get(key, 0) + 1
+            first = self._counts[key] == 1
+        if first:
+            self._sink(
+                {
+                    "event": "health",
+                    "severity": event.severity,
+                    "component": event.component,
+                    "expected": event.expected,
+                    "actual": event.actual,
+                    "reason": event.reason,
+                }
+            )
+
+    def totals(self):
+        with self._mu:
+            return [
+                {
+                    "severity": severity,
+                    "component": component,
+                    "expected": expected,
+                    "actual": actual,
+                    "reason": reason,
+                    "count": count,
+                }
+                for (severity, component, expected, actual, reason), count in self._counts.items()
+            ]
+
+
+class SweepServer:
+    """One long-running daemon: socket accept loop + shared scheduler."""
+
+    def __init__(
+        self,
+        address: Optional[Address] = None,
+        store: Optional[JobStore] = None,
+        jobs: Optional[int] = None,
+        policy=None,
+        queue_max: Optional[int] = None,
+        default_timeout: Optional[float] = None,
+    ):
+        self.store = store if store is not None else JobStore()
+        if address is None:
+            from repro.service.protocol import default_socket_path
+
+            address = str(default_socket_path(self.store.root))
+        self.family, self.target = parse_address(address)
+        self.address = address
+        self.scheduler = SweepScheduler(
+            store=self.store,
+            jobs=jobs,
+            policy=policy,
+            queue_max=queue_max,
+            default_timeout=default_timeout,
+        )
+        self._server: Optional[socketserver.BaseServer] = None
+        self._draining = threading.Event()
+        self._served = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _make_server(self) -> socketserver.BaseServer:
+        outer = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:  # pragma: no cover - thin shim
+                outer._handle(self)
+
+        class ThreadingUnixServer(
+            socketserver.ThreadingMixIn, socketserver.UnixStreamServer
+        ):
+            daemon_threads = True
+            allow_reuse_address = True
+
+        class ThreadingTCPServer(socketserver.ThreadingMixIn, socketserver.TCPServer):
+            daemon_threads = True
+            allow_reuse_address = True
+
+        if self.family == "unix":
+            path = str(self.target)
+            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+            # A pid file decides socket ownership.  Probing the socket
+            # by connecting is NOT reliable: a kill -9'd daemon's forked
+            # pool workers inherit the listening fd, so a connect lands
+            # in a backlog nobody will ever accept.  If the recorded
+            # owner is dead (or unrecorded), the stale socket file is
+            # taken over, exactly like the trace store's lock steal.
+            pid_path = path + ".pid"
+            if os.path.exists(path):
+                owner = self._owner_pid(pid_path)
+                if owner is not None and self._alive(owner):
+                    raise OSError(
+                        f"another daemon (pid {owner}) is already serving on {path}"
+                    )
+                health.emit(
+                    "sweep-service",
+                    "fresh-socket",
+                    "stale-socket-taken-over",
+                    reason=f"{path}: previous daemon"
+                    + (f" (pid {owner})" if owner else "")
+                    + " is dead",
+                    severity="degraded",
+                )
+                os.unlink(path)
+            server = ThreadingUnixServer(path, Handler)
+            with open(pid_path, "w") as fh:
+                fh.write(str(os.getpid()))
+            return server
+        return ThreadingTCPServer(self.target, Handler)
+
+    @staticmethod
+    def _owner_pid(pid_path: str) -> Optional[int]:
+        try:
+            with open(pid_path) as fh:
+                return int(fh.read().strip() or "0") or None
+        except (OSError, ValueError):
+            return None
+
+    @staticmethod
+    def _alive(pid: int) -> bool:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except OSError:  # pragma: no cover - conservative on odd errnos
+            return True
+        return True
+
+    def serve_forever(self, install_signals: bool = True) -> None:
+        """Run until drained: recover, accept, schedule, stream."""
+        self.scheduler.start()
+        resumed = self.scheduler.recover()
+        self._server = self._make_server()
+        if install_signals:
+            try:
+                signal.signal(signal.SIGTERM, self._on_sigterm)
+            except (ValueError, OSError):  # not the main thread
+                pass
+        if resumed:
+            print(f"[serve] resumed {len(resumed)} unfinished job(s)", flush=True)
+        print(f"[serve] listening on {self.address} (pid {os.getpid()})", flush=True)
+        self._served.set()
+        try:
+            self._server.serve_forever(poll_interval=0.1)
+        finally:
+            self._server.server_close()
+            if self.family == "unix":
+                try:
+                    os.unlink(str(self.target))
+                except OSError:
+                    pass
+
+    def wait_until_serving(self, timeout: float = 10.0) -> bool:
+        return self._served.wait(timeout)
+
+    def _on_sigterm(self, signum, frame) -> None:
+        # serve_forever owns this thread; drain from a helper so the
+        # accept loop can keep spinning until shutdown() stops it.
+        threading.Thread(target=self.drain, name="serve-drain", daemon=True).start()
+
+    def drain(self) -> None:
+        """Graceful shutdown: finish in-flight work, persist, stop."""
+        if self._draining.is_set():
+            return
+        self._draining.set()
+        health.emit(
+            "sweep-service",
+            "serving",
+            "draining",
+            reason="SIGTERM or drain request",
+            severity="info",
+        )
+        self.scheduler.drain(timeout=600.0)
+        if self._server is not None:
+            self._server.shutdown()
+
+    # -- request handling -----------------------------------------------------
+
+    def _handle(self, handler: socketserver.StreamRequestHandler) -> None:
+        try:
+            request = read_message(handler.rfile)
+        except ProtocolError as exc:
+            write_message(handler.wfile, {"ok": False, "error": str(exc)})
+            return
+        if request is None:
+            return
+        op = str(request.get("op", ""))
+        fault_point("service.accept", op=op or "unknown")
+        try:
+            if op == "ping":
+                write_message(
+                    handler.wfile,
+                    {"ok": True, "pong": True, "pid": os.getpid(),
+                     "pending_cells": self.scheduler.pending_cells},
+                )
+            elif op == "submit":
+                self._op_submit(handler, request)
+            elif op == "status":
+                jobs = self.scheduler.status(request.get("job_id"))
+                write_message(handler.wfile, {"ok": True, "jobs": jobs})
+            elif op == "result":
+                job = self.scheduler.result(str(request.get("job_id", "")))
+                if job is None:
+                    write_message(
+                        handler.wfile,
+                        {"ok": False, "error": "job unknown or not finished"},
+                    )
+                else:
+                    write_message(handler.wfile, {"ok": True, "job": job})
+            elif op == "wait":
+                self._op_wait(handler, request)
+            elif op == "health":
+                write_message(
+                    handler.wfile,
+                    {"ok": True, "summary": health.summary(degraded_only=True),
+                     "events": [health.json_event(e) for e in health.events(severity="error")]},
+                )
+            elif op == "drain":
+                write_message(handler.wfile, {"ok": True, "draining": True})
+                threading.Thread(target=self.drain, daemon=True).start()
+            else:
+                write_message(
+                    handler.wfile, {"ok": False, "error": f"unknown op {op!r}"}
+                )
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+    def _op_submit(self, handler, request: dict) -> None:
+        if self._draining.is_set():
+            write_message(
+                handler.wfile,
+                {"ok": False, "error": "daemon is draining", "retryable": True},
+            )
+            return
+        try:
+            job = ServiceJob(
+                job_id=self.store.new_job_id(),
+                client=str(request.get("client", "anonymous")),
+                kind=str(request.get("kind", "rates")),
+                specs=tuple(str(s) for s in request.get("specs", ())),
+                benchmarks=_resolve_benchmarks(
+                    request.get("benchmarks", ()),
+                    default_seed=int(request.get("seed", 0)),
+                ),
+                priority=int(request.get("priority", 0)),
+                timeout=(
+                    float(request["timeout"]) if request.get("timeout") else None
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            write_message(handler.wfile, {"ok": False, "error": f"bad submit: {exc}"})
+            return
+        streaming = bool(request.get("wait"))
+        events: "queue.Queue[dict]" = queue.Queue()
+        coalescer = _HealthCoalescer(events.put) if streaming else None
+        if coalescer is not None:
+            health.add_listener(coalescer)
+        try:
+            try:
+                job = self.scheduler.submit(job)
+            except QueueFull as exc:
+                write_message(
+                    handler.wfile,
+                    {"ok": False, "error": str(exc), "retryable": True},
+                )
+                return
+            except SchedulerStopped as exc:
+                write_message(
+                    handler.wfile,
+                    {"ok": False, "error": str(exc), "retryable": True},
+                )
+                return
+            except Exception as exc:
+                write_message(
+                    handler.wfile, {"ok": False, "error": f"submit failed: {exc}"}
+                )
+                return
+            write_message(
+                handler.wfile,
+                {
+                    "ok": True,
+                    "job_id": job.job_id,
+                    "total_cells": job.total_cells,
+                    "resumed_cells": job.completed_cells,
+                },
+            )
+            if streaming:
+                self._stream(handler, job.job_id, events, coalescer)
+        finally:
+            if coalescer is not None:
+                health.remove_listener(coalescer)
+
+    def _op_wait(self, handler, request: dict) -> None:
+        job_id = str(request.get("job_id", ""))
+        events: "queue.Queue[dict]" = queue.Queue()
+        coalescer = _HealthCoalescer(events.put)
+        health.add_listener(coalescer)
+        try:
+            write_message(handler.wfile, {"ok": True, "job_id": job_id})
+            self._stream(handler, job_id, events, coalescer)
+        finally:
+            health.remove_listener(coalescer)
+
+    def _stream(self, handler, job_id: str, events, coalescer) -> None:
+        """Forward scheduler + health events until the job finishes."""
+        snapshot = self.scheduler.subscribe(job_id, events.put)
+        if snapshot is not None:
+            write_message(handler.wfile, snapshot)
+            return
+        while True:
+            try:
+                event = events.get(timeout=1.0)
+            except queue.Empty:
+                # Heartbeat doubles as a disconnect probe: a dead client
+                # raises here, unsubscribing via the callback error path.
+                write_message(handler.wfile, {"event": "heartbeat"})
+                continue
+            if event.get("event") == "done":
+                event = dict(event)
+                event["health"] = coalescer.totals()
+                write_message(handler.wfile, event)
+                return
+            write_message(handler.wfile, event)
+
+
+def serve(
+    address: Optional[Address] = None,
+    jobs: Optional[int] = None,
+    queue_max: Optional[int] = None,
+    default_timeout: Optional[float] = None,
+    install_signals: bool = True,
+) -> int:
+    """Entry point for ``repro-bimode serve``."""
+    server = SweepServer(
+        address=address,
+        jobs=jobs,
+        queue_max=queue_max,
+        default_timeout=default_timeout,
+    )
+    server.serve_forever(install_signals=install_signals)
+    print("[serve] drained; exiting", flush=True)
+    return 0

@@ -160,6 +160,49 @@ class SweepJournal:
     def record(self, tkey: str, spec: str, value) -> int:
         return self.record_many(tkey, {spec: value})
 
+    def compact(self) -> int:
+        """Atomically rewrite the file to one line per completed cell.
+
+        ``O_APPEND`` journals only ever grow: duplicate cells appended
+        by concurrent writers or across restarts, torn lines from hard
+        kills, and corrupt lines all stay on disk forever.  Compaction
+        rewrites the journal as exactly one well-formed line per
+        completed cell (sorted, so equal journals are byte-equal),
+        via a sibling temp file and ``os.replace`` — a crash mid-compact
+        leaves the original journal untouched.  Returns the number of
+        raw lines dropped (duplicates + corrupt + torn).
+        """
+        table = self._load()
+        if not self.path.exists():
+            return 0
+        try:
+            raw_lines = sum(
+                1 for line in self.path.read_text().splitlines() if line.strip()
+            )
+        except OSError:
+            raw_lines = 0
+        payload = "".join(
+            json.dumps(
+                {"tkey": tkey, "spec": spec, self.VALUE_KEY: value}, sort_keys=True
+            )
+            + "\n"
+            for (tkey, spec), value in sorted(table.items())
+        ).encode()
+        tmp = self.path.with_name(f".tmp-{self.path.name}-{os.getpid()}")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        try:
+            os.replace(tmp, self.path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            raise
+        self.corrupt_lines = 0
+        return max(0, raw_lines - len(table))
+
     def discard(self) -> None:
         """Delete the journal file and forget everything loaded."""
         try:

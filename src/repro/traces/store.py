@@ -254,9 +254,24 @@ class TraceStore:
         try:
             fd = os.open(lock, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
         except FileExistsError:
-            if self._holder_dead(lock):
+            dead_pid = self._dead_holder(lock)
+            if dead_pid is not None:
                 # Unlink-then-retry keeps the steal race-safe: of any
                 # number of stealers, exactly one wins the next O_EXCL.
+                # The steal is loud — a dead materializer means a trace
+                # generation was lost and is being redone, which sweeps
+                # should be able to account for after the fact.
+                from repro import health
+
+                health.emit(
+                    "trace-store",
+                    "lock-held",
+                    "lock-stolen",
+                    reason=f"{lock.name}: holder pid {dead_pid} is dead",
+                    severity="degraded",
+                    pid=dead_pid,
+                    key=lock.name[: -len(".lock")],
+                )
                 lock.unlink(missing_ok=True)
             return False
         try:
@@ -266,22 +281,28 @@ class TraceStore:
         return True
 
     @staticmethod
-    def _holder_dead(lock: Path) -> bool:
+    def _dead_holder(lock: Path) -> Optional[int]:
+        """The lock holder's pid if that process is dead, else ``None``."""
         try:
             pid = int(lock.read_text().strip() or "0")
         except (OSError, ValueError):
-            return False  # mid-write or already gone; let the poll retry
+            return None  # mid-write or already gone; let the poll retry
         if pid <= 0:
-            return False
+            return None
         try:
             os.kill(pid, 0)
         except ProcessLookupError:
-            return True
+            return pid
         except PermissionError:  # pragma: no cover - alive, other user
-            return False
+            return None
         except OSError:  # pragma: no cover - conservative on odd errnos
-            return False
-        return False
+            return None
+        return None
+
+    @classmethod
+    def _holder_dead(cls, lock: Path) -> bool:
+        """Whether the lock's holder is dead (see :meth:`_dead_holder`)."""
+        return cls._dead_holder(lock) is not None
 
     def _generate(
         self, name: str, length: int, seed: int, generate, legacy_npz

@@ -96,6 +96,84 @@ class TestSummary:
         assert health.summary() == ""
 
 
+class TestJsonMode:
+    def test_off_by_default(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_HEALTH_JSON", raising=False)
+        health.emit("pool", "ok", "broken", reason="boom")
+        assert capsys.readouterr().err == ""
+
+    def test_zero_means_off(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_HEALTH_JSON", "0")
+        health.emit("pool", "ok", "broken")
+        assert capsys.readouterr().err == ""
+
+    def test_one_json_object_per_event_on_stderr(self, monkeypatch, capsys):
+        import json
+
+        monkeypatch.setenv("REPRO_HEALTH_JSON", "1")
+        health.emit("pool", "worker-ok", "worker-raised", reason="boom", cells=3)
+        health.emit("cache", "write", "lost", severity="error")
+        lines = capsys.readouterr().err.strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {
+            "severity": "degraded",
+            "component": "pool",
+            "expected": "worker-ok",
+            "actual": "worker-raised",
+            "reason": "boom",
+            "context": {"cells": 3},
+        }
+        assert json.loads(lines[1])["severity"] == "error"
+
+    def test_json_event_is_single_line_stable_order(self):
+        event = health.emit("c", "a", "b", zebra=1, alpha=2)
+        encoded = health.json_event(event)
+        assert "\n" not in encoded
+        # sort_keys: deterministic output for log processors
+        assert encoded.index('"actual"') < encoded.index('"context"') < encoded.index('"severity"')
+
+    def test_non_json_context_stringified(self):
+        import json
+
+        event = health.emit("c", "a", "b", path=__import__("pathlib").Path("/x"))
+        assert json.loads(health.json_event(event))["context"]["path"] == "/x"
+
+
+class TestListeners:
+    def test_listener_sees_every_event(self):
+        seen = []
+        health.add_listener(seen.append)
+        try:
+            health.emit("a", "x", "y")
+            health.emit("b", "x", "z", severity="error")
+        finally:
+            health.remove_listener(seen.append)
+        assert [e.component for e in seen] == ["a", "b"]
+
+    def test_removed_listener_stops_receiving(self):
+        seen = []
+        health.add_listener(seen.append)
+        health.emit("a", "x", "y")
+        health.remove_listener(seen.append)
+        health.emit("b", "x", "y")
+        assert [e.component for e in seen] == ["a"]
+
+    def test_remove_unknown_listener_is_noop(self):
+        health.remove_listener(lambda e: None)
+
+    def test_raising_listener_never_breaks_recording(self):
+        def bad(event):
+            raise RuntimeError("listener bug")
+
+        health.add_listener(bad)
+        try:
+            event = health.emit("a", "x", "y")
+        finally:
+            health.remove_listener(bad)
+        assert event in health.events()
+
+
 class TestProductionHooks:
     """The kernels actually report what ran."""
 

@@ -112,6 +112,72 @@ class TestResilience:
         journal.discard()  # idempotent on a missing file
 
 
+class TestCompact:
+    def test_missing_file_is_noop(self, journal):
+        assert journal.compact() == 0
+        assert not journal.path.exists()
+
+    def test_drops_duplicates_and_garbage(self, journal):
+        journal.record_many("t1", {"a": 0.1, "b": 0.2})
+        # duplicates appended by "another writer" + a torn final line
+        with open(journal.path, "a") as fh:
+            fh.write('{"rate": 0.9, "spec": "a", "tkey": "t1"}\n')
+            fh.write("garbage\n")
+            fh.write('{"tkey": "t1", "spec": "c", "ra')
+        dirty = SweepJournal(journal.path)
+        assert dirty.compact() == 3
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 2
+        assert dirty.corrupt_lines == 0
+
+    def test_preserves_values_bit_identically(self, journal):
+        rates = {"a": 1 / 3, "b": 1 / 7, "c": 0.0, "d": 1.0}
+        journal.record_many("t1", rates)
+        journal.record_many("t2", {"a": 2 / 3})
+        SweepJournal(journal.path).compact()
+        fresh = SweepJournal(journal.path)
+        assert fresh.completed("t1") == rates
+        assert fresh.lookup("t2", "a") == 2 / 3
+
+    def test_duplicate_cells_collapse_to_loaded_value(self, journal):
+        journal.record("t1", "a", 0.1)
+        # A concurrent writer with a stale view appended the same cell;
+        # load is last-line-wins, and compact preserves exactly the
+        # value a resumed sweep would have seen.
+        with open(journal.path, "a") as fh:
+            fh.write('{"rate": 0.9, "spec": "a", "tkey": "t1"}\n')
+        dirty = SweepJournal(journal.path)
+        loaded = dirty.lookup("t1", "a")
+        assert dirty.compact() == 1
+        assert SweepJournal(journal.path).lookup("t1", "a") == loaded
+
+    def test_idempotent_and_byte_stable(self, journal):
+        journal.record_many("t1", {"b": 0.2, "a": 0.1})
+        journal.record_many("t0", {"z": 0.5})
+        SweepJournal(journal.path).compact()
+        once = journal.path.read_bytes()
+        fresh = SweepJournal(journal.path)
+        assert fresh.compact() == 0
+        assert journal.path.read_bytes() == once  # sorted => byte-equal
+
+    def test_no_tmp_file_left_behind(self, journal):
+        journal.record("t1", "a", 0.1)
+        journal.compact()
+        leftovers = [p for p in journal.path.parent.iterdir() if p.name != journal.path.name]
+        assert leftovers == []
+
+    def test_payload_journal_compacts(self, tmp_path):
+        from repro.sim.journal import PayloadJournal
+
+        journal = PayloadJournal(tmp_path / "detailed.jsonl")
+        journal.record_many("t1", {"a": {"misprediction_rate": 0.25}})
+        with open(journal.path, "a") as fh:
+            fh.write('{"payload": [1], "spec": "b", "tkey": "t1"}\n')  # not an object
+        assert PayloadJournal(journal.path).compact() == 1
+        fresh = PayloadJournal(journal.path)
+        assert fresh.lookup("t1", "a") == {"misprediction_rate": 0.25}
+
+
 class TestForName:
     def test_sanitizes_name(self, tmp_path):
         journal = SweepJournal.for_name("fig2 cint95/scale 0.1!", root=tmp_path)

@@ -174,6 +174,39 @@ class TestSingleFlightLock:
         assert np.array_equal(out.outcomes, trace.outcomes)
         assert not lock.exists()
 
+    def test_stale_lock_steal_emits_health_event(self, store, trace):
+        import multiprocessing
+
+        proc = multiprocessing.Process(target=lambda: None)
+        proc.start()
+        proc.join()  # a pid guaranteed dead
+        store.root.mkdir(parents=True, exist_ok=True)
+        key = store.key(NAME, LENGTH, SEED)
+        lock = store.root / f"{key}.lock"
+        lock.write_text(str(proc.pid))
+        health.clear()
+        store.materialize(NAME, LENGTH, SEED, generate=lambda: trace)
+        steals = [
+            e for e in health.events(component="trace-store") if e.actual == "lock-stolen"
+        ]
+        assert len(steals) == 1
+        (event,) = steals
+        # The steal must be loud and attributable: name the dead holder
+        # and the trace key whose generation is being redone.
+        assert event.severity == "degraded"
+        assert event.ctx["pid"] == proc.pid
+        assert event.ctx["key"] == key
+        assert str(proc.pid) in event.reason
+
+    def test_live_holder_lock_is_not_stolen_no_event(self, store):
+        store.root.mkdir(parents=True, exist_ok=True)
+        lock = store.root / "probe.lock"
+        lock.write_text(str(os.getpid()))  # we are alive
+        health.clear()
+        assert not store._acquire(lock)
+        assert lock.exists()
+        assert [e for e in health.events(component="trace-store") if e.actual == "lock-stolen"] == []
+
     def test_holder_liveness_probe(self, store):
         store.root.mkdir(parents=True, exist_ok=True)
         lock = store.root / "probe.lock"
