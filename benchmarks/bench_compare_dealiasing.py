@@ -35,7 +35,7 @@ import pytest
 
 from benchmarks.common import emit_table, load_bench_suite, result_cache
 from repro.core.registry import make_predictor
-from repro.sim.runner import evaluate
+from repro.sim.runner import evaluate_matrix
 
 SIZES = [10, 12, 14]  # 2^n reference counters
 
@@ -57,17 +57,21 @@ def _specs(n):
 
 
 def _run():
+    """One fused-planner pass over the whole (size x scheme x bench)
+    grid: every spec routes through its family kernel, so no scheme
+    needs bench-local special-casing for speed."""
     traces = load_bench_suite("cint95")
-    cache = result_cache()
-    table = {}
-    for n in SIZES:
-        for label, spec in _specs(n):
-            rates = [evaluate(spec, t, cache=cache) for t in traces.values()]
-            table[(n, label)] = (
-                sum(rates) / len(rates),
-                make_predictor(spec).size_bytes(),
-            )
-    return table
+    grid = [(n, label, spec) for n in SIZES for label, spec in _specs(n)]
+    rates = evaluate_matrix(
+        [spec for _, _, spec in grid], traces, cache=result_cache()
+    )
+    return {
+        (n, label): (
+            sum(rates[spec].values()) / len(rates[spec]),
+            make_predictor(spec).size_bytes(),
+        )
+        for n, label, spec in grid
+    }
 
 
 @pytest.mark.benchmark(group="compare")

@@ -1,12 +1,23 @@
-"""Measure the kernel-registry speedup on the ported-scheme sweep.
+"""Measure the kernel-registry speedup on the ported-scheme sweeps.
 
-The PR-7 gate: the ``PORTED_GRID`` spec matrix — bimodal, the whole
-two-level family, agree, gskew, tournament, tri-mode and YAGS at 2-3
-sizes each — over the CINT95 suite, cold cache both ways:
+Two measurement waves, each a cold-cache scalar-pin vs registry
+comparison over its slice of the shared ``PORTED_GRID`` matrix and the
+CINT95 suite:
+
+* **wave 1** (the PR-7 gate) — bimodal, the whole two-level family,
+  agree, gskew, tournament, tri-mode and YAGS at 2-3 sizes each;
+  acceptance bar >= 3x, recorded in
+  ``results/BENCH_kernel_registry.json``;
+* **wave 2** (the SCALAR_ONLY retirement gate) — perceptron, the bias
+  filter over its gshare/bimodal sub-predictors, and the three static
+  schemes; acceptance bar >= 5x, recorded in
+  ``results/BENCH_kernel_registry2.json``.
+
+Engines per wave:
 
 * **scalar** — ``REPRO_KERNEL=scalar``: every cell through the scalar
-  per-branch engine, the only path these schemes had before the
-  registry;
+  per-branch engine, the only path these schemes had before their
+  kernels landed;
 * **registry** — ``REPRO_KERNEL=auto``: the fused planner groups the
   grid into per-scheme families and each family runs its lane kernel
   (compiled counter/step loops when a C compiler exists, numpy lanes
@@ -15,18 +26,18 @@ sizes each — over the CINT95 suite, cold cache both ways:
 Rates are asserted bit-identical cell by cell, and every cell is
 additionally checked against the differential oracle *and* the scalar
 engine on a power-on prefix of its trace (``$REPRO_KERNEL_ORACLE_N``
-branches, default 20 000).  Acceptance bar >= 3x; rows are appended to
-``results/sweep_speedup.csv`` and the machine-readable record goes to
-``results/BENCH_kernel_registry.json``.
+branches, default 20 000).  Rows are appended to
+``results/sweep_speedup.csv`` under a per-wave prefix.
 
 Not a pytest file on purpose — timing cold sweeps back-to-back is an
 explicit measurement run::
 
-    PYTHONPATH=src:. REPRO_BENCH_SCALE=0.1 python benchmarks/measure_kernel_registry.py
+    PYTHONPATH=src:. REPRO_BENCH_SCALE=0.1 python benchmarks/measure_kernel_registry.py --wave 2
 """
 
 from __future__ import annotations
 
+import argparse
 import csv
 import json
 import os
@@ -47,6 +58,39 @@ from repro.verify.oracle import oracle_rate
 from tests.conftest import PORTED_GRID
 
 SPEEDUP_GATE = 3.0
+SPEEDUP_GATE2 = 5.0
+
+#: The second measurement wave: the schemes that retired SCALAR_ONLY.
+SECOND_WAVE_SCHEMES = frozenset(
+    {"perceptron", "biasfilter", "always-taken", "always-not-taken", "btfnt"}
+)
+
+WAVES = {
+    "1": {
+        "specs": [
+            s for s in PORTED_GRID
+            if s.split(":", 1)[0] not in SECOND_WAVE_SCHEMES
+        ],
+        "gate": SPEEDUP_GATE,
+        "prefix": "ported-scheme grid",
+        "json": "BENCH_kernel_registry.json",
+        "what": "ported-scheme grid (bimodal/two-level/agree/gskew/"
+                "tournament/trimode/yags, 2-3 sizes each) x CINT95 "
+                "suite, cold cache: scalar engine vs kernel registry",
+    },
+    "2": {
+        "specs": [
+            s for s in PORTED_GRID
+            if s.split(":", 1)[0] in SECOND_WAVE_SCHEMES
+        ],
+        "gate": SPEEDUP_GATE2,
+        "prefix": "second-wave grid",
+        "json": "BENCH_kernel_registry2.json",
+        "what": "second-wave grid (perceptron/biasfilter/statics — the "
+                "retired SCALAR_ONLY tier) x CINT95 suite, cold cache: "
+                "scalar engine vs kernel registry",
+    },
+}
 
 
 @contextmanager
@@ -68,15 +112,17 @@ def _env(**overrides):
                 os.environ[key] = value
 
 
-def measure_registry_sweep():
-    """Scalar-pin vs registry dispatch over the ported-scheme grid.
+def measure_registry_sweep(wave: str = "1"):
+    """Scalar-pin vs registry dispatch over one wave's grid.
 
     Returns ``(rows, summary, mismatches)`` in the shape of the other
     measurement scripts: CSV rows for ``sweep_speedup.csv``, the
-    ``BENCH_kernel_registry.json`` payload, and the total count of
+    ``BENCH_kernel_registry*.json`` payload, and the total count of
     diverging cells (0 required).
     """
-    specs = list(PORTED_GRID)
+    config = WAVES[wave]
+    specs = list(config["specs"])
+    gate = config["gate"]
     traces = load_bench_suite("cint95")
     families = plan_families(specs)
 
@@ -125,9 +171,7 @@ def measure_registry_sweep():
     speedup = scalar_s / registry_s if registry_s else float("inf")
     verdict = "identical" if mismatches + oracle_mismatches == 0 else "DIVERGED"
     summary = {
-        "what": "ported-scheme grid (bimodal/two-level/agree/gskew/"
-                "tournament/trimode/yags, 2-3 sizes each) x CINT95 "
-                "suite, cold cache: scalar engine vs kernel registry",
+        "what": config["what"],
         "suite": "cint95",
         "scale": bench_scale(),
         "specs": len(specs),
@@ -139,7 +183,7 @@ def measure_registry_sweep():
         "scalar_s": round(scalar_s, 3),
         "registry_s": round(registry_s, 3),
         "speedup": round(speedup, 2),
-        "gate": f">= {SPEEDUP_GATE}x, rates bit-identical per cell",
+        "gate": f">= {gate}x, rates bit-identical per cell",
         "rates_identical": mismatches == 0,
         "oracle": {
             "prefix_branches": oracle_n,
@@ -148,17 +192,17 @@ def measure_registry_sweep():
         },
     }
     rows = [
-        ["ported-scheme grid scalar engine (REPRO_KERNEL=scalar)",
+        [f"{config['prefix']} scalar engine (REPRO_KERNEL=scalar)",
          f"{scalar_s:.2f}", "1.00x", verdict],
-        ["ported-scheme grid kernel registry (REPRO_KERNEL=auto)",
+        [f"{config['prefix']} kernel registry (REPRO_KERNEL=auto)",
          f"{registry_s:.2f}", f"{speedup:.2f}x", verdict],
     ]
     return rows, summary, mismatches + oracle_mismatches
 
 
-def _append_speedup_rows(rows) -> Path:
+def _append_speedup_rows(rows, prefix: str) -> Path:
     """Append rows to the shared ``sweep_speedup.csv`` artifact,
-    replacing any previous rows from this benchmark."""
+    replacing any previous rows carrying this wave's ``prefix``."""
     path = results_dir() / "sweep_speedup.csv"
     headers = ["path", "seconds", "speedup", "rates"]
     existing = []
@@ -168,7 +212,7 @@ def _append_speedup_rows(rows) -> Path:
             next(reader, None)
             existing = [
                 row for row in reader
-                if row and not row[0].startswith("ported-scheme grid")
+                if row and not row[0].startswith(prefix)
             ]
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
@@ -178,26 +222,33 @@ def _append_speedup_rows(rows) -> Path:
     return path
 
 
-def main() -> int:
-    rows, summary, mismatches = measure_registry_sweep()
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--wave", choices=sorted(WAVES), default="1",
+        help="which grid slice to measure (default: 1, the PR-7 grid)",
+    )
+    args = parser.parse_args(argv)
+    config = WAVES[args.wave]
+    rows, summary, mismatches = measure_registry_sweep(args.wave)
     print()
     print(ascii_table(
         ["path", "seconds", "speedup", "rates"],
         rows,
-        title="kernel registry: ported-scheme sweep",
+        title=f"kernel registry: {config['prefix']} sweep",
     ))
-    path = _append_speedup_rows(rows)
+    path = _append_speedup_rows(rows, config["prefix"])
     print(f"[appended to {path}]")
-    bench_path = results_dir() / "BENCH_kernel_registry.json"
+    bench_path = results_dir() / config["json"]
     bench_path.write_text(json.dumps(summary, indent=2) + "\n")
     print(f"[written {bench_path}]")
     if mismatches:
         print(f"FAILED: {mismatches} diverging cell(s)")
         return 1
-    if summary["speedup"] < SPEEDUP_GATE:
-        print(f"BELOW TARGET: {summary['speedup']}x < {SPEEDUP_GATE}x")
+    if summary["speedup"] < config["gate"]:
+        print(f"BELOW TARGET: {summary['speedup']}x < {config['gate']}x")
         return 2
-    print(f"OK: {summary['speedup']}x >= {SPEEDUP_GATE}x, all cells identical")
+    print(f"OK: {summary['speedup']}x >= {config['gate']}x, all cells identical")
     return 0
 
 

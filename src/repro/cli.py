@@ -4,6 +4,7 @@
 experiments from the terminal::
 
     repro-bimode list                      # available predictors & benchmarks
+    repro-bimode kernels                   # kernel tiers & engine dispatch
     repro-bimode stats                     # Table 2
     repro-bimode run gshare:index=12 gcc   # one (predictor, benchmark) cell
     repro-bimode figure2 --suite cint95    # Figures 2-4 sweeps
@@ -82,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list predictor schemes and benchmarks")
+
+    sub.add_parser(
+        "kernels",
+        help="kernel registry: per-scheme tier and which engine "
+        "REPRO_KERNEL picks in this environment",
+    )
 
     stats = sub.add_parser("stats", help="Table 2: branch counts per benchmark")
     stats.add_argument("--suite", choices=("cint95", "ibs", "all"), default="all")
@@ -206,6 +213,70 @@ def _cmd_list(args) -> int:
     print("\nbenchmarks:")
     for suite in ("cint95", "ibs"):
         print(f"  {suite}: {', '.join(suite_names(suite))}")
+    return 0
+
+
+def _cmd_kernels(args) -> int:
+    """The kernel registry, resolved against this environment: every
+    scheme's tier, whether it has a numpy form, and the engine the
+    current ``REPRO_KERNEL`` pin actually lands on."""
+    from repro.sim import _cstep, kernels
+
+    compiled = _cstep.available()
+    mode = kernels.kernel_mode()
+    # representative specs for the cloop schemes whose numpy capability
+    # depends on lane knobs (gskew: total update is feedback-free)
+    probes = {
+        "gskew": ("gskew:bank=6", "gskew:bank=6,update=total"),
+        "trimode": ("trimode:dir=6",),
+        "yags": ("yags:choice=6,cache=5",),
+        "perceptron": ("perceptron:index=6",),
+    }
+
+    def numpy_form(scheme: str, tier: str) -> str:
+        if tier in ("fused", "lane"):
+            return "yes"
+        entry = kernels.PORTED[scheme]
+        forms = {
+            "yes" if entry.numpy_ok(entry.lane_for_spec(probe)) else "no"
+            for probe in probes[scheme]
+        }
+        return forms.pop() if len(forms) == 1 else "per-config"
+
+    def picks(tier: str, form: str) -> str:
+        if mode == "scalar":
+            return "scalar"
+        if mode == "c":
+            return "c" if compiled else "error (no compiler)"
+        if mode == "auto" and compiled:
+            return "c"
+        # numpy pin, or auto without a compiler
+        if form == "yes":
+            return "numpy"
+        if form == "no":
+            return "scalar"
+        return "numpy or scalar (per config)"
+
+    rows = [
+        [scheme, tier, numpy_form(scheme, tier), picks(tier, numpy_form(scheme, tier))]
+        for scheme, tier in sorted(kernels.registered_schemes().items())
+    ]
+    print(
+        ascii_table(
+            ["scheme", "tier", "numpy form", f"REPRO_KERNEL={mode} picks"],
+            rows,
+            title="kernel registry",
+        )
+    )
+    if compiled:
+        print("\nC compiler: found (compiled lane driver available)")
+    else:
+        print(f"\nC compiler: not found ({_cstep.unavailable_reason()})")
+    print(
+        "bias-filter sub-predictors with kernel lanes: "
+        + ", ".join(kernels.BIASFILTER_SUBS)
+        + " (any other sub= runs scalar, health-reported)"
+    )
     return 0
 
 
@@ -553,6 +624,7 @@ def _cmd_journal(args) -> int:
 
 _COMMANDS = {
     "list": _cmd_list,
+    "kernels": _cmd_kernels,
     "stats": _cmd_stats,
     "run": _cmd_run,
     "figure2": _cmd_figure2,

@@ -169,12 +169,27 @@ def _build_yags(**kw) -> YagsPredictor:
 
 
 def _build_biasfilter(**kw) -> BiasFilterPredictor:
-    """Spec form wraps a gshare sub-predictor:
-    ``biasfilter:table=12,run=3,sub_index=12,sub_hist=12``."""
-    sub = GSharePredictor(
-        index_bits=int(kw.pop("sub_index")),
-        history_bits=int(kw.pop("sub_hist")) if "sub_hist" in kw else None,
-    )
+    """Spec form wraps a sub-predictor selected by ``sub=`` (gshare by
+    default): ``biasfilter:table=12,run=3,sub_index=12,sub_hist=12`` or
+    ``biasfilter:table=12,run=3,sub=bimodal,sub_index=12``."""
+    sub_scheme = kw.pop("sub", "gshare")
+    if sub_scheme == "gshare":
+        sub: BranchPredictor = GSharePredictor(
+            index_bits=int(kw.pop("sub_index")),
+            history_bits=int(kw.pop("sub_hist")) if "sub_hist" in kw else None,
+        )
+    elif sub_scheme == "bimodal":
+        sub = BimodalPredictor(index_bits=int(kw.pop("sub_index")))
+    elif sub_scheme == "bimode":
+        sub = BiModePredictor(
+            direction_index_bits=int(kw.pop("sub_index")),
+            history_bits=int(kw.pop("sub_hist")) if "sub_hist" in kw else None,
+        )
+    else:
+        raise ValueError(
+            f"unknown biasfilter sub-predictor {sub_scheme!r} "
+            "(supported: gshare, bimodal, bimode)"
+        )
     return BiasFilterPredictor(
         sub_predictor=sub,
         filter_index_bits=int(kw.pop("table", 12)),

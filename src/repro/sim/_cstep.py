@@ -47,6 +47,8 @@ __all__ = [
     "gskew_lane",
     "trimode_lane",
     "yags_lane",
+    "perceptron_lane",
+    "biasfilter_lane",
     "substream_group",
     "class_changes",
 ]
@@ -311,6 +313,84 @@ void yags_lane(const int64_t *ci, const int64_t *ki, const int32_t *tg,
     }
 }
 
+/* One perceptron (configuration, trace) pair: one signed int32 weight
+ * row per PC hash, dot product against the running history register,
+ * threshold-gated training — PerceptronPredictor.simulate exactly.
+ * The dot product accumulates in int64 (worst case |y| <= 63 * 2^29,
+ * beyond int32); weights saturate to [w_min, w_max] per update.  Like
+ * gskew_lane the history register lives in-loop: only the low
+ * `hist_bits` bits are ever read, so the unmasked shift-in matches the
+ * scalar GlobalHistoryRegister bit-for-bit. */
+void perceptron_lane(const int64_t *pcs, const uint8_t *o, int64_t n,
+                     int64_t pc_mask, int64_t hist_bits, int64_t theta,
+                     int64_t w_min, int64_t w_max,
+                     int32_t *weights, uint8_t *preds)
+{
+    int64_t stride = hist_bits + 1;
+    uint64_t h = 0;
+    for (int64_t t = 0; t < n; t++) {
+        uint8_t taken = o[t];
+        int32_t *row = weights + (pcs[t] & pc_mask) * stride;
+        int64_t y = row[0];
+        for (int64_t j = 1; j <= hist_bits; j++) {
+            if ((h >> (j - 1)) & 1)
+                y += row[j];
+            else
+                y -= row[j];
+        }
+        uint8_t pred = y >= 0;
+        preds[t] = pred;
+        int64_t mag = y >= 0 ? y : -y;
+        if (pred != taken || mag <= theta) {
+            int64_t d = taken ? 1 : -1;
+            int64_t v = row[0] + d;
+            row[0] = (int32_t)(v > w_max ? w_max : (v < w_min ? w_min : v));
+            for (int64_t j = 1; j <= hist_bits; j++) {
+                v = row[j] + (((h >> (j - 1)) & 1) ? d : -d);
+                row[j] = (int32_t)(v > w_max ? w_max : (v < w_min ? w_min : v));
+            }
+        }
+        h = (h << 1) | taken;
+    }
+}
+
+/* One bias-filter (configuration, trace) pair: the per-address
+ * run-counter filter automaton of BiasFilterPredictor in front of an
+ * inlined 2-bit-counter sub-predictor (gshare when sub_hmask != 0,
+ * bimodal when it is 0 — the same index formula covers both).  A
+ * filtered access is answered by the filter's direction bit and hidden
+ * from the sub-predictor ENTIRELY: its table does not train and its
+ * history register is not pushed, matching the scalar design note. */
+void biasfilter_lane(const int64_t *pcs, const uint8_t *o, int64_t n,
+                     int64_t fmask, int64_t max_run,
+                     int64_t sub_imask, int64_t sub_hmask,
+                     uint8_t *dirs, int8_t *runs, int8_t *sub_table,
+                     uint8_t *preds)
+{
+    uint64_t h = 0;
+    for (int64_t t = 0; t < n; t++) {
+        int64_t pc = pcs[t];
+        uint8_t taken = o[t];
+        int64_t slot = pc & fmask;
+        int8_t run = runs[slot];
+        if (run >= max_run) {
+            preds[t] = dirs[slot];
+        } else {
+            int64_t idx = (pc & sub_imask) ^ (int64_t)(h & (uint64_t)sub_hmask);
+            int8_t s = sub_table[idx];
+            preds[t] = s >= 2;
+            sub_table[idx] = taken ? (s < 3 ? s + 1 : 3) : (s > 0 ? s - 1 : 0);
+            h = (h << 1) | taken;
+        }
+        if (run == 0 || dirs[slot] != taken) {
+            dirs[slot] = taken;
+            runs[slot] = 1;
+        } else if (run < max_run) {
+            runs[slot] = (int8_t)(run + 1);
+        }
+    }
+}
+
 /* Substream grouping + reduction for the Section-4 analysis: a stable
  * two-pass counting sort of accesses by (counter, pc) followed by one
  * walk that numbers the substreams in ascending (counter, pc) order —
@@ -545,6 +625,33 @@ def _load() -> Optional[ctypes.CDLL]:
             ctypes.c_void_p,  # predictions out
         ]
         lib.yags_lane.restype = None
+        lib.perceptron_lane.argtypes = [
+            ctypes.c_void_p,  # pcs
+            ctypes.c_void_p,  # outcomes
+            ctypes.c_int64,  # n
+            ctypes.c_int64,  # pc_mask
+            ctypes.c_int64,  # hist_bits
+            ctypes.c_int64,  # theta
+            ctypes.c_int64,  # w_min
+            ctypes.c_int64,  # w_max
+            ctypes.c_void_p,  # weight arena
+            ctypes.c_void_p,  # predictions out
+        ]
+        lib.perceptron_lane.restype = None
+        lib.biasfilter_lane.argtypes = [
+            ctypes.c_void_p,  # pcs
+            ctypes.c_void_p,  # outcomes
+            ctypes.c_int64,  # n
+            ctypes.c_int64,  # fmask
+            ctypes.c_int64,  # max_run
+            ctypes.c_int64,  # sub_imask
+            ctypes.c_int64,  # sub_hmask
+            ctypes.c_void_p,  # filter direction bits
+            ctypes.c_void_p,  # filter run counters
+            ctypes.c_void_p,  # sub-predictor counter table
+            ctypes.c_void_p,  # predictions out
+        ]
+        lib.biasfilter_lane.restype = None
         lib.substream_group.argtypes = [ctypes.c_void_p] * 4 + [
             ctypes.c_int64,
             ctypes.c_int32,
@@ -926,6 +1033,95 @@ def yags_lane(
         _ptr(tk_ctr),
         _ptr(nt_tags),
         _ptr(nt_ctr),
+        _ptr(preds),
+    )
+    return preds
+
+
+def perceptron_lane(
+    pcs: np.ndarray,
+    outcomes: np.ndarray,
+    index_bits: int,
+    hist_bits: int,
+    theta: int,
+    w_min: int,
+    w_max: int,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Run one perceptron pair through the compiled loop.
+
+    ``pcs`` is int64, ``outcomes`` uint8; ``weights`` is the int32
+    arena of ``(1 << index_bits) * (hist_bits + 1)`` weights laid out
+    row-major ``[bias, w_1 .. w_hist]`` per perceptron, updated in
+    place.  Returns the uint8 per-branch predictions.  Call only when
+    :func:`available`.
+    """
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers gate on available()
+        raise RuntimeError("compiled perceptron driver is not available")
+    n = len(outcomes)
+    preds = np.empty(n, dtype=np.uint8)
+    assert len(weights) == (1 << index_bits) * (hist_bits + 1)
+    for arr, dtype in ((pcs, np.int64), (outcomes, np.uint8), (weights, np.int32)):
+        assert arr.dtype == dtype and arr.flags["C_CONTIGUOUS"]
+    lib.perceptron_lane(
+        _ptr(pcs),
+        _ptr(outcomes),
+        ctypes.c_int64(n),
+        ctypes.c_int64((1 << index_bits) - 1),
+        ctypes.c_int64(hist_bits),
+        ctypes.c_int64(theta),
+        ctypes.c_int64(w_min),
+        ctypes.c_int64(w_max),
+        _ptr(weights),
+        _ptr(preds),
+    )
+    return preds
+
+
+def biasfilter_lane(
+    pcs: np.ndarray,
+    outcomes: np.ndarray,
+    filter_bits: int,
+    max_run: int,
+    sub_index_bits: int,
+    sub_hist_bits: int,
+    dirs: np.ndarray,
+    runs: np.ndarray,
+    sub_table: np.ndarray,
+) -> np.ndarray:
+    """Run one bias-filter pair through the compiled loop.
+
+    ``pcs`` is int64, ``outcomes`` uint8; ``dirs`` (uint8) and ``runs``
+    (int8) are the filter state, ``sub_table`` the int8 2-bit-counter
+    table of the sub-predictor (gshare when ``sub_hist_bits > 0``, else
+    bimodal), all updated in place.  Returns the uint8 per-branch
+    predictions.  Call only when :func:`available`.
+    """
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers gate on available()
+        raise RuntimeError("compiled bias-filter driver is not available")
+    n = len(outcomes)
+    preds = np.empty(n, dtype=np.uint8)
+    for arr, dtype in (
+        (pcs, np.int64),
+        (outcomes, np.uint8),
+        (dirs, np.uint8),
+        (runs, np.int8),
+        (sub_table, np.int8),
+    ):
+        assert arr.dtype == dtype and arr.flags["C_CONTIGUOUS"]
+    lib.biasfilter_lane(
+        _ptr(pcs),
+        _ptr(outcomes),
+        ctypes.c_int64(n),
+        ctypes.c_int64((1 << filter_bits) - 1),
+        ctypes.c_int64(max_run),
+        ctypes.c_int64((1 << sub_index_bits) - 1),
+        ctypes.c_int64((1 << sub_hist_bits) - 1),
+        _ptr(dirs),
+        _ptr(runs),
+        _ptr(sub_table),
         _ptr(preds),
     )
     return preds

@@ -22,15 +22,18 @@ precomputation:
   holds for both of its index streams
   (:func:`repro.sim.batch_bimode.bimode_family_rates`).
 * **one family per ported scheme** — bimodal, the two-level family,
-  agree, gskew, tournament, tri-mode and YAGS resolve through the
-  kernel registry (:mod:`repro.sim.kernels`) onto the lane kernels of
+  agree, gskew, tournament, tri-mode, YAGS, perceptron, the bias
+  filter and the static schemes resolve through the kernel registry
+  (:mod:`repro.sim.kernels`) onto the lane kernels of
   :mod:`repro.sim.lanes`, sharing precomputed history streams within
   the family.
-* **scalar** — anything else (perceptron, the bias filter, static
-  schemes, specs whose knobs no lane parser accepts).  These run
-  per-cell through the scalar engine; falling off the batched path is
-  reported as a health degradation so the CLI's coalesced summary shows
-  exactly which schemes did not batch.
+* **scalar** — specs whose knobs no lane parser accepts (out-of-range
+  geometry, unknown options, a bias-filter sub-predictor without a
+  kernel lane).  These run per-cell through the scalar engine; falling
+  off the batched path is reported as a health degradation so the
+  CLI's coalesced summary shows exactly which schemes did not batch,
+  and bias-filter sub-predictor vetoes are named explicitly
+  (:func:`repro.sim.kernels.planner_vetoes`).
 
 ``REPRO_KERNEL=scalar`` pins the *planner* too: every spec routes to
 the scalar family with the pin named as the degradation reason.
@@ -175,6 +178,7 @@ def _scalar_rates(specs: Sequence[str], trace: BranchTrace) -> List[float]:
     else:
         schemes = sorted({spec.split(":", 1)[0] for spec in specs})
         reason = "unfusable scheme(s): " + ", ".join(schemes)
+        kernels.planner_vetoes(specs)
     health.emit(
         "sweep-planner",
         "fused",

@@ -13,11 +13,15 @@ kind* plus a parsed lane description.  Kinds are:
   unchanged and still owning their dedicated health components;
 * one kind per **ported scheme** — bimodal, the two-level family
   (gag/gas/gap/gselect/pag/pas/pap), agree, gskew, tournament,
-  tri-mode and YAGS, executed by the lane kernels of
-  :mod:`repro.sim.lanes`;
-* ``"scalar"`` — everything else (the explicit
-  :data:`SCALAR_ONLY` allowlist plus any spec whose knobs the lane
-  parser rejects), run per-cell through the scalar engine.
+  tri-mode, YAGS, and the second wave: perceptron, the bias filter
+  (over its gshare/bimodal sub-predictors) and the three static
+  schemes — executed by the lane kernels of :mod:`repro.sim.lanes`;
+* ``"scalar"`` — any spec whose knobs the lane parser rejects
+  (out-of-range geometry, unknown options, a bias-filter
+  sub-predictor without a kernel lane), run per-cell through the
+  scalar engine.  Since the second wave, :data:`SCALAR_ONLY` is empty:
+  every registered scheme has a batch kernel, and the meta-test
+  asserting the set stays empty keeps it that way.
 
 ``family_rates(kind, specs, lanes, trace)`` evaluates one family,
 choosing the engine per the ``REPRO_KERNEL`` pin and reporting every
@@ -33,8 +37,9 @@ Dispatch
   otherwise the numpy lane kernels (degradation health-reported);
 * ``c`` — compiled loops or ``RuntimeError`` (no silent fallback);
 * ``numpy`` — the numpy lane kernels; schemes whose update feeds
-  predictor state back into training (e-gskew, tri-mode, YAGS) have no
-  counter-major form and degrade to the scalar engine, health-reported;
+  predictor state back into training (e-gskew, tri-mode, YAGS, the
+  perceptron) have no counter-major form and degrade to the scalar
+  engine, health-reported;
 * ``scalar`` — everything through the scalar engine (the fused planner
   routes every spec to the scalar family, with the pin as the reason).
 
@@ -48,10 +53,12 @@ Engine tiers
 :func:`repro.core.registry.available_schemes` to its declared tier:
 
 * ``"fused"`` — dedicated single-pass family kernel (gshare, bimode);
-* ``"lane"`` — counter-major: compiled counter loop + numpy scan;
+* ``"lane"`` — compiled loop + numpy form (counter-major scans, the
+  bias-filter decomposition, the statics' vectorized one-shots);
 * ``"cloop"`` — compiled per-access loop only (scalar fallback when no
-  compiler): e-gskew's partial update, tri-mode, YAGS;
-* ``"scalar"`` — the :data:`SCALAR_ONLY` allowlist.
+  compiler): e-gskew's partial update, tri-mode, YAGS, perceptron;
+* ``"scalar"`` — the :data:`SCALAR_ONLY` allowlist, empty since the
+  second wave.
 
 The verification suite (``tests/test_kernels.py``) is generated from
 this mapping, so a scheme that registers in ``core/registry.py``
@@ -73,6 +80,7 @@ from repro.traces.record import BranchTrace
 
 __all__ = [
     "SCALAR_ONLY",
+    "BIASFILTER_SUBS",
     "KernelEntry",
     "kernel_mode",
     "kernel_for_spec",
@@ -80,14 +88,19 @@ __all__ = [
     "family_order",
     "family_rates",
     "family_predictions",
+    "planner_vetoes",
 ]
 
-#: Schemes deliberately left on the scalar engine: perceptron's dot
-#: product and the bias filter's run-length automaton are not
-#: counter-table automata, and the static schemes are already O(1).
-SCALAR_ONLY = frozenset(
-    {"perceptron", "biasfilter", "always-taken", "always-not-taken", "btfnt"}
-)
+#: Schemes deliberately left on the scalar engine: empty since the
+#: second wave (perceptron + bias filter compiled loops, static
+#: one-shot lanes).  A meta-test asserts it stays empty, so a future
+#: scheme cannot quietly register without a batch kernel.
+SCALAR_ONLY = frozenset()
+
+#: Sub-predictor schemes the bias-filter kernel executes in-lane; a
+#: ``biasfilter:...,sub=<other>`` spec runs scalar with an explicit
+#: planner veto (:func:`planner_vetoes`).
+BIASFILTER_SUBS = _lanes.BIASFILTER_SUBS
 
 
 @dataclass(frozen=True)
@@ -99,6 +112,11 @@ class KernelEntry:
     lane_for_spec: Callable[[str], Optional[object]]
     predictions: Callable[..., np.ndarray]
     numpy_ok: Callable[[object], bool]  # lane -> numpy engine exists?
+    #: Optional direct rate computation (lane, trace) -> float for
+    #: schemes whose misprediction count reduces without materializing
+    #: predictions (the statics); must be bit-identical to the
+    #: prediction path.
+    rates: Optional[Callable[[object, BranchTrace], float]] = None
 
 
 def _always(lane: object) -> bool:
@@ -150,6 +168,34 @@ PORTED: Dict[str, KernelEntry] = {
     "yags": KernelEntry(
         "yags", "cloop", _lanes.yags_lane_for_spec, _lanes.yags_predictions, _never
     ),
+    # -- second wave: the former SCALAR_ONLY tier -------------------------------
+    "perceptron": KernelEntry(
+        "perceptron",
+        "cloop",
+        _lanes.perceptron_lane_for_spec,
+        _lanes.perceptron_predictions,
+        # the threshold gate reads the trained dot product: training
+        # feeds back into training, so no counter-major form exists
+        _never,
+    ),
+    "biasfilter": KernelEntry(
+        "biasfilter",
+        "lane",
+        _lanes.biasfilter_lane_for_spec,
+        _lanes.biasfilter_predictions,
+        _always,
+    ),
+    **{
+        scheme: KernelEntry(
+            scheme=scheme,
+            tier="lane",
+            lane_for_spec=_lanes.static_lane_for_spec,
+            predictions=_lanes.static_predictions,
+            numpy_ok=_always,
+            rates=_lanes.static_rates,
+        )
+        for scheme in ("always-taken", "always-not-taken", "btfnt")
+    },
 }
 
 
@@ -309,8 +355,56 @@ def family_rates(
     n = len(trace)
     if n == 0:
         return [0.0 for _ in specs]
+    entry = PORTED[kind]
+    mode = kernel_mode() if mode is None else mode
+    if entry.rates is not None and mode != "scalar":
+        # Direct reduction (the statics): no prediction stream is
+        # materialized, with the same dispatch reporting as the
+        # prediction path.
+        from repro import health
+
+        engines, expected, _ = _resolve_engines(entry, lanes, mode)
+        for engine in dict.fromkeys(engines):
+            health.engine_used(
+                f"{kind}-kernel", engine, expected=expected, cells=engines.count(engine)
+            )
+        return [entry.rates(lane, trace) for lane in lanes]
     outcomes = trace.outcomes
     return [
         int(np.count_nonzero(preds != outcomes)) / n
         for preds in family_predictions(kind, specs, lanes, trace, mode=mode)
     ]
+
+
+def planner_vetoes(specs: Sequence[str]) -> None:
+    """Health-report the explicit kernel vetoes among scalar-routed
+    ``specs``.
+
+    The generic "unfusable scheme(s)" degradation names schemes the
+    registry has never heard of; a bias filter over an unsupported
+    sub-predictor is different — the scheme *is* ported, but the
+    requested ``sub=`` has no kernel lane — so the veto is reported by
+    name under ``biasfilter-kernel``.
+    """
+    from repro import health
+    from repro.core.registry import parse_spec
+
+    for spec in specs:
+        if spec.split(":", 1)[0].strip() != "biasfilter":
+            continue
+        try:
+            _, kwargs = parse_spec(spec)
+        except ValueError:
+            continue
+        sub = kwargs.get("sub", "gshare")
+        if sub not in BIASFILTER_SUBS:
+            health.engine_used(
+                "biasfilter-kernel",
+                "scalar",
+                expected="c",
+                cells=1,
+                reason=(
+                    f"sub-predictor {sub!r} has no kernel lane "
+                    f"(supported: {', '.join(BIASFILTER_SUBS)})"
+                ),
+            )

@@ -19,11 +19,19 @@ gshare/bi-mode fast paths of :mod:`repro.sim.batch` /
   segmented scan (:func:`repro.sim.batch.counter_scan`) — the same
   machinery, and the same bit-exactness argument, as the gshare kernel.
 * **sequential schemes** — gskew's *enhanced* (e-gskew) policy,
-  tri-mode, and YAGS.  Their partial updates feed predictor state back
-  into which table trains (or which bank an access lands in), which
-  defeats counter-major decomposition exactly like bi-mode's choice
-  feedback; each gets a dedicated compiled per-pair loop in
-  :mod:`repro.sim._cstep` over precomputed index streams.
+  tri-mode, YAGS, and the perceptron.  Their partial updates feed
+  predictor state back into which table trains (or which bank an
+  access lands in, or — for the perceptron — whether the threshold
+  gate fires), which defeats counter-major decomposition exactly like
+  bi-mode's choice feedback; each gets a dedicated compiled per-pair
+  loop in :mod:`repro.sim._cstep` over precomputed index streams.
+* **second-wave lane schemes** — the bias filter (over a gshare or
+  bimodal sub-predictor) and the three static schemes
+  (always-taken / always-not-taken / btfnt).  The statics are pure
+  vectorized one-shots; the bias filter decomposes (see below) into
+  the per-slot grouping machinery plus one counter automaton over the
+  *unfiltered* subsequence, so it runs under both the compiled loop
+  and the numpy engine.
 
 Scheme-specific notes
 ---------------------
@@ -47,6 +55,21 @@ which sets the bias before computing agreement.
 so their prediction streams come from two counter scans; the meta table
 then trains with deltas in ``{-1, 0, +1}`` (0 when the components
 agree), which the generalized scan and the compiled loop both support.
+
+**Bias filter.**  The filter automaton (direction bit + saturating run
+counter per slot) evolves from ``(pcs, outcomes)`` alone — after every
+update the direction bit equals the slot's last outcome, and the run
+counter equals the length of the slot's current run of identical
+outcomes, capped at ``2**run_bits - 1``.  Grouping accesses by filter
+slot (the per-address-history machinery) therefore yields each
+access's filtered/unfiltered classification and, for filtered
+accesses, the prediction (the previous same-slot outcome) with no
+sequential work.  The sub-predictor sees exactly the *unfiltered*
+subsequence — its global history included, per the scalar design note
+— so its prediction stream is one ordinary counter-major scan over the
+compressed ``(pcs, outcomes)`` arrays.  Supported sub-predictors:
+gshare and bimodal (the configurations the benches sweep); any other
+sub falls to the scalar family with an explicit planner veto.
 
 Every kernel is asserted bit-identical to its scalar predictor and the
 dict-based oracle by the registry-driven verification suite
@@ -76,6 +99,9 @@ __all__ = [
     "TournamentLane",
     "TriModeLane",
     "YagsLane",
+    "PerceptronLane",
+    "BiasFilterLane",
+    "StaticLane",
     "bimodal_lane_for_spec",
     "twolevel_lane_for_spec",
     "agree_lane_for_spec",
@@ -83,6 +109,9 @@ __all__ = [
     "tournament_lane_for_spec",
     "trimode_lane_for_spec",
     "yags_lane_for_spec",
+    "perceptron_lane_for_spec",
+    "biasfilter_lane_for_spec",
+    "static_lane_for_spec",
     "bimodal_predictions",
     "twolevel_predictions",
     "agree_predictions",
@@ -90,6 +119,10 @@ __all__ = [
     "tournament_predictions",
     "trimode_predictions",
     "yags_predictions",
+    "perceptron_predictions",
+    "biasfilter_predictions",
+    "static_predictions",
+    "static_rates",
     "per_address_histories",
 ]
 
@@ -163,6 +196,46 @@ class YagsLane:
     cache_bits: int
     hist_bits: int
     tag_bits: int
+
+
+@dataclass(frozen=True)
+class PerceptronLane:
+    index_bits: int
+    hist_bits: int
+    weight_bits: int
+
+    @property
+    def theta(self) -> int:
+        return int(1.93 * self.hist_bits + 14)
+
+    @property
+    def w_max(self) -> int:
+        return (1 << (self.weight_bits - 1)) - 1
+
+    @property
+    def w_min(self) -> int:
+        return -(1 << (self.weight_bits - 1))
+
+
+@dataclass(frozen=True)
+class BiasFilterLane:
+    """Filter geometry plus the inlined sub-predictor configuration;
+    ``sub_hist_bits`` is 0 for a bimodal sub."""
+
+    filter_bits: int
+    run_bits: int
+    sub_scheme: str  # "gshare" | "bimodal"
+    sub_index_bits: int
+    sub_hist_bits: int
+
+    @property
+    def max_run(self) -> int:
+        return (1 << self.run_bits) - 1
+
+
+@dataclass(frozen=True)
+class StaticLane:
+    scheme: str  # "always-taken" | "always-not-taken" | "btfnt"
 
 
 # -- spec parsing -----------------------------------------------------------------
@@ -324,6 +397,82 @@ def yags_lane_for_spec(spec: str) -> Optional[YagsLane]:
     if not 0 <= hist <= cache or not 1 <= tag <= 30:
         return None
     return YagsLane(choice_bits=choice, cache_bits=cache, hist_bits=hist, tag_bits=tag)
+
+
+def perceptron_lane_for_spec(spec: str) -> Optional[PerceptronLane]:
+    kw = _parse_int_spec(
+        spec, "perceptron", frozenset({"index", "hist", "w"}), frozenset({"index"})
+    )
+    if kw is None:
+        return None
+    index = kw["index"]
+    hist = kw.get("hist", 12)
+    w = kw.get("w", 8)
+    # hist caps at the GlobalHistoryRegister width; w at int32-safe
+    # saturation (the int64 dot product then never overflows).
+    if not 0 <= index <= _MAX_TABLE_BITS or not 0 <= hist <= 62 or not 2 <= w <= 30:
+        return None
+    return PerceptronLane(index_bits=index, hist_bits=hist, weight_bits=w)
+
+
+#: Sub-predictor schemes the bias-filter kernel executes in-lane; any
+#: other ``sub=`` value runs through the scalar family with an explicit
+#: planner veto (see :func:`repro.sim.kernels.planner_vetoes`).
+BIASFILTER_SUBS = ("gshare", "bimodal")
+
+
+def biasfilter_lane_for_spec(spec: str) -> Optional[BiasFilterLane]:
+    try:
+        name, kwargs = parse_spec(spec)
+    except ValueError:
+        return None
+    if name != "biasfilter" or not set(kwargs) <= {
+        "table",
+        "run",
+        "sub",
+        "sub_index",
+        "sub_hist",
+    }:
+        return None
+    if "sub_index" not in kwargs:
+        return None
+    sub = kwargs.get("sub", "gshare")
+    if sub not in BIASFILTER_SUBS:
+        return None
+    if sub == "bimodal" and "sub_hist" in kwargs:
+        return None
+    try:
+        table = int(kwargs.get("table", 12))
+        run = int(kwargs.get("run", 3))
+        sub_index = int(kwargs["sub_index"])
+        sub_hist = int(kwargs.get("sub_hist", sub_index)) if sub == "gshare" else 0
+    except ValueError:
+        return None
+    # run counters live in int8 in the compiled loop: run_bits <= 7
+    if not 0 <= table <= _MAX_TABLE_BITS or not 1 <= run <= 7:
+        return None
+    if not 0 <= sub_index <= _MAX_TABLE_BITS or not 0 <= sub_hist <= sub_index:
+        return None
+    return BiasFilterLane(
+        filter_bits=table,
+        run_bits=run,
+        sub_scheme=sub,
+        sub_index_bits=sub_index,
+        sub_hist_bits=sub_hist,
+    )
+
+
+_STATIC_SCHEMES = frozenset({"always-taken", "always-not-taken", "btfnt"})
+
+
+def static_lane_for_spec(spec: str) -> Optional[StaticLane]:
+    try:
+        name, kwargs = parse_spec(spec)
+    except ValueError:
+        return None
+    if name not in _STATIC_SCHEMES or kwargs:
+        return None
+    return StaticLane(scheme=name)
 
 
 # -- shared stream helpers --------------------------------------------------------
@@ -644,3 +793,155 @@ def yags_predictions(
         nt_ctr,
     )
     return preds.view(bool)
+
+
+def perceptron_predictions(
+    lane: PerceptronLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> np.ndarray:
+    if engine != "c":
+        # The threshold gate reads the dot product of the weights the
+        # *predictor* accumulated: training feeds back into training, so
+        # no counter-major form exists.
+        raise ValueError(f"unsupported perceptron engine {engine!r}")
+    from repro.sim import _cstep
+
+    weights = np.zeros((1 << lane.index_bits) * (lane.hist_bits + 1), dtype=np.int32)
+    preds = _cstep.perceptron_lane(
+        np.ascontiguousarray(trace.pcs, dtype=np.int64),
+        np.ascontiguousarray(trace.outcomes).view(np.uint8),
+        lane.index_bits,
+        lane.hist_bits,
+        lane.theta,
+        lane.w_min,
+        lane.w_max,
+        weights,
+    )
+    return preds.view(bool)
+
+
+def _biasfilter_classify(
+    lane: BiasFilterLane, pcs: np.ndarray, outcomes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized filter automaton: ``(filtered, filtered_pred)`` per
+    access, both in trace order (``filtered_pred`` valid where
+    ``filtered``).
+
+    Within each filter slot's stable grouping, the run counter an
+    access observes is ``min(max_run, streak)`` where ``streak`` is the
+    length of the run of identical outcomes ending at the previous
+    same-slot access, and the direction bit it observes is that
+    previous access's outcome.
+    """
+    n = len(pcs)
+    slots = (pcs & mask(lane.filter_bits)).astype(np.int32)
+    order = stable_group_order(slots, 1 << lane.filter_bits)
+    g_slot = slots[order]
+    g_out = outcomes[order]
+
+    seg_start = np.empty(n, dtype=bool)
+    seg_start[0] = True
+    np.not_equal(g_slot[1:], g_slot[:-1], out=seg_start[1:])
+    # a run restarts at a segment start or an outcome flip
+    boundary = seg_start.copy()
+    boundary[1:] |= g_out[1:] != g_out[:-1]
+    idx = np.arange(n, dtype=np.int64)
+    last_boundary = np.maximum.accumulate(np.where(boundary, idx, -1))
+    streak = idx - last_boundary + 1
+
+    prev_streak = np.empty(n, dtype=np.int64)
+    prev_streak[0] = 0
+    prev_streak[1:] = streak[:-1]
+    g_filtered = ~seg_start & (prev_streak >= lane.max_run)
+    g_pred = np.empty(n, dtype=bool)
+    g_pred[0] = False
+    g_pred[1:] = g_out[:-1]  # valid wherever g_filtered (never at seg start)
+
+    filtered = np.empty(n, dtype=bool)
+    filtered[order] = g_filtered
+    filtered_pred = np.empty(n, dtype=bool)
+    filtered_pred[order] = g_pred
+    return filtered, filtered_pred
+
+
+def biasfilter_predictions(
+    lane: BiasFilterLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> np.ndarray:
+    if engine == "c":
+        from repro.sim import _cstep
+
+        size = 1 << lane.filter_bits
+        dirs = np.zeros(size, dtype=np.uint8)
+        runs = np.zeros(size, dtype=np.int8)
+        sub_table = np.full(1 << lane.sub_index_bits, WEAKLY_TAKEN, dtype=np.int8)
+        preds = _cstep.biasfilter_lane(
+            np.ascontiguousarray(trace.pcs, dtype=np.int64),
+            np.ascontiguousarray(trace.outcomes).view(np.uint8),
+            lane.filter_bits,
+            lane.max_run,
+            lane.sub_index_bits,
+            lane.sub_hist_bits,
+            dirs,
+            runs,
+            sub_table,
+        )
+        return preds.view(bool)
+    if engine != "numpy":
+        raise ValueError(f"unsupported bias-filter engine {engine!r}")
+    n = len(trace)
+    preds = np.empty(n, dtype=bool)
+    if n == 0:
+        return preds
+    pcs = trace.pcs
+    outcomes = trace.outcomes
+    filtered, filtered_pred = _biasfilter_classify(lane, pcs, outcomes)
+    preds[filtered] = filtered_pred[filtered]
+
+    # The sub-predictor sees exactly the unfiltered subsequence — its
+    # history register included, so the compressed arrays feed the
+    # ordinary gshare/bimodal counter-major pipeline.  The full-trace
+    # hist_cache does not apply to the compressed stream.
+    unfiltered = np.flatnonzero(~filtered)
+    sub_pcs = pcs[unfiltered]
+    sub_out = outcomes[unfiltered]
+    histories = global_history_stream(sub_out, lane.sub_hist_bits)
+    keys = gshare_index_stream(
+        sub_pcs, histories, lane.sub_index_bits, lane.sub_hist_bits
+    ).astype(np.int64)
+    pre = _observed_states(
+        keys, _train_deltas(sub_out), 1 << lane.sub_index_bits, WEAKLY_TAKEN, 3, engine
+    )
+    preds[unfiltered] = pre >= 2
+    return preds
+
+
+def static_predictions(
+    lane: StaticLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> np.ndarray:
+    """The static schemes keep no state, so the same vectorized
+    one-shot serves every engine (the ``c``/``numpy`` distinction is
+    meaningless without an automaton)."""
+    if lane.scheme == "btfnt":
+        return (trace.pcs & 1).astype(bool)
+    return np.full(len(trace), lane.scheme == "always-taken", dtype=bool)
+
+
+def static_rates(lane: StaticLane, trace: BranchTrace) -> float:
+    """Misprediction rate without materializing predictions: one numpy
+    reduction, bit-identical to ``count_nonzero(preds != outcomes) / n``
+    (the counts are exact integers, so the division matches)."""
+    n = len(trace)
+    taken = int(np.count_nonzero(trace.outcomes))
+    if lane.scheme == "always-taken":
+        return (n - taken) / n
+    if lane.scheme == "always-not-taken":
+        return taken / n
+    return int(np.count_nonzero((trace.pcs & 1).astype(bool) != trace.outcomes)) / n

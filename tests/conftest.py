@@ -96,7 +96,32 @@ PORTED_GRID = [
     "trimode:dir=5,hist=3,choice=5",
     "yags:choice=8,cache=6,hist=6,tag=6",
     "yags:choice=6,cache=5,hist=3,tag=4",
+    # second wave: the former SCALAR_ONLY tier
+    "perceptron:index=6,hist=8",
+    "perceptron:index=5,hist=12,w=8",
+    "perceptron:index=4,hist=6,w=4",
+    "biasfilter:table=8,run=2,sub_index=8,sub_hist=8",
+    "biasfilter:table=6,run=3,sub_index=7,sub_hist=4",
+    "biasfilter:table=7,run=2,sub=bimodal,sub_index=7",
+    "always-taken",
+    "always-not-taken",
+    "btfnt",
 ]
+
+#: Per-scheme fuzz budget tiers for the differential suites.
+#: ``diff_spec`` replays a spec through every engine it qualifies for,
+#: and the kernel registry multiplied that space: each ported scheme
+#: adds its lane engines (compiled and/or numpy) on top of
+#: oracle/step/batch.  Schemes with real automata get a smaller
+#: example budget so the CI profile's wall-clock stays level; the
+#: stateless static schemes keep the wide budget.  Deadlines stay
+#: ``None`` everywhere — the first heavy example may compile the C
+#: driver, and per-example deadlines would flake on that — so
+#: ``max_examples`` *is* the budget knob.
+FUZZ_BUDGET = {
+    "light": {"max_examples": 15},  # stateless statics: trivial replay
+    "heavy": {"max_examples": 8},  # stateful schemes: up to 6 engines
+}
 
 #: Two small paper size points -> the full Figure-2/3/4 grid shape.
 KB_POINTS = (1 / 64, 1 / 32)

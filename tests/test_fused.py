@@ -42,16 +42,24 @@ def clean_health():
 
 class TestPlanner:
     def test_partitions_by_kind_in_fixed_order(self):
+        scalar_spec = "biasfilter:table=5,run=2,sub=bimode,sub_index=5,sub_hist=3"
         families = plan_families(
             [
                 "bimode:dir=5,hist=5,choice=5",
                 "always-taken",
+                scalar_spec,
                 "gshare:index=6,hist=3",
                 "gshare:index=6,hist=6",
                 "bimodal:index=5",
             ]
         )
-        assert [f.kind for f in families] == ["gshare", "bimode", "bimodal", "scalar"]
+        assert [f.kind for f in families] == [
+            "gshare",
+            "bimode",
+            "bimodal",
+            "always-taken",
+            "scalar",
+        ]
         by_kind = {f.kind: f for f in families}
         assert by_kind["gshare"].specs == (
             "gshare:index=6,hist=3",
@@ -60,7 +68,9 @@ class TestPlanner:
         assert by_kind["bimode"].specs == ("bimode:dir=5,hist=5,choice=5",)
         assert by_kind["bimodal"].specs == ("bimodal:index=5",)
         assert by_kind["bimodal"].lanes[0] is not None
-        assert by_kind["scalar"].specs == ("always-taken",)
+        assert by_kind["always-taken"].specs == ("always-taken",)
+        assert by_kind["always-taken"].lanes[0] is not None
+        assert by_kind["scalar"].specs == (scalar_spec,)
         assert by_kind["scalar"].lanes == (None,)
 
     def test_empty_families_are_omitted(self):
@@ -120,14 +130,13 @@ class TestDispatch:
 
     def test_scalar_family_reports_degradation(self, small_workload):
         health.clear()
-        rates = evaluate_specs(
-            ["always-taken", "gshare:index=6,hist=6"], small_workload
-        )
-        assert set(rates) == {"always-taken", "gshare:index=6,hist=6"}
+        scalar_spec = "biasfilter:table=5,run=2,sub=bimode,sub_index=5,sub_hist=3"
+        rates = evaluate_specs([scalar_spec, "gshare:index=6,hist=6"], small_workload)
+        assert set(rates) == {scalar_spec, "gshare:index=6,hist=6"}
         (event,) = health.events(component="sweep-planner")
         assert event.actual == "scalar"
         assert event.severity == "degraded"
-        assert "always-taken" in event.reason
+        assert "biasfilter" in event.reason
 
 
 class TestFigureGridEquivalence:

@@ -87,8 +87,8 @@ class TestRegistryCompleteness:
         for scheme in available_schemes():
             assert scheme in tiers, (
                 f"scheme {scheme!r} is registered in core/registry.py but "
-                "declares no kernel tier in sim/kernels.py — port it (PORTED) "
-                "or add it to the SCALAR_ONLY allowlist"
+                "declares no kernel tier in sim/kernels.py — port it (PORTED); "
+                "the SCALAR_ONLY escape hatch is retired and must stay empty"
             )
 
     def test_registry_declares_no_phantom_schemes(self):
@@ -130,6 +130,16 @@ class TestRegistryCompleteness:
         assert scalar == set(kernels.SCALAR_ONLY)
         assert not (set(kernels.PORTED) & kernels.SCALAR_ONLY)
 
+    def test_scalar_only_tier_is_retired(self):
+        """ISSUE 9 acceptance: every registered scheme has a batch
+        kernel; nothing is allowed to hide behind the scalar tier."""
+        assert kernels.SCALAR_ONLY == frozenset()
+        assert set(kernels.PORTED) | {"gshare", "bimode"} == set(
+            available_schemes()
+        )
+        for scheme, tier in kernels.registered_schemes().items():
+            assert tier != "scalar", scheme
+
     def test_tiers_are_known_values(self):
         for scheme, tier in kernels.registered_schemes().items():
             assert tier in ("fused", "lane", "cloop", "scalar"), (scheme, tier)
@@ -147,9 +157,14 @@ class TestRegistryCompleteness:
         assert set(order) == {"gshare", "bimode", "scalar", *kernels.PORTED}
 
     def test_ported_grid_covers_every_ported_scheme_twice(self):
-        for scheme in kernels.PORTED:
+        for scheme, entry in kernels.PORTED.items():
             sizes = [s for s in PORTED_GRID if s.split(":", 1)[0] == scheme]
-            assert len(sizes) >= 2, f"PORTED_GRID needs >= 2 sizes of {scheme!r}"
+            # the knob-less statics (direct-rate schemes) admit exactly
+            # one spec spelling; everything else needs >= 2 geometries
+            want = 1 if entry.rates is not None else 2
+            assert len(sizes) >= want, (
+                f"PORTED_GRID needs >= {want} size(s) of {scheme!r}"
+            )
 
 
 class TestKernelForSpec:
@@ -166,9 +181,9 @@ class TestKernelForSpec:
     @pytest.mark.parametrize(
         "spec",
         [
-            "perceptron:index=6,hist=8",
-            "biasfilter:table=8,run=2,sub_index=8,sub_hist=8",
-            "always-taken",
+            "perceptron:index=6,hist=8,w=1",  # weights need >= 2 bits
+            "biasfilter:table=8,run=2,sub=bimode,sub_index=6",  # no kernel lane for the sub
+            "btfnt:mode=odd",  # statics take no knobs
             "agree:index=8,flavor=mild",  # unknown knob -> scalar raises it
             "bimodal:index=30",  # out-of-range geometry
             "gskew:bank=7,update=sideways",
@@ -192,6 +207,14 @@ class TestKernelForSpec:
         )
         assert kernels.kernel_for_spec("tournament:index=7") == (
             kernels.kernel_for_spec("tournament:index=7,meta=7")
+        )
+        assert kernels.kernel_for_spec("perceptron:index=6") == (
+            kernels.kernel_for_spec("perceptron:index=6,hist=12,w=8")
+        )
+        assert kernels.kernel_for_spec("biasfilter:sub_index=8") == (
+            kernels.kernel_for_spec(
+                "biasfilter:table=12,run=3,sub=gshare,sub_index=8,sub_hist=8"
+            )
         )
 
 
@@ -296,6 +319,60 @@ class TestDispatch:
         kernels.family_rates(kind, [spec], [lane], _trace("toy"), mode="numpy")
         (event,) = health.events(component="tournament-kernel")
         assert event.actual == "numpy"
+        assert event.severity == "info"
+
+    def test_numpy_pin_degrades_perceptron_to_scalar(self):
+        """Perceptron training feeds back into training — cloop tier,
+        so a numpy pin must degrade it (health-reported), bit-exact."""
+        spec = "perceptron:index=5,hist=6"
+        kind, lane = kernels.kernel_for_spec(spec)
+        rates = kernels.family_rates(kind, [spec], [lane], _trace("toy"), mode="numpy")
+        (event,) = health.events(component="perceptron-kernel")
+        assert event.actual == "scalar"
+        assert event.severity == "degraded"
+        assert "no numpy kernel" in event.reason
+        assert rates == [_scalar_rate(spec, "toy")]
+
+    def test_numpy_pin_keeps_biasfilter_on_numpy(self):
+        spec = "biasfilter:table=6,run=2,sub_index=6,sub_hist=4"
+        kind, lane = kernels.kernel_for_spec(spec)
+        rates = kernels.family_rates(kind, [spec], [lane], _trace("toy"), mode="numpy")
+        (event,) = health.events(component="biasfilter-kernel")
+        assert event.actual == "numpy"
+        assert event.severity == "info"
+        assert rates == [_scalar_rate(spec, "toy")]
+
+    def test_unsupported_biasfilter_sub_is_vetoed_by_name(self, monkeypatch):
+        """A bias-filter spec whose sub-predictor has no kernel lane
+        routes scalar, and the planner names the veto in a health event
+        rather than hiding it behind the generic unfusable reason."""
+        from repro.sim.fused import family_rates as fused_rates
+
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        spec = "biasfilter:table=5,run=2,sub=bimode,sub_index=5,sub_hist=3"
+        (family,) = plan_families([spec])
+        assert family.kind == "scalar"
+        rates = fused_rates(family, _trace("toy"))
+        (event,) = health.events(component="biasfilter-kernel")
+        assert event.actual == "scalar"
+        assert event.severity == "degraded"
+        assert "'bimode'" in event.reason and "gshare" in event.reason
+        assert rates == {spec: _scalar_rate(spec, "toy")}
+
+    @pytest.mark.parametrize("spec", ["always-taken", "always-not-taken", "btfnt"])
+    def test_static_direct_rates_match_prediction_path(self, spec):
+        """The statics' O(1) direct-rate hook must equal the rate the
+        prediction lane computes, and family_rates must use it."""
+        trace = _trace("toy")
+        kind, lane = kernels.kernel_for_spec(spec)
+        entry = kernels.PORTED[kind]
+        assert entry.rates is not None
+        direct = entry.rates(lane, trace)
+        (preds,) = kernels.family_predictions(kind, [spec], [lane], trace)
+        assert direct == np.count_nonzero(preds != trace.outcomes) / len(trace)
+        health.clear()
+        assert kernels.family_rates(kind, [spec], [lane], trace) == [direct]
+        (event,) = health.events(component=f"{kind}-kernel")
         assert event.severity == "info"
 
     def test_auto_without_compiler_degrades_with_reason(self, monkeypatch):
@@ -419,3 +496,16 @@ class TestKillDrillPortedFamily:
             )
         assert result == serial
         assert result.failures == []
+
+
+class TestKillDrillSecondWave(TestKillDrillPortedFamily):
+    """The perceptron/biasfilter/static drill: same hard worker kill,
+    on the second-wave families — journal resume must be bit-identical
+    (sequential C-loop state never leaks across the retry boundary)."""
+
+    SPECS = [
+        "perceptron:index=5,hist=8",
+        "perceptron:index=6,hist=6,w=4",
+        "biasfilter:table=6,run=2,sub_index=7,sub_hist=5",
+        "btfnt",
+    ]

@@ -14,6 +14,7 @@ from repro.core.registry import available_schemes, make_predictor, parse_spec
 from repro.sim.engine import run, run_steps
 from repro.traces.record import BranchTrace
 from repro.verify import diff_spec
+from tests.conftest import FUZZ_BUDGET
 
 outcome_lists = st.lists(st.booleans(), min_size=0, max_size=300)
 
@@ -171,32 +172,21 @@ DIFFERENTIAL_SPECS = [
     "tournament:index=6,meta=5",
     "trimode:dir=5,hist=3,choice=4",
     "biasfilter:table=5,run=2,sub_index=6,sub_hist=4",
+    "biasfilter:table=4,run=2,sub=bimodal,sub_index=5",
     "always-taken",
     "always-not-taken",
     "btfnt",
 ]
 
 
-#: Per-scheme fuzz budget tiers.  ``diff_spec`` replays a spec through
-#: every engine it qualifies for, and the kernel registry multiplied
-#: that space: each ported scheme now adds its lane engines (compiled
-#: and/or numpy) on top of oracle/step/batch, and gshare/bimode carry
-#: their dedicated kernel strategies.  Schemes with many engines get a
-#: smaller example budget so the CI profile's wall-clock stays at its
-#: pre-registry level; the cheap scalar-only schemes keep the wide
-#: budget.  Deadlines stay ``None`` — the first heavy example may
-#: compile the C driver, and per-example deadlines would flake on
-#: that — so ``max_examples`` *is* the budget knob.
-FUZZ_BUDGET = {
-    "light": {"max_examples": 15},  # scalar-only: 3 engines replayed
-    "heavy": {"max_examples": 8},  # kernel-ported: up to 6 engines
-}
-
-
 def _fuzz_tier(scheme: str) -> str:
+    """Light tier for the stateless schemes (the statics carry a direct
+    ``rates`` hook), heavy for everything with a real automaton.  The
+    SCALAR_ONLY tier that used to define "light" is retired and empty."""
     from repro.sim import kernels
 
-    return "light" if scheme in kernels.SCALAR_ONLY else "heavy"
+    entry = kernels.PORTED.get(scheme)
+    return "light" if entry is not None and entry.rates is not None else "heavy"
 
 
 LIGHT_DIFFERENTIAL_SPECS = [
@@ -225,7 +215,7 @@ class TestDifferentialFuzzing:
 
     @given(trace=traces())
     @settings(deadline=None, **FUZZ_BUDGET["light"])
-    def test_scalar_only_engines_agree_on_arbitrary_traces(self, trace):
+    def test_light_tier_engines_agree_on_arbitrary_traces(self, trace):
         for spec in LIGHT_DIFFERENTIAL_SPECS:
             report = diff_spec(spec, trace)
             assert report.agree, report.summary()
