@@ -257,13 +257,33 @@ def _cmd_kernels(args) -> int:
             return "scalar"
         return "numpy or scalar (per config)"
 
+    def detailed_form(scheme: str, form: str) -> str:
+        # Section-4 attribution engines: the detailed kernels share the
+        # prediction kernels' engine matrix, so the numpy form gates both.
+        tier = kernels.registered_detailed_tiers()[scheme]
+        if tier == "scalar":  # pragma: no cover - meta-test keeps this dead
+            return "scalar"
+        if tier == "fused":
+            return "fused"
+        if form == "yes":
+            return "c+numpy"
+        if form == "no":
+            return "c" if compiled else "scalar (no compiler)"
+        return "c or c+numpy (per config)"
+
     rows = [
-        [scheme, tier, numpy_form(scheme, tier), picks(tier, numpy_form(scheme, tier))]
+        [
+            scheme,
+            tier,
+            numpy_form(scheme, tier),
+            detailed_form(scheme, numpy_form(scheme, tier)),
+            picks(tier, numpy_form(scheme, tier)),
+        ]
         for scheme, tier in sorted(kernels.registered_schemes().items())
     ]
     print(
         ascii_table(
-            ["scheme", "tier", "numpy form", f"REPRO_KERNEL={mode} picks"],
+            ["scheme", "tier", "numpy form", "detailed", f"REPRO_KERNEL={mode} picks"],
             rows,
             title="kernel registry",
         )

@@ -162,6 +162,17 @@ class BiModePredictor(BranchPredictor):
         bank = self.taken_bank if choice_taken else self.not_taken_bank
         return bank.predict(self._direction_index(pc))
 
+    def _counter_id(self, pc: int) -> int:
+        """Counter attribution at the current state (taken bank offset
+        by the bank size), for predictors that embed this one."""
+        di = self._direction_index(pc)
+        if self.choice.predict(self._choice_index(pc)):
+            return di + self.bank_size
+        return di
+
+    def _num_detail_counters(self) -> int:
+        return 2 * self.bank_size
+
     def update(self, pc: int, taken: bool) -> None:
         choice_index = self._choice_index(pc)
         direction_index = self._direction_index(pc)

@@ -63,6 +63,14 @@ class BimodalPredictor(BranchPredictor):
     def update(self, pc: int, taken: bool) -> None:
         self.table.update(pc & self._mask, taken)
 
+    def _counter_id(self, pc: int) -> int:
+        """Counter attribution at the current state, for predictors that
+        embed this one (tournament, bias filter)."""
+        return pc & self._mask
+
+    def _num_detail_counters(self) -> int:
+        return self.table.size
+
     def simulate(self, trace: BranchTrace) -> SimulationResult:
         predictions, _ = self._run(trace, want_counters=False)
         return SimulationResult(

@@ -91,6 +91,14 @@ class GSharePredictor(BranchPredictor):
         self.table.update(self._index(pc), taken)
         self.ghr.push(taken)
 
+    def _counter_id(self, pc: int) -> int:
+        """Counter attribution at the current state, for predictors that
+        embed this one (tournament, bias filter)."""
+        return self._index(pc)
+
+    def _num_detail_counters(self) -> int:
+        return self.table.size
+
     # -- batch interface -----------------------------------------------------------
 
     def simulate(self, trace: BranchTrace) -> SimulationResult:

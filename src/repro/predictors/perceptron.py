@@ -31,7 +31,11 @@ import numpy as np
 
 from repro.core.history import GlobalHistoryRegister
 from repro.core.indexing import mask
-from repro.core.interfaces import BranchPredictor, SimulationResult
+from repro.core.interfaces import (
+    BranchPredictor,
+    DetailedSimulation,
+    SimulationResult,
+)
 from repro.traces.record import BranchTrace
 
 __all__ = ["PerceptronPredictor"]
@@ -126,6 +130,32 @@ class PerceptronPredictor(BranchPredictor):
     def simulate(self, trace: BranchTrace) -> SimulationResult:
         """Tight loop; the dot product keeps this slower than the
         counter-table predictors (linear in history length)."""
+        predictions = self._run(trace)
+        return SimulationResult(
+            predictor_name=self.name,
+            trace_name=trace.name,
+            predictions=predictions,
+            outcomes=trace.outcomes,
+        )
+
+    def simulate_detailed(self, trace: BranchTrace) -> DetailedSimulation:
+        """The "prediction counter" of a perceptron access is its weight
+        row, selected by address alone: id = ``pc & mask(index_bits)``."""
+        predictions = self._run(trace)
+        result = SimulationResult(
+            predictor_name=self.name,
+            trace_name=trace.name,
+            predictions=predictions,
+            outcomes=trace.outcomes,
+        )
+        return DetailedSimulation(
+            result=result,
+            counter_ids=(trace.pcs & self._mask).astype(np.int64),
+            num_counters=1 << self.index_bits,
+            pcs=trace.pcs,
+        )
+
+    def _run(self, trace: BranchTrace) -> np.ndarray:
         n = len(trace)
         predictions = np.empty(n, dtype=bool)
         pcs = trace.pcs.tolist()
@@ -162,9 +192,4 @@ class PerceptronPredictor(BranchPredictor):
             history = ((history << 1) | taken) & hist_mask
 
         self.ghr.value = history
-        return SimulationResult(
-            predictor_name=self.name,
-            trace_name=trace.name,
-            predictions=predictions,
-            outcomes=trace.outcomes,
-        )
+        return predictions

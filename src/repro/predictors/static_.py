@@ -19,7 +19,11 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.interfaces import BranchPredictor, SimulationResult
+from repro.core.interfaces import (
+    BranchPredictor,
+    DetailedSimulation,
+    SimulationResult,
+)
 from repro.traces.record import BranchTrace
 
 __all__ = [
@@ -53,6 +57,15 @@ class _FixedPredictor(BranchPredictor):
             trace_name=trace.name,
             predictions=predictions,
             outcomes=trace.outcomes,
+        )
+
+    def simulate_detailed(self, trace: BranchTrace) -> DetailedSimulation:
+        """One virtual "counter" — the hardwired direction."""
+        return DetailedSimulation(
+            result=self.simulate(trace),
+            counter_ids=np.zeros(len(trace), dtype=np.int64),
+            num_counters=1,
+            pcs=trace.pcs,
         )
 
 
@@ -125,4 +138,14 @@ class BTFNTPredictor(BranchPredictor):
             trace_name=trace.name,
             predictions=predictions,
             outcomes=trace.outcomes,
+        )
+
+    def simulate_detailed(self, trace: BranchTrace) -> DetailedSimulation:
+        """Two virtual "counters": 0 = forward rule, 1 = backward rule."""
+        result = self.simulate(trace)
+        return DetailedSimulation(
+            result=result,
+            counter_ids=result.predictions.astype(np.int64),
+            num_counters=2,
+            pcs=trace.pcs,
         )

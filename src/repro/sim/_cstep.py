@@ -219,9 +219,11 @@ static int64_t rot_left(int64_t v, int64_t amount, int64_t bits, int64_t m)
 
 void gskew_lane(const int64_t *pcs, const uint8_t *o, int64_t n,
                 int64_t bank_bits, int64_t hmask, int enhanced,
-                int8_t *b0, int8_t *b1, int8_t *b2, uint8_t *preds)
+                int8_t *b0, int8_t *b1, int8_t *b2, uint8_t *preds,
+                int64_t *cids)
 {
     int64_t m = bank_bits ? (((int64_t)1 << bank_bits) - 1) : 0;
+    int64_t bank_size = (int64_t)1 << bank_bits;
     int64_t r1 = bank_bits / 2, r2 = (2 * bank_bits) / 3;
     uint64_t h = 0;
     for (int64_t t = 0; t < n; t++) {
@@ -240,6 +242,11 @@ void gskew_lane(const int64_t *pcs, const uint8_t *o, int64_t n,
         int v0 = s0 >= 2, v1 = s1 >= 2, v2 = s2 >= 2;
         int maj = (v0 + v1 + v2) >= 2;
         preds[t] = (uint8_t)maj;
+        /* attribution: the first (lowest-numbered) bank voting with
+         * the majority, bank k offset by k * bank_size */
+        if (cids)
+            cids[t] = (v0 == maj) ? i0
+                      : ((v1 == maj) ? bank_size + i1 : 2 * bank_size + i2);
         int all = !enhanced || maj != (int)taken;
         if (all || v0 == maj)
             b0[i0] = taken ? (s0 < 3 ? s0 + 1 : 3) : (s0 > 0 ? s0 - 1 : 0);
@@ -257,8 +264,9 @@ void gskew_lane(const int64_t *pcs, const uint8_t *o, int64_t n,
  * mirrors TriModePredictor._run exactly, including the generalized
  * partial-update exception on the choice table. */
 void trimode_lane(const int64_t *ci, const int64_t *di, const uint8_t *o,
-                  int64_t n, int8_t *nt_bank, int8_t *tk_bank,
-                  int8_t *wk_bank, int8_t *choice, uint8_t *preds)
+                  int64_t n, int64_t bank_size, int8_t *nt_bank,
+                  int8_t *tk_bank, int8_t *wk_bank, int8_t *choice,
+                  uint8_t *preds, int64_t *cids)
 {
     for (int64_t t = 0; t < n; t++) {
         int64_t c = ci[t], d = di[t];
@@ -268,6 +276,12 @@ void trimode_lane(const int64_t *ci, const int64_t *di, const uint8_t *o,
         int8_t ds = bank[d];
         uint8_t fin = ds >= 2;
         preds[t] = fin;
+        /* attribution: bank b (not-taken, taken, weak) occupies ids
+         * [b * bank_size, (b + 1) * bank_size) */
+        if (cids) {
+            int64_t bank_id = (cs == 3) ? 1 : ((cs == 0) ? 0 : 2);
+            cids[t] = bank_id * bank_size + d;
+        }
         bank[d] = taken ? (ds < 3 ? ds + 1 : 3) : (ds > 0 ? ds - 1 : 0);
         int cls = cs >= 2;
         if (!((cls != (int)taken) && (fin == taken)))
@@ -283,9 +297,11 @@ void trimode_lane(const int64_t *ci, const int64_t *di, const uint8_t *o,
  * entry already hit, and skip the choice update when the bias was
  * wrong yet the override got it right. */
 void yags_lane(const int64_t *ci, const int64_t *ki, const int32_t *tg,
-               const uint8_t *o, int64_t n, int8_t *choice,
+               const uint8_t *o, int64_t n, int64_t choice_size,
+               int64_t cache_size, int8_t *choice,
                int32_t *tk_tags, int8_t *tk_ctr,
-               int32_t *nt_tags, int8_t *nt_ctr, uint8_t *preds)
+               int32_t *nt_tags, int8_t *nt_ctr, uint8_t *preds,
+               int64_t *cids)
 {
     for (int64_t t = 0; t < n; t++) {
         int64_t c = ci[t], k = ki[t];
@@ -299,6 +315,13 @@ void yags_lane(const int64_t *ci, const int64_t *ki, const int32_t *tg,
         int8_t hs = ctr[k];
         int fin = hit ? (hs >= 2) : bias;
         preds[t] = (uint8_t)fin;
+        /* attribution layout: choice table, taken cache, not-taken
+         * cache; a hit charges the hitting cache entry, a miss the
+         * choice counter that supplied the bias */
+        if (cids)
+            cids[t] = hit
+                ? choice_size + (bias ? cache_size : 0) + k
+                : c;
         if ((int)taken != bias || hit) {
             if (!hit) {
                 tags[k] = tag;
@@ -597,6 +620,7 @@ def _load() -> Optional[ctypes.CDLL]:
             ctypes.c_void_p,  # bank 1
             ctypes.c_void_p,  # bank 2
             ctypes.c_void_p,  # predictions out
+            ctypes.c_void_p,  # counter ids out (nullable)
         ]
         lib.gskew_lane.restype = None
         lib.trimode_lane.argtypes = [
@@ -604,11 +628,13 @@ def _load() -> Optional[ctypes.CDLL]:
             ctypes.c_void_p,  # di
             ctypes.c_void_p,  # outcomes
             ctypes.c_int64,  # n
+            ctypes.c_int64,  # bank_size
             ctypes.c_void_p,  # not-taken bank
             ctypes.c_void_p,  # taken bank
             ctypes.c_void_p,  # weak bank
             ctypes.c_void_p,  # choice table
             ctypes.c_void_p,  # predictions out
+            ctypes.c_void_p,  # counter ids out (nullable)
         ]
         lib.trimode_lane.restype = None
         lib.yags_lane.argtypes = [
@@ -617,12 +643,15 @@ def _load() -> Optional[ctypes.CDLL]:
             ctypes.c_void_p,  # tg (partial tags)
             ctypes.c_void_p,  # outcomes
             ctypes.c_int64,  # n
+            ctypes.c_int64,  # choice_size
+            ctypes.c_int64,  # cache_size
             ctypes.c_void_p,  # choice table
             ctypes.c_void_p,  # taken-cache tags
             ctypes.c_void_p,  # taken-cache counters
             ctypes.c_void_p,  # not-taken-cache tags
             ctypes.c_void_p,  # not-taken-cache counters
             ctypes.c_void_p,  # predictions out
+            ctypes.c_void_p,  # counter ids out (nullable)
         ]
         lib.yags_lane.restype = None
         lib.perceptron_lane.argtypes = [
@@ -904,13 +933,16 @@ def gskew_lane(
     hist_bits: int,
     enhanced: bool,
     banks: np.ndarray,
+    cids: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Run one gskew pair through the compiled loop.
 
     ``pcs`` is int64, ``outcomes`` uint8; ``banks`` is the int8
     ``(3, 1 << bank_bits)`` bank-state array, updated in place.  Returns
-    the uint8 per-branch majority predictions.  Call only when
-    :func:`available`.
+    the uint8 per-branch majority predictions.  Pass an int64 ``cids``
+    array of the same length to also record each access's attributed
+    counter id (first majority-voting bank, offset by its bank number).
+    Call only when :func:`available`.
     """
     lib = _load()
     if lib is None:  # pragma: no cover - callers gate on available()
@@ -919,13 +951,17 @@ def gskew_lane(
     preds = np.empty(n, dtype=np.uint8)
     assert banks.shape[0] == 3 and banks.dtype == np.int8
     b0, b1, b2 = banks[0], banks[1], banks[2]
-    for arr, dtype in (
+    arrays = [
         (pcs, np.int64),
         (outcomes, np.uint8),
         (b0, np.int8),
         (b1, np.int8),
         (b2, np.int8),
-    ):
+    ]
+    if cids is not None:
+        assert len(cids) == n
+        arrays.append((cids, np.int64))
+    for arr, dtype in arrays:
         assert arr.dtype == dtype and arr.flags["C_CONTIGUOUS"]
     lib.gskew_lane(
         _ptr(pcs),
@@ -938,6 +974,7 @@ def gskew_lane(
         _ptr(b1),
         _ptr(b2),
         _ptr(preds),
+        _ptr(cids) if cids is not None else None,
     )
     return preds
 
@@ -950,19 +987,23 @@ def trimode_lane(
     tk_bank: np.ndarray,
     wk_bank: np.ndarray,
     choice: np.ndarray,
+    cids: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Run one tri-mode pair through the compiled loop.
 
     ``ci``/``di`` are int64 index streams, ``outcomes`` uint8; the four
     table arrays are int8 and are updated in place.  Returns the uint8
-    per-branch final predictions.  Call only when :func:`available`.
+    per-branch final predictions.  Pass an int64 ``cids`` array of the
+    same length to also record each access's selected direction counter
+    (bank b offset by ``b * bank_size``).  Call only when
+    :func:`available`.
     """
     lib = _load()
     if lib is None:  # pragma: no cover - callers gate on available()
         raise RuntimeError("compiled tri-mode driver is not available")
     n = len(outcomes)
     preds = np.empty(n, dtype=np.uint8)
-    for arr, dtype in (
+    arrays = [
         (ci, np.int64),
         (di, np.int64),
         (outcomes, np.uint8),
@@ -970,18 +1011,24 @@ def trimode_lane(
         (tk_bank, np.int8),
         (wk_bank, np.int8),
         (choice, np.int8),
-    ):
+    ]
+    if cids is not None:
+        assert len(cids) == n
+        arrays.append((cids, np.int64))
+    for arr, dtype in arrays:
         assert arr.dtype == dtype and arr.flags["C_CONTIGUOUS"]
     lib.trimode_lane(
         _ptr(ci),
         _ptr(di),
         _ptr(outcomes),
         ctypes.c_int64(n),
+        ctypes.c_int64(len(nt_bank)),
         _ptr(nt_bank),
         _ptr(tk_bank),
         _ptr(wk_bank),
         _ptr(choice),
         _ptr(preds),
+        _ptr(cids) if cids is not None else None,
     )
     return preds
 
@@ -996,6 +1043,7 @@ def yags_lane(
     tk_ctr: np.ndarray,
     nt_tags: np.ndarray,
     nt_ctr: np.ndarray,
+    cids: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Run one YAGS pair through the compiled loop.
 
@@ -1003,14 +1051,16 @@ def yags_lane(
     stream, ``outcomes`` uint8; the choice table and both (tags,
     counters) cache pairs are updated in place (tag arrays int32,
     counters int8).  Returns the uint8 per-branch final predictions.
-    Call only when :func:`available`.
+    Pass an int64 ``cids`` array of the same length to also record each
+    access's attributed counter (choice table, then taken cache, then
+    not-taken cache).  Call only when :func:`available`.
     """
     lib = _load()
     if lib is None:  # pragma: no cover - callers gate on available()
         raise RuntimeError("compiled YAGS driver is not available")
     n = len(outcomes)
     preds = np.empty(n, dtype=np.uint8)
-    for arr, dtype in (
+    arrays = [
         (ci, np.int64),
         (ki, np.int64),
         (tags, np.int32),
@@ -1020,7 +1070,11 @@ def yags_lane(
         (tk_ctr, np.int8),
         (nt_tags, np.int32),
         (nt_ctr, np.int8),
-    ):
+    ]
+    if cids is not None:
+        assert len(cids) == n
+        arrays.append((cids, np.int64))
+    for arr, dtype in arrays:
         assert arr.dtype == dtype and arr.flags["C_CONTIGUOUS"]
     lib.yags_lane(
         _ptr(ci),
@@ -1028,12 +1082,15 @@ def yags_lane(
         _ptr(tags),
         _ptr(outcomes),
         ctypes.c_int64(n),
+        ctypes.c_int64(len(choice)),
+        ctypes.c_int64(len(tk_ctr)),
         _ptr(choice),
         _ptr(tk_tags),
         _ptr(tk_ctr),
         _ptr(nt_tags),
         _ptr(nt_ctr),
         _ptr(preds),
+        _ptr(cids) if cids is not None else None,
     )
     return preds
 

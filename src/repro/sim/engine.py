@@ -6,11 +6,15 @@ Thin orchestration over the predictor batch interface: reset, run,
 (fresh state, consistent result packaging).
 
 Detailed (Section-4) simulation additionally dispatches through the
-batch attribution kernels of :mod:`repro.sim.batch` /
-:mod:`repro.sim.batch_bimode` when the predictor has one:
-``REPRO_DETAILED_KERNEL`` pins the choice to ``batch`` or ``scalar``
-(default ``auto``), and every fallback is reported through
-:mod:`repro.health`, mirroring ``REPRO_BIMODE_KERNEL``.
+batch attribution kernels: gshare and bi-mode through their dedicated
+fused kernels (:mod:`repro.sim.batch` / :mod:`repro.sim.batch_bimode`),
+every other registered scheme through its ``detailed`` lane kernel in
+the registry (:mod:`repro.sim.kernels`).  ``REPRO_DETAILED_KERNEL``
+pins the choice to ``batch`` or ``scalar`` (default ``auto``);
+``REPRO_KERNEL`` picks the engine *within* the batch tier.  Under
+``auto`` every fallback is reported through :mod:`repro.health`; under
+the explicit ``batch`` pin a scheme without a usable batch kernel
+raises ``RuntimeError`` instead of silently running the scalar loop.
 """
 
 from __future__ import annotations
@@ -68,20 +72,50 @@ def _detailed_kernel_mode() -> str:
     return mode
 
 
+def _fallback(predictor: BranchPredictor, mode: str, reason: str) -> None:
+    """Record (or, pinned, refuse) a batch -> scalar detailed fallback.
+
+    Under ``REPRO_DETAILED_KERNEL=auto`` the degradation is a health
+    event and the caller runs the scalar loop; under an explicit
+    ``batch`` pin a silent fall-through would defeat the pin's point,
+    so it raises, naming the scheme.
+    """
+    from repro import health
+
+    if mode == "batch":
+        raise RuntimeError(
+            f"REPRO_DETAILED_KERNEL=batch but {predictor.name} has no usable "
+            f"batch attribution kernel: {reason}"
+        )
+    health.engine_used(
+        "detailed-kernel",
+        "scalar",
+        expected="scalar" if mode == "scalar" else "batch",
+        reason=reason,
+    )
+
+
 def _run_detailed_batch(
     predictor: BranchPredictor, trace: BranchTrace, mode: str
 ) -> Optional[DetailedSimulation]:
     """The batch attribution kernel's detailed simulation, or ``None``.
 
     ``None`` means the caller should fall back to the scalar
-    ``simulate_detailed`` path (no kernel covers this predictor, or the
-    kernel raised); the fallback is recorded as a health event.  The
-    batch path never touches the predictor's own tables — callers under
-    ``reset=True`` semantics observe power-on state either way.
+    ``simulate_detailed`` path; the fallback is recorded as a health
+    event under ``auto`` and raises ``RuntimeError`` under the explicit
+    ``batch`` pin.  Dispatch covers every registered scheme: gshare and
+    bi-mode keep their dedicated fused attribution kernels, everything
+    else resolves through the kernel registry
+    (:func:`repro.sim.kernels.spec_for_predictor` -> lane -> the
+    scheme's ``detailed`` lane kernel), with the engine within the
+    batch tier following ``REPRO_KERNEL``.  The batch path never
+    touches the predictor's own tables — callers under ``reset=True``
+    semantics observe power-on state either way.
     """
     from repro import health
     from repro.core.bimode import BiModePredictor
     from repro.predictors.gshare import GSharePredictor
+    from repro.sim import kernels, lanes
     from repro.sim.batch import gshare_lane_detailed, lane_for_spec
     from repro.sim.batch_bimode import BiModeLane, bimode_lane_detailed
 
@@ -103,14 +137,36 @@ def _run_detailed_batch(
             predictions, counter_ids = bimode_lane_detailed(lane, trace)
             num_counters = 2 * lane.bank_size
         else:
-            health.engine_used(
-                "detailed-kernel",
-                "scalar",
-                expected="batch" if mode == "batch" else "scalar",
-                reason=f"no batch attribution kernel for {predictor.name}",
+            spec = kernels.spec_for_predictor(predictor)
+            kind, lane = ("scalar", None) if spec is None else kernels.kernel_for_spec(spec)
+            entry = kernels.PORTED.get(kind)
+            if entry is None or entry.detailed is None or lane is None:
+                _fallback(
+                    predictor, mode, f"no batch attribution kernel for {predictor.name}"
+                )
+                return None
+            engines, _, reason = kernels._resolve_engines(
+                entry, [lane], kernels.kernel_mode()
             )
-            return None
+            if engines[0] == "scalar":
+                # REPRO_KERNEL=scalar, or a sequential-only scheme with
+                # no compiler: the batch tier has nothing to run with.
+                _fallback(
+                    predictor,
+                    mode,
+                    reason or "REPRO_KERNEL=scalar pins the scalar engine",
+                )
+                return None
+            predictions, counter_ids = entry.detailed(lane, trace, engines[0], None)
+            num_counters = lanes.detailed_num_counters(lane)
+    except RuntimeError:
+        raise  # pinned-mode refusals (and REPRO_KERNEL=c without a compiler)
     except Exception as exc:  # fall back rather than lose the analysis
+        if mode == "batch":
+            raise RuntimeError(
+                f"REPRO_DETAILED_KERNEL=batch but the batch kernel for "
+                f"{predictor.name} failed: {exc}"
+            ) from exc
         health.emit(
             "detailed-kernel",
             expected="batch",
@@ -157,6 +213,17 @@ def run_detailed(
     detailed = None
     if mode != "scalar" and reset:
         detailed = _run_detailed_batch(predictor, trace, mode)
+    elif mode == "batch" and not reset:
+        from repro import health
+
+        # the batch kernels replay from power-on state and cannot honour
+        # live predictor tables; the pin is overridden loudly, not silently
+        health.engine_used(
+            "detailed-kernel",
+            "scalar",
+            expected="batch",
+            reason="reset=False continues live predictor state",
+        )
     if detailed is None:
         if reset:
             predictor.reset()

@@ -81,6 +81,7 @@ __all__ = [
     "fused_mode",
     "fused_active",
     "family_rates",
+    "family_detailed",
 ]
 
 
@@ -221,3 +222,98 @@ def family_rates(
     else:
         fn = bimode_family_rates if use_fused else bimode_lane_rates
     return dict(zip(family.specs, fn(list(family.lanes), trace)))
+
+
+def _scalar_detailed(
+    specs: Sequence[str], trace: BranchTrace, dmode: str
+) -> List[Tuple[object, object, int]]:
+    """Per-cell scalar Section-4 cells for an unbatchable family."""
+    from repro import health
+    from repro.core.registry import make_predictor
+
+    if dmode == "batch":
+        schemes = sorted({spec.split(":", 1)[0] for spec in specs})
+        raise RuntimeError(
+            "REPRO_DETAILED_KERNEL=batch but scheme(s) "
+            f"{', '.join(schemes)} have no usable batch attribution kernel"
+        )
+    if kernels.kernel_mode() == "scalar":
+        reason = "REPRO_KERNEL=scalar pin"
+    elif dmode == "scalar":
+        reason = "REPRO_DETAILED_KERNEL=scalar pin"
+    else:
+        schemes = sorted({spec.split(":", 1)[0] for spec in specs})
+        reason = "unfusable scheme(s): " + ", ".join(schemes)
+        kernels.planner_vetoes(specs)
+    health.engine_used(
+        "detailed-kernel",
+        "scalar",
+        expected="scalar" if dmode == "scalar" else "batch",
+        cells=len(specs),
+        reason=reason,
+    )
+    out: List[Tuple[object, object, int]] = []
+    for spec in specs:
+        detailed = make_predictor(spec).simulate_detailed(trace)
+        out.append(
+            (detailed.result.predictions, detailed.counter_ids, detailed.num_counters)
+        )
+    return out
+
+
+def family_detailed(
+    family: SpecFamily, trace: BranchTrace
+) -> Dict[str, Tuple[object, object, int]]:
+    """Section-4 attribution of every spec in one family on one trace.
+
+    Returns ``{spec: (predictions, counter_ids, num_counters)}``,
+    bit-for-bit the scalar ``simulate_detailed`` loop's output from
+    power-on state.  One family is one pass-shaped unit of work: ported
+    schemes share precomputed history streams across their lanes
+    (:func:`repro.sim.kernels.family_detailed`), gshare and bi-mode run
+    their dedicated fused attribution kernels per lane, and the scalar
+    family runs per-cell with the degradation health-reported.
+    ``REPRO_DETAILED_KERNEL`` applies family-wide: ``scalar`` pins the
+    per-branch loops, ``batch`` refuses (``RuntimeError``) any family
+    that cannot run batched, and ``auto`` falls back with a health
+    event — mirroring :func:`repro.sim.engine.run_detailed` exactly.
+    """
+    from repro.sim.engine import _detailed_kernel_mode
+
+    dmode = _detailed_kernel_mode()
+    if dmode == "scalar" or family.kind == "scalar":
+        rows = _scalar_detailed(family.specs, trace, dmode)
+        return dict(zip(family.specs, rows))
+    if family.kind in ("gshare", "bimode"):
+        from repro import health
+        from repro.sim.batch import gshare_lane_detailed
+        from repro.sim.batch_bimode import bimode_lane_detailed
+
+        health.engine_used(
+            "detailed-kernel", "batch", expected="batch", cells=len(family)
+        )
+        out: Dict[str, Tuple[object, object, int]] = {}
+        for spec, lane in zip(family.specs, family.lanes):
+            if family.kind == "gshare":
+                preds, cids = gshare_lane_detailed(lane, trace)
+                num = lane.table_size
+            else:
+                preds, cids = bimode_lane_detailed(lane, trace)
+                num = 2 * lane.bank_size
+            out[spec] = (preds, cids, num)
+        return out
+    entry = kernels.PORTED[family.kind]
+    if dmode == "batch":
+        # the pin refuses any lane the engine matrix would quietly
+        # degrade to scalar (no compiler for a sequential-only scheme,
+        # or an explicit REPRO_KERNEL=scalar)
+        engines, _, reason = kernels._resolve_engines(
+            entry, family.lanes, kernels.kernel_mode()
+        )
+        if "scalar" in engines:
+            raise RuntimeError(
+                f"REPRO_DETAILED_KERNEL=batch but {family.kind} cannot run "
+                f"batched: {reason or 'REPRO_KERNEL=scalar pins the scalar engine'}"
+            )
+    rows = kernels.family_detailed(family.kind, family.specs, family.lanes, trace)
+    return dict(zip(family.specs, rows))

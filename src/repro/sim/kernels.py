@@ -84,10 +84,13 @@ __all__ = [
     "KernelEntry",
     "kernel_mode",
     "kernel_for_spec",
+    "spec_for_predictor",
     "registered_schemes",
+    "registered_detailed_tiers",
     "family_order",
     "family_rates",
     "family_predictions",
+    "family_detailed",
     "planner_vetoes",
 ]
 
@@ -117,6 +120,13 @@ class KernelEntry:
     #: predictions (the statics); must be bit-identical to the
     #: prediction path.
     rates: Optional[Callable[[object, BranchTrace], float]] = None
+    #: Section-4 attribution kernel: ``(lane, trace, engine, hist_cache)
+    #: -> (predictions, counter_ids)``, bit-identical to the scalar
+    #: ``simulate_detailed`` loop.  The detailed tier shares the
+    #: prediction tier's engine matrix (``numpy_ok`` gates both) — the
+    #: completeness meta-test asserts no ported scheme leaves this
+    #: ``None``.
+    detailed: Optional[Callable[..., Tuple[np.ndarray, np.ndarray]]] = None
 
 
 def _always(lane: object) -> bool:
@@ -134,6 +144,7 @@ _TWOLEVEL = {
         lane_for_spec=_lanes.twolevel_lane_for_spec,
         predictions=_lanes.twolevel_predictions,
         numpy_ok=_always,
+        detailed=_lanes.twolevel_detailed,
     )
     for scheme in ("gag", "gas", "gap", "gselect", "pag", "pas", "pap")
 }
@@ -141,11 +152,21 @@ _TWOLEVEL = {
 #: The ported wave, in planner/display order.
 PORTED: Dict[str, KernelEntry] = {
     "bimodal": KernelEntry(
-        "bimodal", "lane", _lanes.bimodal_lane_for_spec, _lanes.bimodal_predictions, _always
+        "bimodal",
+        "lane",
+        _lanes.bimodal_lane_for_spec,
+        _lanes.bimodal_predictions,
+        _always,
+        detailed=_lanes.bimodal_detailed,
     ),
     **_TWOLEVEL,
     "agree": KernelEntry(
-        "agree", "lane", _lanes.agree_lane_for_spec, _lanes.agree_predictions, _always
+        "agree",
+        "lane",
+        _lanes.agree_lane_for_spec,
+        _lanes.agree_predictions,
+        _always,
+        detailed=_lanes.agree_detailed,
     ),
     "gskew": KernelEntry(
         "gskew",
@@ -154,6 +175,7 @@ PORTED: Dict[str, KernelEntry] = {
         _lanes.gskew_predictions,
         # total-update gskew is feedback-free, e-gskew is not
         lambda lane: not lane.enhanced,
+        detailed=_lanes.gskew_detailed,
     ),
     "tournament": KernelEntry(
         "tournament",
@@ -161,12 +183,23 @@ PORTED: Dict[str, KernelEntry] = {
         _lanes.tournament_lane_for_spec,
         _lanes.tournament_predictions,
         _always,
+        detailed=_lanes.tournament_detailed,
     ),
     "trimode": KernelEntry(
-        "trimode", "cloop", _lanes.trimode_lane_for_spec, _lanes.trimode_predictions, _never
+        "trimode",
+        "cloop",
+        _lanes.trimode_lane_for_spec,
+        _lanes.trimode_predictions,
+        _never,
+        detailed=_lanes.trimode_detailed,
     ),
     "yags": KernelEntry(
-        "yags", "cloop", _lanes.yags_lane_for_spec, _lanes.yags_predictions, _never
+        "yags",
+        "cloop",
+        _lanes.yags_lane_for_spec,
+        _lanes.yags_predictions,
+        _never,
+        detailed=_lanes.yags_detailed,
     ),
     # -- second wave: the former SCALAR_ONLY tier -------------------------------
     "perceptron": KernelEntry(
@@ -177,6 +210,7 @@ PORTED: Dict[str, KernelEntry] = {
         # the threshold gate reads the trained dot product: training
         # feeds back into training, so no counter-major form exists
         _never,
+        detailed=_lanes.perceptron_detailed,
     ),
     "biasfilter": KernelEntry(
         "biasfilter",
@@ -184,6 +218,7 @@ PORTED: Dict[str, KernelEntry] = {
         _lanes.biasfilter_lane_for_spec,
         _lanes.biasfilter_predictions,
         _always,
+        detailed=_lanes.biasfilter_detailed,
     ),
     **{
         scheme: KernelEntry(
@@ -193,6 +228,7 @@ PORTED: Dict[str, KernelEntry] = {
             predictions=_lanes.static_predictions,
             numpy_ok=_always,
             rates=_lanes.static_rates,
+            detailed=_lanes.static_detailed,
         )
         for scheme in ("always-taken", "always-not-taken", "btfnt")
     },
@@ -246,6 +282,119 @@ def kernel_for_spec(spec: str) -> Tuple[str, Optional[object]]:
     return "scalar", None
 
 
+def spec_for_predictor(predictor: object) -> Optional[str]:
+    """Reconstruct the canonical spec of a live predictor instance, or
+    ``None`` when its configuration has no spec form.
+
+    The detailed-kernel dispatcher receives a *predictor object*, not a
+    spec (``engine.run_detailed``'s contract), and predictor ``name``
+    strings are display labels, not parseable specs (the bias filter
+    brackets its sub-predictor; agree renames its knobs).  Rebuilding
+    the spec from the instance's attributes and round-tripping it
+    through the lane parsers reuses their geometry validation, so a
+    hand-constructed predictor outside a lane's supported range safely
+    resolves to the scalar family.
+    """
+    from repro.core.bimode import BiModePredictor
+    from repro.predictors.agree import AgreePredictor
+    from repro.predictors.bimodal import BimodalPredictor
+    from repro.predictors.filtered import BiasFilterPredictor
+    from repro.predictors.gshare import GSharePredictor
+    from repro.predictors.gskew import GSkewPredictor
+    from repro.predictors.perceptron import PerceptronPredictor
+    from repro.predictors.static_ import (
+        AlwaysNotTakenPredictor,
+        AlwaysTakenPredictor,
+        BTFNTPredictor,
+    )
+    from repro.predictors.tournament import TournamentPredictor
+    from repro.predictors.trimode import TriModePredictor
+    from repro.predictors.twolevel import TwoLevelPredictor
+    from repro.predictors.yags import YagsPredictor
+
+    p = predictor
+    if isinstance(p, GSharePredictor):
+        return f"gshare:index={p.index_bits},hist={p.history_bits}"
+    if isinstance(p, BiModePredictor):
+        if not p.full_update or not p.choice_uses_history:
+            return None  # ablation variants have no registry spec
+        return (
+            f"bimode:dir={p.direction_index_bits},hist={p.history_bits},"
+            f"choice={p.choice_index_bits}"
+        )
+    if isinstance(p, BimodalPredictor):
+        return f"bimodal:index={p.index_bits},bits={p.table.bits}"
+    if isinstance(p, TwoLevelPredictor):
+        scheme = type(p).scheme
+        knobs = [f"hist={p.history_bits}"]
+        if scheme in ("gas", "pas"):
+            knobs.append(f"select={p.pht_select_bits}")
+        elif scheme in ("gselect", "gap", "pap"):
+            knobs.append(f"addr={p.pht_select_bits}")
+        if p.per_address:
+            knobs.append(f"bht={p.bht.index_bits}")
+        return f"{scheme}:" + ",".join(knobs)
+    if isinstance(p, AgreePredictor):
+        return (
+            f"agree:index={p.index_bits},hist={p.history_bits},"
+            f"bias={p.bias_index_bits}"
+        )
+    if isinstance(p, GSkewPredictor):
+        return (
+            f"gskew:bank={p.bank_index_bits},hist={p.history_bits},"
+            f"update={p.update_policy}"
+        )
+    if isinstance(p, TournamentPredictor):
+        a, b = p.component_a, p.component_b
+        # the lane models the registry pairing: bimodal + same-geometry
+        # gshare at one shared index width
+        if (
+            isinstance(a, BimodalPredictor)
+            and isinstance(b, GSharePredictor)
+            and a.table.bits == 2
+            and a.index_bits == b.index_bits == b.history_bits
+        ):
+            return f"tournament:index={a.index_bits},meta={p.meta_index_bits}"
+        return None
+    if isinstance(p, TriModePredictor):
+        return (
+            f"trimode:dir={p.direction_index_bits},hist={p.history_bits},"
+            f"choice={p.choice_index_bits}"
+        )
+    if isinstance(p, YagsPredictor):
+        return (
+            f"yags:choice={p.choice_index_bits},cache={p.cache_index_bits},"
+            f"hist={p.history_bits},tag={p.tag_bits}"
+        )
+    if isinstance(p, PerceptronPredictor):
+        return (
+            f"perceptron:index={p.index_bits},hist={p.history_bits},"
+            f"w={p.weight_bits}"
+        )
+    if isinstance(p, BiasFilterPredictor):
+        sub = p.sub_predictor
+        head = f"biasfilter:table={p.filter_index_bits},run={p.run_bits}"
+        if isinstance(sub, GSharePredictor):
+            return (
+                f"{head},sub=gshare,sub_index={sub.index_bits},"
+                f"sub_hist={sub.history_bits}"
+            )
+        if isinstance(sub, BimodalPredictor) and sub.table.bits == 2:
+            return f"{head},sub=bimodal,sub_index={sub.index_bits}"
+        return None
+    if isinstance(p, (AlwaysTakenPredictor, AlwaysNotTakenPredictor)):
+        return type(p).scheme
+    if isinstance(p, BTFNTPredictor):
+        from repro.predictors.static_ import _default_backward_classifier
+
+        # the lane hard-codes the workload convention; a custom
+        # backward-classifier has no spec form
+        if p._backward is _default_backward_classifier:
+            return "btfnt"
+        return None
+    return None
+
+
 def registered_schemes() -> Dict[str, str]:
     """Scheme name -> declared kernel tier, for every scheme this
     registry covers.
@@ -257,6 +406,24 @@ def registered_schemes() -> Dict[str, str]:
     tiers: Dict[str, str] = {"gshare": "fused", "bimode": "fused"}
     for scheme, entry in PORTED.items():
         tiers[scheme] = entry.tier
+    for scheme in sorted(SCALAR_ONLY):
+        tiers[scheme] = "scalar"
+    return tiers
+
+
+def registered_detailed_tiers() -> Dict[str, str]:
+    """Scheme name -> Section-4 attribution-kernel tier.
+
+    ``"fused"`` for the dedicated gshare/bimode attribution kernels,
+    the prediction tier (``"lane"``/``"cloop"``) for ported schemes
+    whose :class:`KernelEntry` carries a ``detailed`` kernel, and
+    ``"scalar"`` otherwise.  The completeness meta-test asserts no
+    registered scheme maps to ``"scalar"`` — every scheme's detailed
+    pipeline must be batched.
+    """
+    tiers: Dict[str, str] = {"gshare": "fused", "bimode": "fused"}
+    for scheme, entry in PORTED.items():
+        tiers[scheme] = entry.tier if entry.detailed is not None else "scalar"
     for scheme in sorted(SCALAR_ONLY):
         tiers[scheme] = "scalar"
     return tiers
@@ -341,6 +508,59 @@ def family_predictions(
             out.append(np.asarray(result.predictions, dtype=bool))
         else:
             out.append(entry.predictions(lane, trace, engine, hist_cache))
+    return out
+
+
+def family_detailed(
+    kind: str,
+    specs: Sequence[str],
+    lanes: Sequence[object],
+    trace: BranchTrace,
+    mode: Optional[str] = None,
+) -> List[Tuple[np.ndarray, np.ndarray, int]]:
+    """Section-4 attribution of every lane of one ported family.
+
+    Returns ``(predictions, counter_ids, num_counters)`` per lane,
+    bit-for-bit what the scalar ``simulate_detailed`` loop would emit
+    from power-on state.  Engine choice per lane follows
+    ``REPRO_KERNEL`` (or an explicit ``mode``) exactly like
+    :func:`family_predictions` — the detailed kernels share the
+    prediction kernels' engine matrix — and dispatch is health-reported
+    under ``"<kind>-kernel"``.
+    """
+    from repro import health
+    from repro.core.registry import make_predictor
+
+    entry = PORTED[kind]
+    if entry.detailed is None:  # pragma: no cover - meta-test keeps this dead
+        raise RuntimeError(f"scheme {kind!r} has no detailed attribution kernel")
+    if len(specs) != len(lanes):
+        raise ValueError("specs and lanes must be parallel")
+    mode = kernel_mode() if mode is None else mode
+    engines, expected, reason = _resolve_engines(entry, lanes, mode)
+    for engine in dict.fromkeys(engines):
+        health.engine_used(
+            f"{kind}-kernel",
+            engine,
+            expected=expected,
+            cells=engines.count(engine),
+            reason=reason if engine != expected else "",
+        )
+    hist_cache: Dict[int, np.ndarray] = {}
+    out: List[Tuple[np.ndarray, np.ndarray, int]] = []
+    for spec, lane, engine in zip(specs, lanes, engines):
+        if engine == "scalar":
+            detailed = make_predictor(spec).simulate_detailed(trace)
+            out.append(
+                (
+                    np.asarray(detailed.result.predictions, dtype=bool),
+                    detailed.counter_ids,
+                    detailed.num_counters,
+                )
+            )
+        else:
+            preds, cids = entry.detailed(lane, trace, engine, hist_cache)
+            out.append((preds, cids, _lanes.detailed_num_counters(lane)))
     return out
 
 

@@ -124,6 +124,17 @@ __all__ = [
     "static_predictions",
     "static_rates",
     "per_address_histories",
+    "bimodal_detailed",
+    "twolevel_detailed",
+    "agree_detailed",
+    "gskew_detailed",
+    "tournament_detailed",
+    "trimode_detailed",
+    "yags_detailed",
+    "perceptron_detailed",
+    "biasfilter_detailed",
+    "static_detailed",
+    "detailed_num_counters",
 ]
 
 #: CounterTable's geometry ceiling; larger specs are rejected by the
@@ -556,12 +567,13 @@ def _train_deltas(outcomes: np.ndarray) -> np.ndarray:
 # -- counter-major kernels --------------------------------------------------------
 
 
-def bimodal_predictions(
+def bimodal_detailed(
     lane: BimodalLane,
     trace: BranchTrace,
     engine: str,
     hist_cache: Optional[Dict[int, np.ndarray]] = None,
-) -> np.ndarray:
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(predictions, counter_ids)``: the accessed slot IS the id."""
     keys = (trace.pcs & mask(lane.index_bits)).astype(np.int64)
     pre = _observed_states(
         keys,
@@ -571,15 +583,25 @@ def bimodal_predictions(
         lane.max_state,
         engine,
     )
-    return pre >= lane.threshold
+    return pre >= lane.threshold, keys
 
 
-def twolevel_predictions(
-    lane: TwoLevelLane,
+def bimodal_predictions(
+    lane: BimodalLane,
     trace: BranchTrace,
     engine: str,
     hist_cache: Optional[Dict[int, np.ndarray]] = None,
 ) -> np.ndarray:
+    return bimodal_detailed(lane, trace, engine, hist_cache)[0]
+
+
+def twolevel_detailed(
+    lane: TwoLevelLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(predictions, counter_ids)``: the accessed PHT slot IS the id."""
     if lane.bht_bits is None:
         histories = _hist(trace, lane.hist_bits, hist_cache)
     else:
@@ -597,15 +619,26 @@ def twolevel_predictions(
         3,
         engine,
     )
-    return pre >= 2
+    return pre >= 2, keys
 
 
-def agree_predictions(
-    lane: AgreeLane,
+def twolevel_predictions(
+    lane: TwoLevelLane,
     trace: BranchTrace,
     engine: str,
     hist_cache: Optional[Dict[int, np.ndarray]] = None,
 ) -> np.ndarray:
+    return twolevel_detailed(lane, trace, engine, hist_cache)[0]
+
+
+def agree_detailed(
+    lane: AgreeLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(predictions, counter_ids)``: the accessed agree-PHT slot IS
+    the id (the biasing bits are not counters)."""
     n = len(trace)
     outcomes = trace.outcomes
     histories = _hist(trace, lane.hist_bits, hist_cache)
@@ -629,7 +662,16 @@ def agree_predictions(
     pre = _observed_states(
         keys, _train_deltas(agreed), 1 << lane.index_bits, WEAKLY_TAKEN, 3, engine
     )
-    return (pre >= 2) == bias_at_predict
+    return (pre >= 2) == bias_at_predict, keys
+
+
+def agree_predictions(
+    lane: AgreeLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> np.ndarray:
+    return agree_detailed(lane, trace, engine, hist_cache)[0]
 
 
 def _rotate_stream(values: np.ndarray, amount: int, bits: int) -> np.ndarray:
@@ -664,6 +706,52 @@ def _gskew_index_streams(
     return i0, i1, i2
 
 
+def gskew_detailed(
+    lane: GSkewLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(predictions, counter_ids)``: the prediction is attributed to
+    the first (lowest-numbered) bank voting with the majority, bank ``k``
+    offset by ``k * bank_size``."""
+    if engine == "c":
+        from repro.sim import _cstep
+
+        banks = np.full((3, 1 << lane.bank_bits), WEAKLY_TAKEN, dtype=np.int8)
+        cids = np.empty(len(trace), dtype=np.int64)
+        preds = _cstep.gskew_lane(
+            np.ascontiguousarray(trace.pcs, dtype=np.int64),
+            np.ascontiguousarray(trace.outcomes).view(np.uint8),
+            lane.bank_bits,
+            lane.hist_bits,
+            lane.enhanced,
+            banks,
+            cids,
+        )
+        return preds.view(bool), cids
+    if engine != "numpy" or lane.enhanced:
+        # e-gskew's partial update feeds bank state back into which
+        # banks train; no counter-major form exists.
+        raise ValueError(f"unsupported gskew engine {engine!r} for {lane}")
+    deltas = _train_deltas(trace.outcomes)
+    size = 1 << lane.bank_bits
+    streams = _gskew_index_streams(lane, trace, hist_cache)
+    votes = [
+        _observed_states(keys, deltas, size, WEAKLY_TAKEN, 3, "numpy") >= 2
+        for keys in streams
+    ]
+    majority = (
+        votes[0].astype(np.int8) + votes[1].astype(np.int8) + votes[2].astype(np.int8)
+    ) >= 2
+    cids = np.where(
+        votes[0] == majority,
+        streams[0],
+        np.where(votes[1] == majority, size + streams[1], 2 * size + streams[2]),
+    )
+    return majority, cids
+
+
 def gskew_predictions(
     lane: GSkewLane,
     trace: BranchTrace,
@@ -696,12 +784,14 @@ def gskew_predictions(
     return votes >= 2
 
 
-def tournament_predictions(
+def tournament_detailed(
     lane: TournamentLane,
     trace: BranchTrace,
     engine: str,
     hist_cache: Optional[Dict[int, np.ndarray]] = None,
-) -> np.ndarray:
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(predictions, counter_ids)``: the *selected* component's
+    counter, gshare (component b) ids offset by the bimodal's size."""
     outcomes = trace.outcomes
     deltas = _train_deltas(outcomes)
     a_keys = (trace.pcs & mask(lane.index_bits)).astype(np.int64)
@@ -721,17 +811,31 @@ def tournament_predictions(
     pre_meta = _observed_states(
         meta_keys, meta_deltas, 1 << lane.meta_bits, WEAKLY_TAKEN, 3, engine
     )
-    return np.where(pre_meta >= 2, pred_b, pred_a)
+    select_b = pre_meta >= 2
+    return (
+        np.where(select_b, pred_b, pred_a),
+        np.where(select_b, size + b_keys, a_keys),
+    )
+
+
+def tournament_predictions(
+    lane: TournamentLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> np.ndarray:
+    return tournament_detailed(lane, trace, engine, hist_cache)[0]
 
 
 # -- sequential (compiled-loop) kernels -------------------------------------------
 
 
-def trimode_predictions(
+def _trimode_run(
     lane: TriModeLane,
     trace: BranchTrace,
     engine: str,
-    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+    hist_cache: Optional[Dict[int, np.ndarray]],
+    cids: Optional[np.ndarray],
 ) -> np.ndarray:
     if engine != "c":
         raise ValueError(f"unsupported tri-mode engine {engine!r}")
@@ -755,15 +859,38 @@ def trimode_predictions(
         tk_bank,
         wk_bank,
         choice,
+        cids,
     )
     return preds.view(bool)
 
 
-def yags_predictions(
-    lane: YagsLane,
+def trimode_detailed(
+    lane: TriModeLane,
     trace: BranchTrace,
     engine: str,
     hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(predictions, counter_ids)``: the selected direction counter,
+    bank ``b`` (not-taken, taken, weak) offset by ``b * bank_size``."""
+    cids = np.empty(len(trace), dtype=np.int64)
+    return _trimode_run(lane, trace, engine, hist_cache, cids), cids
+
+
+def trimode_predictions(
+    lane: TriModeLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> np.ndarray:
+    return _trimode_run(lane, trace, engine, hist_cache, None)
+
+
+def _yags_run(
+    lane: YagsLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]],
+    cids: Optional[np.ndarray],
 ) -> np.ndarray:
     if engine != "c":
         raise ValueError(f"unsupported YAGS engine {engine!r}")
@@ -791,8 +918,31 @@ def yags_predictions(
         tk_ctr,
         nt_tags,
         nt_ctr,
+        cids,
     )
     return preds.view(bool)
+
+
+def yags_detailed(
+    lane: YagsLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(predictions, counter_ids)``: choice table, then taken cache,
+    then not-taken cache; a hit charges the hitting cache entry, a miss
+    the choice counter that supplied the bias."""
+    cids = np.empty(len(trace), dtype=np.int64)
+    return _yags_run(lane, trace, engine, hist_cache, cids), cids
+
+
+def yags_predictions(
+    lane: YagsLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> np.ndarray:
+    return _yags_run(lane, trace, engine, hist_cache, None)
 
 
 def perceptron_predictions(
@@ -820,6 +970,19 @@ def perceptron_predictions(
         weights,
     )
     return preds.view(bool)
+
+
+def perceptron_detailed(
+    lane: PerceptronLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(predictions, counter_ids)``: the accessed weight row is
+    selected by address alone, so the ids are a pure vectorized hash;
+    the predictions still need the sequential loop."""
+    preds = perceptron_predictions(lane, trace, engine, hist_cache)
+    return preds, (trace.pcs & mask(lane.index_bits)).astype(np.int64)
 
 
 def _biasfilter_classify(
@@ -920,6 +1083,49 @@ def biasfilter_predictions(
     return preds
 
 
+def biasfilter_detailed(
+    lane: BiasFilterLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(predictions, counter_ids)``: filter slots first, then the
+    sub-predictor's counters offset by the filter size.  The
+    filtered/unfiltered classification and both id streams are
+    feedback-free (the filter automaton evolves from ``(pcs, outcomes)``
+    alone), so only the sub-predictor's counter automaton touches the
+    engine — the detailed tier runs under both the compiled loop and
+    the numpy scan.
+    """
+    n = len(trace)
+    preds = np.empty(n, dtype=bool)
+    cids = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return preds, cids
+    pcs = trace.pcs
+    outcomes = trace.outcomes
+    filtered, filtered_pred = _biasfilter_classify(lane, pcs, outcomes)
+    preds[filtered] = filtered_pred[filtered]
+    cids[filtered] = (pcs[filtered] & mask(lane.filter_bits)).astype(np.int64)
+
+    # unfiltered subsequence: ordinary gshare/bimodal counter automaton
+    # over the compressed arrays (the sub's history skips filtered
+    # branches), ids offset past the filter slots
+    unfiltered = np.flatnonzero(~filtered)
+    sub_pcs = pcs[unfiltered]
+    sub_out = outcomes[unfiltered]
+    histories = global_history_stream(sub_out, lane.sub_hist_bits)
+    keys = gshare_index_stream(
+        sub_pcs, histories, lane.sub_index_bits, lane.sub_hist_bits
+    ).astype(np.int64)
+    pre = _observed_states(
+        keys, _train_deltas(sub_out), 1 << lane.sub_index_bits, WEAKLY_TAKEN, 3, engine
+    )
+    preds[unfiltered] = pre >= 2
+    cids[unfiltered] = (1 << lane.filter_bits) + keys
+    return preds, cids
+
+
 def static_predictions(
     lane: StaticLane,
     trace: BranchTrace,
@@ -932,6 +1138,48 @@ def static_predictions(
     if lane.scheme == "btfnt":
         return (trace.pcs & 1).astype(bool)
     return np.full(len(trace), lane.scheme == "always-taken", dtype=bool)
+
+
+def static_detailed(
+    lane: StaticLane,
+    trace: BranchTrace,
+    engine: str,
+    hist_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(predictions, counter_ids)``: btfnt attributes to its two
+    virtual rules (0 = forward, 1 = backward); the fixed schemes have a
+    single virtual counter."""
+    preds = static_predictions(lane, trace, engine, hist_cache)
+    if lane.scheme == "btfnt":
+        return preds, preds.astype(np.int64)
+    return preds, np.zeros(len(trace), dtype=np.int64)
+
+
+def detailed_num_counters(lane) -> int:
+    """Section-4 counter count of a lane — the ``num_counters`` of the
+    :class:`~repro.core.interfaces.DetailedSimulation` the scalar
+    predictor would build for the same configuration."""
+    if isinstance(lane, BimodalLane):
+        return 1 << lane.index_bits
+    if isinstance(lane, TwoLevelLane):
+        return 1 << (lane.hist_bits + lane.select_bits)
+    if isinstance(lane, AgreeLane):
+        return 1 << lane.index_bits
+    if isinstance(lane, GSkewLane):
+        return 3 << lane.bank_bits
+    if isinstance(lane, TournamentLane):
+        return 2 << lane.index_bits
+    if isinstance(lane, TriModeLane):
+        return 3 << lane.dir_bits
+    if isinstance(lane, YagsLane):
+        return (1 << lane.choice_bits) + (2 << lane.cache_bits)
+    if isinstance(lane, PerceptronLane):
+        return 1 << lane.index_bits
+    if isinstance(lane, BiasFilterLane):
+        return (1 << lane.filter_bits) + (1 << lane.sub_index_bits)
+    if isinstance(lane, StaticLane):
+        return 2 if lane.scheme == "btfnt" else 1
+    raise TypeError(f"unknown lane type {type(lane).__name__}")
 
 
 def static_rates(lane: StaticLane, trace: BranchTrace) -> float:

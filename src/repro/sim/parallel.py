@@ -43,12 +43,13 @@ Degradations (pool unavailable -> serial, worker retries, quarantined
 cells) are reported through :mod:`repro.health`.
 
 Detailed (Section-4) analysis sweeps are a first-class workload here
-too: :func:`detailed_matrix` ships one supervised task per ``(spec,
-benchmark)`` cell, workers reduce each attribution simulation to a
-compact summary dict in-process (kilobytes over the pipe, never the
-per-branch arrays), and completed cells persist to a
-:class:`repro.sim.journal.PayloadJournal` for crash-safe resume with
-bit-identical aggregates.
+too: :func:`detailed_matrix` ships one supervised task per ``(trace,
+spec family)`` — cells of one scheme share a fused attribution pass
+(:func:`repro.sim.fused.family_detailed`) — workers reduce each
+attribution simulation to a compact summary dict in-process (kilobytes
+over the pipe, never the per-branch arrays), and completed cells
+persist to a :class:`repro.sim.journal.PayloadJournal` for crash-safe
+resume with bit-identical aggregates.
 
 Parallelism is controlled by the ``$REPRO_JOBS`` environment knob (or an
 explicit ``jobs`` argument).  ``REPRO_JOBS=1``, unset ``REPRO_JOBS``, an
@@ -304,28 +305,46 @@ def _detailed_cells(
 ) -> Dict[str, dict]:
     """Run and summarize the detailed simulation of each spec on one trace.
 
-    The heavy per-access attribution arrays never leave this function —
-    each cell is reduced to its compact Section-4 summary dict
+    Cells evaluate family-wise through the fused detailed passes
+    (:func:`repro.sim.fused.family_detailed`): specs sharing a scheme
+    share one pass's precomputed streams, and each lane's
+    ``(predictions, counter_ids)`` is bit-identical to the scalar
+    ``run_detailed`` path.  The heavy per-access attribution arrays
+    never leave this function — each cell is reduced to its compact
+    Section-4 summary dict
     (:func:`repro.analysis.summary.summarize_detailed`), kilobytes
     instead of tens of megabytes, which is what makes detailed cells
     shippable across the process pool and journallable as JSON.
     """
     from repro.analysis.bias import pc_code_stream
     from repro.analysis.summary import summarize_detailed
-    from repro.core.registry import make_predictor
-    from repro.sim.engine import run_detailed
+    from repro.core.interfaces import DetailedSimulation, SimulationResult
+    from repro.sim.fused import family_detailed, plan_families
 
     pc_codes = pc_code_stream(trace.pcs)  # per-trace, shared by every cell
     out: Dict[str, dict] = {}
-    for spec in specs:
-        fault_point("detailed", bench=trace.name or "anon", spec=spec)
-        detailed = run_detailed(make_predictor(spec), trace)
-        out[spec] = summarize_detailed(
-            detailed,
-            threshold=opts["threshold"],
-            include_bias_table=opts["include_bias_table"],
-            pc_codes=pc_codes,
-        )
+    for family in plan_families(list(specs)):
+        rows = family_detailed(family, trace)
+        for spec in family.specs:
+            fault_point("detailed", bench=trace.name or "anon", spec=spec)
+            predictions, counter_ids, num_counters = rows[spec]
+            detailed = DetailedSimulation(
+                result=SimulationResult(
+                    predictor_name=spec,
+                    trace_name=trace.name,
+                    predictions=predictions,
+                    outcomes=trace.outcomes,
+                ),
+                counter_ids=counter_ids,
+                num_counters=num_counters,
+                pcs=trace.pcs,
+            )
+            out[spec] = summarize_detailed(
+                detailed,
+                threshold=opts["threshold"],
+                include_bias_table=opts["include_bias_table"],
+                pc_codes=pc_codes,
+            )
     return out
 
 
@@ -811,12 +830,14 @@ def detailed_matrix(
     The detailed counterpart of :func:`evaluate_matrix_parallel`:
     every ``(spec, benchmark)`` cell runs a detailed (attribution)
     simulation and is reduced *in the worker* to the compact summary
-    dict of :func:`repro.analysis.summary.summarize_detailed`.  Because
-    detailed cells are much heavier than rate cells, the sweep ships
-    one supervised task per cell (not per benchmark) for load balance;
-    tasks get the full :class:`TaskPolicy` treatment — retries, pool
-    reseeding after a killed worker, timeouts, serial salvage, and
-    quarantine into ``SweepResult.failures``.
+    dict of :func:`repro.analysis.summary.summarize_detailed`.  The
+    sweep ships one supervised task per ``(trace, spec family)`` — the
+    fused planner's grouping, so cells of one scheme share a single
+    fused attribution pass (:func:`repro.sim.fused.family_detailed`)
+    while staying much finer-grained than whole benchmarks; tasks get
+    the full :class:`TaskPolicy` treatment — retries, pool reseeding
+    after a killed worker, timeouts, serial salvage, and quarantine
+    into ``SweepResult.failures``.
 
     ``journal`` must be a :class:`repro.sim.journal.PayloadJournal`
     (cell values are summary dicts): journalled cells are never
@@ -875,10 +896,21 @@ def detailed_matrix(
                     store = trace_store()
                 if not store.has(recipe.name, recipe.length, recipe.seed):
                     materialize.append(_Task(bench, recipe, [], kind="materialize"))
-            # One task per cell: detailed simulations dominate the
-            # sweep's wall clock, so fine-grained tasks load-balance.
-            for spec in missing:
-                tasks.append(_Task(bench, recipe, [spec], kind="detailed", opts=opts))
+            # One task per (trace, family): specs of one scheme share a
+            # fused detailed pass (precomputed streams, one C arena),
+            # while the journal keeps its per-cell resume granularity.
+            from repro.sim.fused import plan_families
+
+            for family in plan_families(missing):
+                tasks.append(
+                    _Task(
+                        bench,
+                        recipe,
+                        list(family.specs),
+                        kind="detailed",
+                        opts=opts,
+                    )
+                )
         else:
             local.append(bench)
 

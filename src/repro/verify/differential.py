@@ -161,12 +161,20 @@ def diff_spec(
             if _cstep.available():
                 strategies.insert(0, "c")
             for strategy in strategies:
-                report.runs.append(
-                    EngineRun(
-                        f"lane:{kind}[{strategy}]",
-                        entry.predictions(lane, trace, strategy),
+                # lane runs carry counter ids too, so an attribution
+                # regression diverges here even when predictions agree
+                if entry.detailed is not None:
+                    l_preds, l_ids = entry.detailed(lane, trace, strategy)
+                    report.runs.append(
+                        EngineRun(f"lane:{kind}[{strategy}]", l_preds, l_ids)
                     )
-                )
+                else:  # pragma: no cover - meta-test keeps this dead
+                    report.runs.append(
+                        EngineRun(
+                            f"lane:{kind}[{strategy}]",
+                            entry.predictions(lane, trace, strategy),
+                        )
+                    )
 
     reference = report.runs[0]
     first: Optional[int] = None

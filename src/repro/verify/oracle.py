@@ -111,6 +111,9 @@ class _OBimode:
             return di + (1 << self.dir_bits)
         return di
 
+    def _num_counters(self) -> int:
+        return 2 << self.dir_bits
+
     def update(self, pc: int, taken: bool) -> None:
         ci, di = self._indices(pc)
         cs = self.choice.get(ci, 2)
@@ -143,6 +146,9 @@ class _OGShare:
         """The accessed PHT slot (Section-4 attribution)."""
         return _gshare(pc, self.ghr.value, self.index_bits, self.hist_bits)
 
+    def _num_counters(self) -> int:
+        return 1 << self.index_bits
+
     def update(self, pc: int, taken: bool) -> None:
         index = _gshare(pc, self.ghr.value, self.index_bits, self.hist_bits)
         self.table[index] = _train(self.table.get(index, 2), taken)
@@ -161,6 +167,13 @@ class _OBimodal:
 
     def predict(self, pc: int) -> bool:
         return self.table.get(pc & _mask(self.index_bits), self.init) >= self.init
+
+    def counter_id(self, pc: int) -> int:
+        """The accessed per-address counter (Section-4 attribution)."""
+        return pc & _mask(self.index_bits)
+
+    def _num_counters(self) -> int:
+        return 1 << self.index_bits
 
     def update(self, pc: int, taken: bool) -> None:
         slot = pc & _mask(self.index_bits)
@@ -196,6 +209,10 @@ class _OTwoLevel:
 
     def predict(self, pc: int) -> bool:
         return self.table.get(self._index(pc), 2) >= 2
+
+    def counter_id(self, pc: int) -> int:
+        """The accessed PHT slot (Section-4 attribution)."""
+        return self._index(pc)
 
     def update(self, pc: int, taken: bool) -> None:
         index = self._index(pc)
@@ -241,6 +258,10 @@ class _OPerceptron:
     def predict(self, pc: int) -> bool:
         return self._output(pc)[1] >= 0
 
+    def counter_id(self, pc: int) -> int:
+        """The accessed weight row (Section-4 attribution)."""
+        return pc & _mask(self.index_bits)
+
     def update(self, pc: int, taken: bool) -> None:
         row, y = self._output(pc)
         if (y >= 0) != taken or abs(y) <= self.theta:
@@ -269,6 +290,10 @@ class _OAgree:
         agree = self.table.get(index, 2) >= 2
         bias = self.bias.get(pc & _mask(self.bias_bits_width), False)
         return bias == agree
+
+    def counter_id(self, pc: int) -> int:
+        """The accessed agree-PHT slot (Section-4 attribution)."""
+        return _gshare(pc, self.ghr.value, self.index_bits, self.hist_bits)
 
     def update(self, pc: int, taken: bool) -> None:
         slot = pc & _mask(self.bias_bits_width)
@@ -320,6 +345,20 @@ class _OGSkew:
         )
         return votes >= 2
 
+    def counter_id(self, pc: int) -> int:
+        """The first (lowest-numbered) bank whose vote equals the
+        majority — the counter the prediction is attributed to; bank
+        ``k`` occupies ids ``[k * bank_size, (k + 1) * bank_size)``."""
+        indices = self._indices(pc)
+        votes = [
+            bank.get(index, 2) >= 2 for bank, index in zip(self.banks, indices)
+        ]
+        majority = sum(votes) >= 2
+        for k, (voted, index) in enumerate(zip(votes, indices)):
+            if voted == majority:
+                return k * (1 << self.bank_bits) + index
+        raise AssertionError("unreachable: majority always has a voter")
+
     def update(self, pc: int, taken: bool) -> None:
         indices = self._indices(pc)
         votes = [
@@ -360,6 +399,16 @@ class _OYags:
         bias, _cache, _index, _tag, hit = self._probe(pc)
         return bias if hit is None else hit >= 2
 
+    def counter_id(self, pc: int) -> int:
+        """Layout: choice table, then the taken cache, then the
+        not-taken cache.  Cache hit → the hitting entry; miss → the
+        choice counter that supplied the bias."""
+        bias, _cache, index, _tag, hit = self._probe(pc)
+        if hit is None:
+            return pc & _mask(self.choice_bits)
+        offset = (1 << self.choice_bits) + ((1 << self.cache_bits) if bias else 0)
+        return offset + index
+
     def update(self, pc: int, taken: bool) -> None:
         bias, cache, index, tag, hit = self._probe(pc)
         final = bias if hit is None else hit >= 2
@@ -389,6 +438,13 @@ class _OTournament:
         if self.meta.get(pc & _mask(self.meta_bits), 2) >= 2:
             return self.b.predict(pc)
         return self.a.predict(pc)
+
+    def counter_id(self, pc: int) -> int:
+        """The *selected* component's counter; component-b ids are
+        offset by component-a's counter count."""
+        if self.meta.get(pc & _mask(self.meta_bits), 2) >= 2:
+            return self.a._num_counters() + self.b.counter_id(pc)
+        return self.a.counter_id(pc)
 
     def update(self, pc: int, taken: bool) -> None:
         prediction_a = self.a.predict(pc)
@@ -428,6 +484,15 @@ class _OTriMode:
         di = _gshare(pc, self.ghr.value, self.dir_bits, self.hist_bits)
         return self.banks[bank_id].get(di, self.bank_init[bank_id]) >= 2
 
+    def counter_id(self, pc: int) -> int:
+        """The selected direction counter: bank ``b`` occupies ids
+        ``[b * bank_size, (b + 1) * bank_size)`` (not-taken, taken,
+        weak)."""
+        cs = self.choice.get(pc & _mask(self.choice_bits), 2)
+        bank_id = self._bank_of(cs)
+        di = _gshare(pc, self.ghr.value, self.dir_bits, self.hist_bits)
+        return bank_id * (1 << self.dir_bits) + di
+
     def update(self, pc: int, taken: bool) -> None:
         ci = pc & _mask(self.choice_bits)
         di = _gshare(pc, self.ghr.value, self.dir_bits, self.hist_bits)
@@ -460,6 +525,14 @@ class _OBiasFilter:
             return self.directions.get(slot, False)
         return self.sub.predict(pc)
 
+    def counter_id(self, pc: int) -> int:
+        """Filter slots first, then the sub-predictor's counters offset
+        by the filter size."""
+        slot = pc & _mask(self.filter_bits)
+        if self.runs.get(slot, 0) >= self.max_run:
+            return slot
+        return (1 << self.filter_bits) + self.sub.counter_id(pc)
+
     def update(self, pc: int, taken: bool) -> None:
         slot = pc & _mask(self.filter_bits)
         run = self.runs.get(slot, 0)
@@ -483,6 +556,13 @@ class _OStatic:
         if self.scheme == "btfnt":
             return bool(pc & 1)
         return self.scheme == "always-taken"
+
+    def counter_id(self, pc: int) -> int:
+        """btfnt: 0 = forward rule, 1 = backward rule; the fixed
+        predictors have a single virtual counter."""
+        if self.scheme == "btfnt":
+            return int(pc & 1)
+        return 0
 
     def update(self, pc: int, taken: bool) -> None:
         pass

@@ -21,10 +21,16 @@ from repro.sim.runner import ResultCache, trace_key
 from repro.workloads.generator import generate_trace
 from repro.workloads.profiles import get_profile
 
+#: The grid spans every family shape the planner produces: the fused
+#: gshare/bi-mode attribution kernels, a lane-tier ported scheme, and
+#: a cloop-tier (sequential C) ported scheme — so each drill below
+#: covers fused-detailed family tasks, not just the legacy pair.
 SPECS = [
     "gshare:index=7,hist=7",
     "bimode:dir=6,hist=6,choice=5",
     "bimodal:index=7",
+    "agree:index=6,hist=6",
+    "perceptron:index=5,hist=6",
 ]
 
 BENCHES = ("gcc", "xlisp", "compress")
@@ -127,7 +133,10 @@ class TestDetailedResume:
         self, traces, serial_reference, tmp_path
     ):
         journal = PayloadJournal(tmp_path / "det.jsonl")
-        with faults.inject("detailed:sigint:nth=4"):
+        # nth lands mid-way through the *second* bench: the first
+        # bench's five cells are journalled, the interrupt arrives with
+        # work still outstanding
+        with faults.inject("detailed:sigint:nth=7"):
             with pytest.raises(KeyboardInterrupt):
                 detailed_matrix(SPECS, traces, jobs=1, journal=journal)
         done_before = len(PayloadJournal(journal.path))

@@ -71,9 +71,11 @@ class TestRunDetailed:
         detailed = run_detailed(make_predictor("gshare:index=8"), trace)
         assert np.array_equal(detailed.pcs, trace.pcs)
 
-    def test_unsupported_predictor_raises(self, trace):
-        with pytest.raises(NotImplementedError):
-            run_detailed(make_predictor("gskew:bank=6"), trace)
+    def test_every_registered_scheme_has_detailed(self, trace):
+        """Since the detailed wave, every registered scheme runs the
+        Section-4 pipeline (gskew was the canonical refusal before)."""
+        detailed = run_detailed(make_predictor("gskew:bank=6"), trace)
+        assert detailed.num_counters == 3 * (1 << 6)
 
     def test_warmup_slices_attribution(self, trace):
         """Warm-up must drop the same prefix from the result AND the
@@ -115,15 +117,32 @@ class TestDetailedKernelDispatch:
         assert np.array_equal(scalar.counter_ids, batch.counter_ids)
         assert scalar.num_counters == batch.num_counters
 
-    def test_batch_mode_falls_back_without_kernel(self, trace, monkeypatch):
-        """bimodal has a scalar detailed path but no batch kernel; the
-        dispatcher must fall back rather than fail."""
+    def test_batch_pin_refuses_kernelless_scheme(self, trace, monkeypatch):
+        """A bias filter over a sub-predictor without a kernel lane has
+        no batch attribution path; under the explicit ``batch`` pin the
+        dispatcher must refuse by name, never silently run scalar."""
+        spec = "biasfilter:table=6,run=2,sub=bimode,sub_index=6,sub_hist=6"
         monkeypatch.setenv("REPRO_DETAILED_KERNEL", "batch")
-        batch = run_detailed(make_predictor("bimodal:index=8"), trace)
+        with pytest.raises(RuntimeError, match="biasfilter"):
+            run_detailed(make_predictor(spec), trace)
+
+    def test_auto_falls_back_without_kernel(self, trace, monkeypatch):
+        """The same kernel-less scheme under ``auto`` keeps the
+        health-reported scalar fallback."""
+        from repro import health
+
+        spec = "biasfilter:table=6,run=2,sub=bimode,sub_index=6,sub_hist=6"
+        monkeypatch.setenv("REPRO_DETAILED_KERNEL", "auto")
+        health.clear()
+        auto = run_detailed(make_predictor(spec), trace)
+        assert any(
+            e.actual == "scalar"
+            for e in health.events(component="detailed-kernel")
+        )
         monkeypatch.setenv("REPRO_DETAILED_KERNEL", "scalar")
-        scalar = run_detailed(make_predictor("bimodal:index=8"), trace)
-        assert np.array_equal(scalar.result.predictions, batch.result.predictions)
-        assert np.array_equal(scalar.counter_ids, batch.counter_ids)
+        scalar = run_detailed(make_predictor(spec), trace)
+        assert np.array_equal(scalar.result.predictions, auto.result.predictions)
+        assert np.array_equal(scalar.counter_ids, auto.counter_ids)
 
     def test_no_reset_uses_scalar_path(self, trace):
         """reset=False continues live predictor state, which the batch

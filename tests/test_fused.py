@@ -139,6 +139,101 @@ class TestDispatch:
         assert "biasfilter" in event.reason
 
 
+class TestFamilyDetailed:
+    """The per-family Section-4 path (what ``detailed_matrix`` workers
+    run): bit-identity against the per-predictor scalar loop, scalar
+    family degradations, and the ``REPRO_DETAILED_KERNEL`` pin at
+    family granularity."""
+
+    MIXED_GRID = [
+        "gshare:index=7,hist=5",
+        "bimode:dir=6,hist=6,choice=5",
+        "agree:index=6,hist=6",
+        "perceptron:index=5,hist=6",
+        "btfnt",
+    ]
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        from tests.conftest import make_toy_trace
+
+        return make_toy_trace(length=1200, seed=29)
+
+    def test_families_match_scalar_loop(self, trace):
+        from repro.sim.fused import family_detailed
+
+        rows = {}
+        for family in plan_families(self.MIXED_GRID):
+            rows.update(family_detailed(family, trace))
+        assert set(rows) == set(self.MIXED_GRID)
+        for spec, (preds, cids, num) in rows.items():
+            detailed = make_predictor(spec).simulate_detailed(trace)
+            assert np.array_equal(preds, detailed.result.predictions), spec
+            assert np.array_equal(cids, detailed.counter_ids), spec
+            assert num == detailed.num_counters, spec
+
+    def test_scalar_family_reports_detailed_degradation(self, trace):
+        from repro.sim.fused import family_detailed
+
+        scalar_spec = "biasfilter:table=5,run=2,sub=bimode,sub_index=5,sub_hist=3"
+        (family,) = plan_families([scalar_spec])
+        assert family.kind == "scalar"
+        health.clear()
+        rows = family_detailed(family, trace)
+        detailed = make_predictor(scalar_spec).simulate_detailed(trace)
+        preds, cids, num = rows[scalar_spec]
+        assert np.array_equal(preds, detailed.result.predictions)
+        assert np.array_equal(cids, detailed.counter_ids)
+        assert num == detailed.num_counters
+        (event,) = [
+            e
+            for e in health.events(component="detailed-kernel")
+            if e.actual == "scalar"
+        ]
+        assert event.severity == "degraded"
+
+    def test_batch_pin_refuses_scalar_family(self, trace, monkeypatch):
+        from repro.sim.fused import family_detailed
+
+        scalar_spec = "biasfilter:table=5,run=2,sub=bimode,sub_index=5,sub_hist=3"
+        (family,) = plan_families([scalar_spec])
+        monkeypatch.setenv("REPRO_DETAILED_KERNEL", "batch")
+        with pytest.raises(RuntimeError, match="biasfilter"):
+            family_detailed(family, trace)
+
+    def test_batch_pin_refuses_sequential_scheme_without_compiler(
+        self, trace, monkeypatch
+    ):
+        """A cloop-tier family (no numpy kernel) under the batch pin
+        must refuse when the compiler is denied rather than quietly run
+        the scalar loop."""
+        from repro.sim.fused import family_detailed
+
+        (family,) = plan_families(["perceptron:index=5,hist=6"])
+        monkeypatch.setenv("REPRO_DETAILED_KERNEL", "batch")
+        with faults.deny_compiler():
+            with pytest.raises(RuntimeError, match="perceptron"):
+                family_detailed(family, trace)
+
+    def test_scalar_pin_is_bit_identical(self, trace, monkeypatch):
+        from repro.sim.fused import family_detailed
+
+        def grid():
+            rows = {}
+            for family in plan_families(self.MIXED_GRID):
+                rows.update(family_detailed(family, trace))
+            return rows
+
+        monkeypatch.delenv("REPRO_DETAILED_KERNEL", raising=False)
+        baseline = grid()
+        monkeypatch.setenv("REPRO_DETAILED_KERNEL", "scalar")
+        pinned = grid()
+        for spec in self.MIXED_GRID:
+            assert np.array_equal(baseline[spec][0], pinned[spec][0]), spec
+            assert np.array_equal(baseline[spec][1], pinned[spec][1]), spec
+            assert baseline[spec][2] == pinned[spec][2], spec
+
+
 class TestFigureGridEquivalence:
     """Fused == per-cell scalar engine == differential oracle, for the
     Figure-2/3/4 grid shape, across every dispatch mode."""

@@ -8,6 +8,14 @@ code, so comparison is **equality**, not approximation: any drift —
 however small — is a semantic change to a predictor and must be either
 fixed or consciously re-frozen.
 
+``tests/golden/detailed.json`` does the same for the Section-4
+pipeline: the *entire* substream-breakdown summary (per-class
+breakdown, bias areas, aliasing/sharing structure, class-change
+counts) of one representative spec per newly ported scheme, frozen
+JSON-exactly on two canonical traces.  A batch attribution kernel that
+predicts correctly but charges the wrong counter drifts here even
+though every rate in ``rates.json`` stays put.
+
 On mismatch the failure message lists every drifted cell as
 ``spec | trace: expected ... got ...`` so the blast radius is readable
 at a glance.
@@ -26,11 +34,12 @@ from fractions import Fraction
 from pathlib import Path
 
 from repro.core.registry import make_predictor, parse_spec
-from repro.sim.engine import run
+from repro.sim.engine import run, run_detailed
 
 from tests.conftest import PORTED_GRID, make_toy_trace
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "rates.json"
+DETAILED_GOLDEN_PATH = Path(__file__).parent / "golden" / "detailed.json"
 
 #: At least one spec per registered scheme under regression pinning,
 #: plus the kernel registry's ported grid (2-3 sizes per ported
@@ -61,6 +70,23 @@ GOLDEN_SPECS = list(
     )
 )
 
+#: One representative spec per newly ported scheme whose full
+#: Section-4 summary (exact per-class substream breakdown) is frozen
+#: in ``detailed.json``.  The fused gshare/bi-mode attribution kernels
+#: predate this wave and answer to their own detailed suites.
+DETAILED_SPECS = [
+    "bimodal:index=7",
+    "pag:hist=5,bht=5",
+    "agree:index=8,hist=6,bias=8",
+    "gskew:bank=6,hist=6",
+    "tournament:index=7,meta=7",
+    "trimode:dir=6,hist=4,choice=5",
+    "yags:choice=7,cache=5,hist=5,tag=5",
+    "perceptron:index=5,hist=8",
+    "biasfilter:table=6,run=2,sub_index=7,sub_hist=5",
+    "btfnt",
+]
+
 #: Canonical trace recipes — regenerated bit-identically by
 #: :func:`tests.conftest.make_toy_trace` from these parameters.
 GOLDEN_TRACES = {
@@ -68,6 +94,10 @@ GOLDEN_TRACES = {
     "toy-aliasing": {"length": 1500, "seed": 13, "num_branches": 96},
     "toy-small": {"length": 600, "seed": 3, "num_branches": 8},
 }
+
+#: The detailed fixtures freeze two trace shapes (mixed and aliasing
+#: pressure); ``toy-small`` adds nothing to the attribution story.
+DETAILED_TRACE_NAMES = ("toy-mixed", "toy-aliasing")
 
 
 def _build_traces():
@@ -86,6 +116,27 @@ def _compute_rates() -> dict:
             for name, trace in traces.items()
         }
         for spec in GOLDEN_SPECS
+    }
+
+
+def _compute_detailed() -> dict:
+    """Full Section-4 summaries, JSON-normalised for exact comparison."""
+    from repro.analysis.summary import summarize_detailed
+
+    traces = _build_traces()
+    return {
+        spec: {
+            name: json.loads(
+                json.dumps(
+                    summarize_detailed(
+                        run_detailed(make_predictor(spec), traces[name])
+                    ),
+                    sort_keys=True,
+                )
+            )
+            for name in DETAILED_TRACE_NAMES
+        }
+        for spec in DETAILED_SPECS
     }
 
 
@@ -151,11 +202,101 @@ def test_batch_kernels_reproduce_golden_fixtures():
     )
 
 
+def test_detailed_fixtures_cover_six_newly_ported_schemes():
+    """ISSUE acceptance: >= 6 newly ported schemes carry frozen
+    substream-breakdown summaries on two traces."""
+    schemes = {parse_spec(spec)[0] for spec in DETAILED_SPECS}
+    assert len(schemes - {"gshare", "bimode"}) >= 6
+    assert len(DETAILED_TRACE_NAMES) == 2
+
+
+def test_detailed_fixture_recipes_match_checked_in_file():
+    data = json.loads(DETAILED_GOLDEN_PATH.read_text())
+    assert data["traces"] == {
+        name: GOLDEN_TRACES[name] for name in DETAILED_TRACE_NAMES
+    }, (
+        "detailed golden trace recipes changed; regenerate with "
+        "`PYTHONPATH=src:. python tests/test_golden.py --regen`"
+    )
+    assert sorted(data["summaries"]) == sorted(DETAILED_SPECS), (
+        "detailed golden spec list changed; regenerate the fixtures"
+    )
+
+
+def test_detailed_summaries_match_golden_fixtures():
+    """The frozen cells are *whole summaries* — per-class breakdown,
+    bias areas, aliasing/sharing, class-change counts — compared
+    JSON-exactly, so a single misattributed access drifts here."""
+    expected = json.loads(DETAILED_GOLDEN_PATH.read_text())["summaries"]
+    got = _compute_detailed()
+    drifted = []
+    for spec in DETAILED_SPECS:
+        for name in DETAILED_TRACE_NAMES:
+            want = expected.get(spec, {}).get(name)
+            have = got[spec][name]
+            if want != have:
+                drifted.append(f"  {spec} | {name}: expected {want}  got {have}")
+    assert not drifted, (
+        "Section-4 summaries drifted from tests/golden/detailed.json "
+        "(intentional? regenerate with "
+        "`PYTHONPATH=src:. python tests/test_golden.py --regen`):\n"
+        + "\n".join(drifted)
+    )
+
+
+def test_family_detailed_reproduces_golden_summaries():
+    """The fused family path (what ``detailed_matrix`` workers run)
+    must land on the same frozen summaries as the per-predictor
+    ``run_detailed`` loop that froze them."""
+    from repro.analysis.summary import summarize_detailed
+    from repro.core.interfaces import DetailedSimulation, SimulationResult
+    from repro.sim.fused import family_detailed, plan_families
+
+    expected = json.loads(DETAILED_GOLDEN_PATH.read_text())["summaries"]
+    traces = _build_traces()
+    drifted = []
+    for name in DETAILED_TRACE_NAMES:
+        trace = traces[name]
+        for family in plan_families(DETAILED_SPECS):
+            for spec, (preds, cids, num) in family_detailed(family, trace).items():
+                detailed = DetailedSimulation(
+                    result=SimulationResult(
+                        predictor_name=spec,
+                        trace_name=trace.name,
+                        predictions=preds,
+                        outcomes=trace.outcomes,
+                    ),
+                    counter_ids=cids,
+                    num_counters=num,
+                    pcs=trace.pcs,
+                )
+                got = json.loads(
+                    json.dumps(summarize_detailed(detailed), sort_keys=True)
+                )
+                if got != expected[spec][name]:
+                    drifted.append(f"  {spec} | {name}")
+    assert not drifted, (
+        "fused family summaries diverge from the golden fixtures:\n"
+        + "\n".join(drifted)
+    )
+
+
 def _regen() -> None:
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     payload = {"traces": GOLDEN_TRACES, "rates": _compute_rates()}
     GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {GOLDEN_PATH} ({len(GOLDEN_SPECS)} specs x {len(GOLDEN_TRACES)} traces)")
+    detailed = {
+        "traces": {name: GOLDEN_TRACES[name] for name in DETAILED_TRACE_NAMES},
+        "summaries": _compute_detailed(),
+    }
+    DETAILED_GOLDEN_PATH.write_text(
+        json.dumps(detailed, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"wrote {DETAILED_GOLDEN_PATH} "
+        f"({len(DETAILED_SPECS)} specs x {len(DETAILED_TRACE_NAMES)} traces)"
+    )
 
 
 if __name__ == "__main__":

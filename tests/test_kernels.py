@@ -42,7 +42,12 @@ from repro.sim import _cstep, kernels
 from repro.sim.engine import run
 from repro.sim.fused import plan_families
 from repro.verify.differential import diff_spec
-from repro.verify.oracle import oracle_rate, oracle_supports
+from repro.verify.oracle import (
+    oracle_detailed,
+    oracle_rate,
+    oracle_supports,
+    oracle_supports_detailed,
+)
 from tests.conftest import (
     ALL_SPECS,
     PORTED_GRID,
@@ -149,6 +154,59 @@ class TestRegistryCompleteness:
         through lane-batched kernels."""
         ported = [s for s, t in kernels.registered_schemes().items() if t in ("lane", "cloop")]
         assert len(ported) >= 7, ported
+
+    def test_every_registered_scheme_has_a_detailed_tier(self):
+        """ISSUE 10 acceptance: every scheme's Section-4 pipeline runs
+        batched — no registered scheme may hide behind the scalar
+        ``simulate_detailed`` loop."""
+        tiers = kernels.registered_detailed_tiers()
+        for scheme in available_schemes():
+            assert scheme in tiers, (
+                f"scheme {scheme!r} reports no detailed tier — register it "
+                "in sim/kernels.py"
+            )
+            assert tiers[scheme] != "scalar", (
+                f"scheme {scheme!r} has no batch attribution kernel — wire "
+                "a `detailed` callable into its PORTED entry in "
+                "sim/kernels.py (lane kernel in sim/lanes.py, compiled "
+                "loop in sim/_cstep.py)"
+            )
+        for scheme, entry in kernels.PORTED.items():
+            assert entry.detailed is not None, (
+                f"PORTED entry for {scheme!r} declares no detailed kernel"
+            )
+
+    def test_every_registered_scheme_has_detailed_oracle_coverage(self):
+        """The dict-based oracle must attribute counter ids for every
+        scheme, or the detailed kernels have nothing to answer to."""
+        from tests.test_golden import GOLDEN_SPECS
+
+        example = {spec.split(":", 1)[0]: spec for spec in GOLDEN_SPECS}
+        for scheme in available_schemes():
+            spec = example.get(scheme)
+            assert spec is not None, f"no example spec for scheme {scheme!r}"
+            assert oracle_supports_detailed(spec), (
+                f"scheme {scheme!r} has no counter-id attribution in "
+                "verify/oracle.py — add a `counter_id` method to its oracle"
+            )
+
+    def test_every_detailed_kernel_has_a_golden_row(self):
+        """Each distinct detailed kernel implementation (the two-level
+        family and the statics share one each) must answer to a frozen
+        Section-4 summary in tests/golden/detailed.json."""
+        from tests.test_golden import DETAILED_SPECS
+
+        frozen_kernels = {
+            kernels.PORTED[scheme].detailed
+            for scheme in {spec.split(":", 1)[0] for spec in DETAILED_SPECS}
+            if scheme in kernels.PORTED
+        }
+        for scheme, entry in kernels.PORTED.items():
+            assert entry.detailed in frozen_kernels, (
+                f"the detailed kernel behind {scheme!r} has no frozen "
+                "Section-4 summary — add a spec to tests/test_golden.py "
+                "DETAILED_SPECS and regenerate tests/golden/detailed.json"
+            )
 
     def test_family_order_spans_every_kind(self):
         order = kernels.family_order()
@@ -268,6 +326,82 @@ class TestEquivalence:
         for spec in ("agree:index=6", "trimode:dir=5", "pag:hist=4,bht=4"):
             kind, lane = kernels.kernel_for_spec(spec)
             assert kernels.family_rates(kind, [spec], [lane], empty) == [0.0]
+
+
+@lru_cache(maxsize=None)
+def _scalar_detailed_cell(spec: str, trace_kind: str):
+    detailed = make_predictor(spec).simulate_detailed(_trace(trace_kind))
+    return (
+        detailed.result.predictions,
+        detailed.counter_ids,
+        detailed.num_counters,
+    )
+
+
+class TestDetailedEquivalence:
+    """Every ported spec's Section-4 attribution, under both the
+    ``auto`` and ``numpy`` pins, on two trace shapes, against the
+    scalar ``simulate_detailed`` loop and the dict-based oracle —
+    predictions AND per-access counter ids, bit for bit."""
+
+    @pytest.mark.parametrize("trace_kind", ["toy", "aliasing"])
+    @pytest.mark.parametrize("mode", ["auto", "numpy"])
+    def test_grid_attribution_matches_scalar(self, mode, trace_kind):
+        trace = _trace(trace_kind)
+        drifted = []
+        for family in plan_families(PORTED_GRID):
+            assert family.kind != "scalar", family.specs
+            rows = kernels.family_detailed(
+                family.kind, family.specs, family.lanes, trace, mode=mode
+            )
+            for spec, (preds, cids, num) in zip(family.specs, rows):
+                want_p, want_c, want_n = _scalar_detailed_cell(spec, trace_kind)
+                if (
+                    num != want_n
+                    or not np.array_equal(preds, want_p)
+                    or not np.array_equal(cids, want_c)
+                ):
+                    drifted.append(f"{spec} [{mode}/{trace_kind}]")
+        assert not drifted, drifted
+
+    @pytest.mark.parametrize("spec", PORTED_GRID)
+    def test_counter_ids_match_oracle(self, spec):
+        """The oracle attributes independently of the lane kernels; a
+        kernel that predicts right but charges the wrong counter is
+        caught here by spec name."""
+        trace = _trace("toy")
+        assert oracle_supports_detailed(spec), spec
+        o_preds, o_ids = oracle_detailed(spec, trace)
+        kind, lane = kernels.kernel_for_spec(spec)
+        ((preds, cids, _),) = kernels.family_detailed(kind, [spec], [lane], trace)
+        assert np.array_equal(preds, o_preds), spec
+        assert np.array_equal(cids, o_ids), spec
+
+    def test_detailed_shares_family_history_pass(self):
+        """Several lanes of one family resolve in one call, sharing the
+        precomputed history streams; per-lane answers stay per-cell."""
+        specs = ["agree:index=6,hist=6", "agree:index=8,hist=4,bias=6"]
+        trace = _trace("toy")
+        lanes = [kernels.kernel_for_spec(s)[1] for s in specs]
+        rows = kernels.family_detailed("agree", specs, lanes, trace)
+        assert len(rows) == 2
+        for spec, (preds, cids, num) in zip(specs, rows):
+            want_p, want_c, want_n = _scalar_detailed_cell(spec, "toy")
+            assert num == want_n, spec
+            assert np.array_equal(preds, want_p), spec
+            assert np.array_equal(cids, want_c), spec
+
+    def test_empty_trace(self):
+        from tests.conftest import make_trace
+
+        empty = make_trace([], [])
+        for spec in ("agree:index=6", "trimode:dir=5", "btfnt"):
+            kind, lane = kernels.kernel_for_spec(spec)
+            ((preds, cids, num),) = kernels.family_detailed(
+                kind, [spec], [lane], empty
+            )
+            assert len(preds) == 0 and len(cids) == 0
+            assert num > 0
 
 
 class TestDispatch:
